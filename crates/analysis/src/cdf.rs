@@ -1,0 +1,253 @@
+//! Empirical cumulative distribution functions and fixed-bin histograms.
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples; NaNs are dropped.
+    pub fn from_values(mut values: Vec<f64>) -> Self {
+        values.retain(|v| !v.is_nan());
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted: values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were provided.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x` (0.0 for an empty CDF).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let k = self.sorted.partition_point(|&v| v <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Sample mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Step points `(value, cumulative fraction)`, downsampled to at most
+    /// `max_points` points for plotting.
+    pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        if n == 0 || max_points == 0 {
+            return Vec::new();
+        }
+        let step = (n as f64 / max_points as f64).max(1.0);
+        let mut pts = Vec::new();
+        let mut i = 0.0;
+        while (i as usize) < n {
+            let idx = i as usize;
+            pts.push((self.sorted[idx], (idx + 1) as f64 / n as f64));
+            i += step;
+        }
+        if pts.last().map(|p| p.1) != Some(1.0) {
+            pts.push((self.sorted[n - 1], 1.0));
+        }
+        pts
+    }
+}
+
+/// A fixed-bin histogram over `[0, 1]` (loss rates).
+///
+/// Exact zeros are tracked separately: in the paper's data over 95% of
+/// the 20-minute windows have a 0% loss rate, and that mass must not be
+/// blurred into the first bin.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    zeros: u64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new(200)
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `(0, 1]`
+    /// plus a dedicated zero bucket.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0);
+        Histogram { zeros: 0, bins: vec![0; bins], count: 0 }
+    }
+
+    /// Records a value (clamped into `[0, 1]`).
+    pub fn push(&mut self, v: f64) {
+        let v = if v.is_nan() { 0.0 } else { v.clamp(0.0, 1.0) };
+        self.count += 1;
+        if v == 0.0 {
+            self.zeros += 1;
+            return;
+        }
+        // Bin i covers (i/n, (i+1)/n].
+        let n = self.bins.len();
+        let idx = ((v * n as f64).ceil() as usize - 1).min(n - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact zeros recorded.
+    pub fn zeros(&self) -> u64 {
+        self.zeros
+    }
+
+    /// Fraction of values ≤ `x` (bin-resolution approximation; exact at
+    /// zero and at bin edges).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if x < 0.0 {
+            return 0.0;
+        }
+        let n = self.bins.len();
+        let lim = ((x.min(1.0) * n as f64).ceil() as usize).min(n);
+        let below: u64 = self.zeros + self.bins[..lim].iter().sum::<u64>();
+        below as f64 / self.count as f64
+    }
+
+    /// CDF points starting with `(0, zero fraction)` then one point per
+    /// bin upper edge.
+    pub fn cdf_points(&self) -> Vec<(f64, f64)> {
+        if self.count == 0 {
+            return Vec::new();
+        }
+        let mut pts = Vec::with_capacity(self.bins.len() + 1);
+        let mut acc = self.zeros;
+        pts.push((0.0, acc as f64 / self.count as f64));
+        let w = 1.0 / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            pts.push(((i + 1) as f64 * w, acc as f64 / self.count as f64));
+        }
+        pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf_behaves() {
+        let c = Cdf::from_values(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.mean(), None);
+        assert!(c.points(10).is_empty());
+    }
+
+    #[test]
+    fn fraction_is_monotone_and_exact() {
+        let c = Cdf::from_values(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(c.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(c.fraction_at_or_below(2.5), 0.5);
+        assert_eq!(c.fraction_at_or_below(4.0), 1.0);
+        assert_eq!(c.fraction_at_or_below(9.0), 1.0);
+    }
+
+    #[test]
+    fn nan_dropped() {
+        let c = Cdf::from_values(vec![f64::NAN, 1.0, 2.0]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = Cdf::from_values((1..=101).map(|i| i as f64).collect());
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(0.5), Some(51.0));
+        assert_eq!(c.quantile(1.0), Some(101.0));
+    }
+
+    #[test]
+    fn mean_matches() {
+        let c = Cdf::from_values(vec![2.0, 4.0, 6.0]);
+        assert_eq!(c.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn points_are_monotone_and_end_at_one() {
+        let c = Cdf::from_values((0..1000).map(|i| (i % 37) as f64).collect());
+        let pts = c.points(50);
+        assert!(pts.len() <= 52);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0, "x monotone");
+            assert!(w[1].1 >= w[0].1, "y monotone");
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_cdf() {
+        let mut h = Histogram::new(10);
+        for v in [0.0, 0.05, 0.15, 0.95, 1.0, 2.0, -1.0] {
+            h.push(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.zeros(), 2, "0.0 and clamped -1.0");
+        // ≤ 0.1: the two zeros plus 0.05 (bin (0, 0.1]).
+        assert!((h.fraction_at_or_below(0.1) - 3.0 / 7.0).abs() < 1e-12);
+        assert_eq!(h.fraction_at_or_below(1.0), 1.0);
+        let pts = h.cdf_points();
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0], (0.0, 2.0 / 7.0));
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn histogram_zero_mass_is_exact() {
+        let mut h = Histogram::new(200);
+        for _ in 0..95 {
+            h.push(0.0);
+        }
+        for _ in 0..5 {
+            h.push(0.3);
+        }
+        assert_eq!(h.fraction_at_or_below(0.0), 0.95);
+        assert_eq!(h.fraction_at_or_below(0.29), 0.95);
+        assert_eq!(h.fraction_at_or_below(0.31), 1.0);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new(5);
+        assert_eq!(h.fraction_at_or_below(0.5), 0.0);
+        assert!(h.cdf_points().is_empty());
+    }
+}

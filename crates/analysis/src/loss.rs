@@ -1,0 +1,370 @@
+//! Per-(path, method) loss and latency accumulation.
+//!
+//! The vocabulary follows Table 5 of the paper:
+//!
+//! * **1lp** — probability the first packet of a probe was lost;
+//! * **2lp** — probability the second packet was lost;
+//! * **totlp** — probability the probe failed end-to-end (every copy
+//!   lost); equals 1lp for single-packet methods;
+//! * **clp** — conditional loss probability of the second packet given
+//!   the first was lost;
+//! * **lat** — mean one-way latency of the first copy to arrive.
+
+use crate::latency::corrected_path_means;
+use netsim::HostId;
+use trace::PairOutcome;
+
+/// Counters for one (method, src, dst) cell.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cell {
+    /// Probe pairs observed.
+    pub pairs: u64,
+    /// Pairs where every copy was lost.
+    pub pairs_lost: u64,
+    /// First legs sent / lost.
+    pub l1_sent: u64,
+    /// First legs lost.
+    pub l1_lost: u64,
+    /// Second legs sent.
+    pub l2_sent: u64,
+    /// Second legs lost.
+    pub l2_lost: u64,
+    /// Pairs with both legs present where both were lost.
+    pub both_lost: u64,
+    /// Pairs with both legs present where the first was lost.
+    pub first_lost_with_second: u64,
+    /// Sum of best (min across received copies) one-way micros.
+    pub lat_sum_us: f64,
+    /// Count behind `lat_sum_us`.
+    pub lat_cnt: u64,
+}
+
+/// Summary statistics for one method (the paper's table columns, in
+/// percent and milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodSummary {
+    /// First-packet loss, percent.
+    pub lp1: f64,
+    /// Second-packet loss, percent (`None` for single-packet methods).
+    pub lp2: Option<f64>,
+    /// End-to-end pair loss, percent.
+    pub totlp: f64,
+    /// Conditional loss of packet 2 given packet 1 lost, percent.
+    pub clp: Option<f64>,
+    /// Mean latency, milliseconds (skew-corrected; RTT for round-trip
+    /// datasets).
+    pub lat_ms: f64,
+    /// Number of probe pairs behind the summary.
+    pub pairs: u64,
+}
+
+/// Streaming per-path loss/latency accumulator.
+#[derive(Debug)]
+pub struct LossAccum {
+    n: usize,
+    methods: usize,
+    cells: Vec<Cell>,
+}
+
+impl LossAccum {
+    /// Creates an accumulator for `methods` methods over `n` hosts.
+    pub fn new(n: usize, methods: usize) -> Self {
+        LossAccum { n, methods, cells: vec![Cell::default(); n * n * methods] }
+    }
+
+    #[inline]
+    fn idx(&self, method: u8, src: HostId, dst: HostId) -> usize {
+        debug_assert!((method as usize) < self.methods);
+        method as usize * self.n * self.n + src.idx() * self.n + dst.idx()
+    }
+
+    /// Ingests one resolved probe pair (discarded samples are skipped).
+    pub fn on_outcome(&mut self, o: &PairOutcome) {
+        if o.discarded {
+            return;
+        }
+        let i = self.idx(o.method, o.src, o.dst);
+        let c = &mut self.cells[i];
+        c.pairs += 1;
+        if o.all_lost() {
+            c.pairs_lost += 1;
+        }
+        if let Some(l1) = o.legs[0] {
+            c.l1_sent += 1;
+            if l1.lost {
+                c.l1_lost += 1;
+            }
+            if let Some(l2) = o.legs[1] {
+                if l1.lost {
+                    c.first_lost_with_second += 1;
+                    if l2.lost {
+                        c.both_lost += 1;
+                    }
+                }
+            }
+        }
+        if let Some(l2) = o.legs[1] {
+            c.l2_sent += 1;
+            if l2.lost {
+                c.l2_lost += 1;
+            }
+        }
+        if let Some(us) = o.best_one_way_us() {
+            c.lat_sum_us += us as f64;
+            c.lat_cnt += 1;
+        }
+    }
+
+    /// Read access to one cell.
+    pub fn cell(&self, method: u8, src: HostId, dst: HostId) -> &Cell {
+        &self.cells[self.idx(method, src, dst)]
+    }
+
+    /// Host count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Summary row for a method (the Table 5 / Table 7 columns).
+    pub fn summary(&self, method: u8) -> MethodSummary {
+        let base = method as usize * self.n * self.n;
+        let cells = &self.cells[base..base + self.n * self.n];
+        let mut t = Cell::default();
+        for c in cells {
+            t.pairs += c.pairs;
+            t.pairs_lost += c.pairs_lost;
+            t.l1_sent += c.l1_sent;
+            t.l1_lost += c.l1_lost;
+            t.l2_sent += c.l2_sent;
+            t.l2_lost += c.l2_lost;
+            t.both_lost += c.both_lost;
+            t.first_lost_with_second += c.first_lost_with_second;
+        }
+        let pct = |num: u64, den: u64| if den == 0 { 0.0 } else { 100.0 * num as f64 / den as f64 };
+        let lat_ms = {
+            let means = self.per_path_latency_ms(method);
+            if means.is_empty() {
+                0.0
+            } else {
+                means.iter().map(|&(_, _, m)| m).sum::<f64>() / means.len() as f64
+            }
+        };
+        MethodSummary {
+            lp1: pct(t.l1_lost, t.l1_sent),
+            lp2: if t.l2_sent > 0 { Some(pct(t.l2_lost, t.l2_sent)) } else { None },
+            totlp: pct(t.pairs_lost, t.pairs),
+            clp: if t.first_lost_with_second > 0 {
+                Some(pct(t.both_lost, t.first_lost_with_second))
+            } else {
+                None
+            },
+            lat_ms,
+            pairs: t.pairs,
+        }
+    }
+
+    /// Per-path end-to-end loss rates (fraction), for Figure 2.
+    pub fn per_path_loss(&self, method: u8) -> Vec<(HostId, HostId, f64)> {
+        let mut v = Vec::new();
+        for s in 0..self.n {
+            for d in 0..self.n {
+                if s == d {
+                    continue;
+                }
+                let c = self.cell(method, HostId(s as u16), HostId(d as u16));
+                if c.pairs > 0 {
+                    v.push((
+                        HostId(s as u16),
+                        HostId(d as u16),
+                        c.pairs_lost as f64 / c.pairs as f64,
+                    ));
+                }
+            }
+        }
+        v
+    }
+
+    /// Per-path conditional loss probabilities (percent) for paths that
+    /// observed at least `min_first_losses` first-packet losses — the
+    /// population of Figure 4.
+    pub fn per_path_clp(&self, method: u8, min_first_losses: u64) -> Vec<f64> {
+        let mut v = Vec::new();
+        for s in 0..self.n {
+            for d in 0..self.n {
+                if s == d {
+                    continue;
+                }
+                let c = self.cell(method, HostId(s as u16), HostId(d as u16));
+                if c.first_lost_with_second >= min_first_losses.max(1) {
+                    v.push(100.0 * c.both_lost as f64 / c.first_lost_with_second as f64);
+                }
+            }
+        }
+        v
+    }
+
+    /// Per-path mean latency in milliseconds, clock-skew corrected by
+    /// averaging with the reverse path (§4.1).
+    pub fn per_path_latency_ms(&self, method: u8) -> Vec<(HostId, HostId, f64)> {
+        let mut raw = Vec::new();
+        for s in 0..self.n {
+            for d in 0..self.n {
+                if s == d {
+                    continue;
+                }
+                let c = self.cell(method, HostId(s as u16), HostId(d as u16));
+                if c.lat_cnt > 0 {
+                    raw.push((s as u16, d as u16, c.lat_sum_us / c.lat_cnt as f64));
+                }
+            }
+        }
+        corrected_path_means(&raw)
+            .into_iter()
+            .map(|(s, d, us)| (HostId(s), HostId(d), us / 1_000.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimTime;
+    use trace::LegOutcome;
+
+    fn outcome(
+        method: u8,
+        src: u16,
+        dst: u16,
+        legs: [Option<(bool, Option<i64>)>; 2],
+        discarded: bool,
+    ) -> PairOutcome {
+        let mk = |x: Option<(bool, Option<i64>)>| {
+            x.map(|(lost, ow)| LegOutcome { route: 0, lost, one_way_us: ow })
+        };
+        PairOutcome {
+            id: 0,
+            method,
+            src: HostId(src),
+            dst: HostId(dst),
+            sent: SimTime::ZERO,
+            legs: [mk(legs[0]), mk(legs[1])],
+            discarded,
+        }
+    }
+
+    #[test]
+    fn single_leg_method_totlp_equals_lp1() {
+        let mut a = LossAccum::new(3, 2);
+        for i in 0..100 {
+            a.on_outcome(&outcome(
+                0,
+                0,
+                1,
+                [Some((i < 10, if i < 10 { None } else { Some(50_000) })), None],
+                false,
+            ));
+        }
+        let s = a.summary(0);
+        assert_eq!(s.lp1, 10.0);
+        assert_eq!(s.totlp, 10.0);
+        assert_eq!(s.lp2, None);
+        assert_eq!(s.clp, None);
+        assert_eq!(s.pairs, 100);
+    }
+
+    #[test]
+    fn pair_method_counts_clp_and_totlp() {
+        let mut a = LossAccum::new(3, 1);
+        // 10 pairs: 4 both-lost, 2 first-lost-only, 1 second-lost-only,
+        // 3 clean.
+        for _ in 0..4 {
+            a.on_outcome(&outcome(0, 0, 1, [Some((true, None)), Some((true, None))], false));
+        }
+        for _ in 0..2 {
+            a.on_outcome(&outcome(0, 0, 1, [Some((true, None)), Some((false, Some(70_000)))], false));
+        }
+        a.on_outcome(&outcome(0, 0, 1, [Some((false, Some(50_000))), Some((true, None))], false));
+        for _ in 0..3 {
+            a.on_outcome(&outcome(
+                0,
+                0,
+                1,
+                [Some((false, Some(50_000))), Some((false, Some(60_000)))],
+                false,
+            ));
+        }
+        let s = a.summary(0);
+        assert_eq!(s.lp1, 60.0); // 6/10
+        assert_eq!(s.lp2, Some(50.0)); // 5/10
+        assert_eq!(s.totlp, 40.0); // 4/10
+        assert_eq!(s.clp, Some(100.0 * 4.0 / 6.0));
+    }
+
+    #[test]
+    fn latency_uses_first_arriving_copy() {
+        let mut a = LossAccum::new(2, 1);
+        a.on_outcome(&outcome(
+            0,
+            0,
+            1,
+            [Some((false, Some(80_000))), Some((false, Some(30_000)))],
+            false,
+        ));
+        // Reverse direction so skew correction has both sides.
+        a.on_outcome(&outcome(
+            0,
+            1,
+            0,
+            [Some((false, Some(40_000))), Some((false, Some(50_000)))],
+            false,
+        ));
+        let s = a.summary(0);
+        // Forward best = 30 ms, reverse best = 40 ms; corrected both to 35.
+        assert!((s.lat_ms - 35.0).abs() < 1e-9, "lat={}", s.lat_ms);
+    }
+
+    #[test]
+    fn discarded_samples_are_ignored() {
+        let mut a = LossAccum::new(2, 1);
+        a.on_outcome(&outcome(0, 0, 1, [Some((true, None)), None], true));
+        let s = a.summary(0);
+        assert_eq!(s.pairs, 0);
+        assert_eq!(s.totlp, 0.0);
+    }
+
+    #[test]
+    fn per_path_loss_lists_only_observed_paths() {
+        let mut a = LossAccum::new(3, 1);
+        a.on_outcome(&outcome(0, 0, 1, [Some((true, None)), None], false));
+        a.on_outcome(&outcome(0, 0, 1, [Some((false, Some(1_000))), None], false));
+        let v = a.per_path_loss(0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, HostId(0));
+        assert_eq!(v[0].1, HostId(1));
+        assert!((v[0].2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_path_clp_requires_first_losses() {
+        let mut a = LossAccum::new(3, 1);
+        // Path 0→1: first losses present (CLP 50%).
+        a.on_outcome(&outcome(0, 0, 1, [Some((true, None)), Some((true, None))], false));
+        a.on_outcome(&outcome(0, 0, 1, [Some((true, None)), Some((false, Some(1_000)))], false));
+        // Path 0→2: clean.
+        a.on_outcome(&outcome(0, 0, 2, [Some((false, Some(1))), Some((false, Some(1)))], false));
+        let v = a.per_path_clp(0, 1);
+        assert_eq!(v, vec![50.0]);
+    }
+
+    #[test]
+    fn clock_skew_cancels_in_latency() {
+        let mut a = LossAccum::new(2, 1);
+        // True one-way 50 ms both directions; dst clock +20 ms.
+        a.on_outcome(&outcome(0, 0, 1, [Some((false, Some(70_000))), None], false));
+        a.on_outcome(&outcome(0, 1, 0, [Some((false, Some(30_000))), None], false));
+        let v = a.per_path_latency_ms(0);
+        for (_, _, ms) in v {
+            assert!((ms - 50.0).abs() < 1e-9, "ms={ms}");
+        }
+    }
+}

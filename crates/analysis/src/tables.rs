@@ -1,0 +1,176 @@
+//! Plain-text renderers for the paper's tables.
+
+use crate::loss::MethodSummary;
+
+/// One row of Table 5 / Table 7.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Method name as printed in the paper (e.g. `direct rand`).
+    pub name: String,
+    /// The summary statistics.
+    pub summary: MethodSummary,
+}
+
+fn fmt_opt(v: Option<f64>, prec: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.prec$}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders Table 5 ("One-way loss percentages").
+pub fn render_table5(title: &str, rows: &[Table5Row]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{title}\n"));
+    s.push_str(&format!(
+        "{:<14} {:>7} {:>7} {:>7} {:>7} {:>9} {:>12}\n",
+        "Type", "1lp", "2lp", "totlp", "clp", "lat(ms)", "samples"
+    ));
+    for r in rows {
+        let m = &r.summary;
+        s.push_str(&format!(
+            "{:<14} {:>7.2} {:>7} {:>7.2} {:>7} {:>9.2} {:>12}\n",
+            r.name,
+            m.lp1,
+            fmt_opt(m.lp2, 2),
+            m.totlp,
+            fmt_opt(m.clp, 2),
+            m.lat_ms,
+            m.pairs,
+        ));
+    }
+    s
+}
+
+/// Table 6: hour-long high-loss periods by routing method.
+#[derive(Debug, Clone)]
+pub struct Table6 {
+    /// Method names, column order.
+    pub methods: Vec<String>,
+    /// `counts[m][i]` = windows of method `m` with loss > 10·i percent
+    /// (`i = 0` is the "> 0" row).
+    pub counts: Vec<[u64; 10]>,
+    /// Total windows per method.
+    pub totals: Vec<u64>,
+}
+
+/// Renders Table 6.
+pub fn render_table6(t: &Table6) -> String {
+    let mut s = String::new();
+    s.push_str("Hour-long high loss periods, by routing method\n");
+    s.push_str(&format!("{:<8}", "Loss %"));
+    for m in &t.methods {
+        s.push_str(&format!(" {m:>12}"));
+    }
+    s.push('\n');
+    for i in 0..10 {
+        s.push_str(&format!("{:<8}", format!("> {}", i * 10)));
+        for counts in &t.counts {
+            s.push_str(&format!(" {:>12}", counts[i]));
+        }
+        s.push('\n');
+    }
+    s.push_str(&format!("{:<8}", "windows"));
+    for total in &t.totals {
+        s.push_str(&format!(" {total:>12}"));
+    }
+    s.push('\n');
+    s
+}
+
+/// One row of Table 7 (2002 RONwide, round-trip latency).
+#[derive(Debug, Clone)]
+pub struct Table7Row {
+    /// Method name.
+    pub name: String,
+    /// Summary; `lat_ms` holds the round-trip time.
+    pub summary: MethodSummary,
+}
+
+/// Renders Table 7 ("expanded set of routing schemes", RTT column).
+pub fn render_table7(rows: &[Table7Row]) -> String {
+    let mut s = String::new();
+    s.push_str("One-way loss percentages, 2002 RONwide (RTT latencies)\n");
+    s.push_str(&format!(
+        "{:<14} {:>7} {:>7} {:>7} {:>7} {:>9} {:>12}\n",
+        "Type", "1lp", "2lp", "totlp", "clp", "RTT(ms)", "samples"
+    ));
+    for r in rows {
+        let m = &r.summary;
+        s.push_str(&format!(
+            "{:<14} {:>7.2} {:>7} {:>7.2} {:>7} {:>9.1} {:>12}\n",
+            r.name,
+            m.lp1,
+            fmt_opt(m.lp2, 2),
+            m.totlp,
+            fmt_opt(m.clp, 1),
+            m.lat_ms,
+            m.pairs,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> MethodSummary {
+        MethodSummary {
+            lp1: 0.42,
+            lp2: Some(2.66),
+            totlp: 0.26,
+            clp: Some(62.47),
+            lat_ms: 51.71,
+            pairs: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn table5_renders_all_columns() {
+        let rows = vec![Table5Row { name: "direct rand".into(), summary: summary() }];
+        let out = render_table5("2003", &rows);
+        assert!(out.contains("direct rand"));
+        assert!(out.contains("0.42"));
+        assert!(out.contains("2.66"));
+        assert!(out.contains("62.47"));
+        assert!(out.contains("51.71"));
+    }
+
+    #[test]
+    fn table5_dashes_for_single_packet_methods() {
+        let mut s = summary();
+        s.lp2 = None;
+        s.clp = None;
+        let rows = vec![Table5Row { name: "direct".into(), summary: s }];
+        let out = render_table5("2003", &rows);
+        let line = out.lines().find(|l| l.starts_with("direct")).unwrap();
+        assert_eq!(line.matches('-').count(), 2);
+    }
+
+    #[test]
+    fn table6_renders_thresholds() {
+        let t = Table6 {
+            methods: vec!["direct".into(), "loss".into()],
+            counts: vec![
+                [8817, 1999, 962, 630, 486, 379, 255, 130, 74, 31],
+                [7066, 1362, 791, 573, 468, 359, 219, 106, 59, 31],
+            ],
+            totals: vec![290_000, 290_000],
+        };
+        let out = render_table6(&t);
+        assert!(out.contains("> 0"));
+        assert!(out.contains("> 90"));
+        assert!(out.contains("8817"));
+        assert!(out.contains("7066"));
+        assert_eq!(out.lines().count(), 13);
+    }
+
+    #[test]
+    fn table7_renders_rtt() {
+        let rows = vec![Table7Row { name: "rand rand".into(), summary: summary() }];
+        let out = render_table7(&rows);
+        assert!(out.contains("RTT(ms)"));
+        assert!(out.contains("rand rand"));
+    }
+}

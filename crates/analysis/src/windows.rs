@@ -1,0 +1,204 @@
+//! Windowed loss-rate accumulation.
+//!
+//! Two consumers in the paper:
+//!
+//! * **Figure 3** — the CDF of 20-minute loss-rate samples per method;
+//! * **Table 6** — counts of hour-long (path, window) periods whose loss
+//!   rate exceeds 0%, 10%, …, 90%, per method.
+//!
+//! Windows are per (method, path) and aligned to absolute time; a window
+//! closes when a later sample for the same cell arrives (or at
+//! [`WindowAccum::finish`]) and its end-to-end pair loss rate feeds a
+//! per-method histogram and the threshold counters.
+
+use crate::cdf::Histogram;
+use netsim::SimDuration;
+use trace::PairOutcome;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct OpenWin {
+    window_idx: u64,
+    sent: u32,
+    lost: u32,
+    used: bool,
+}
+
+/// Streaming fixed-width window accumulator.
+#[derive(Debug)]
+pub struct WindowAccum {
+    width_us: u64,
+    n: usize,
+    open: Vec<OpenWin>,
+    hist: Vec<Histogram>,
+    /// Per method: windows with loss > 0%, >10%, …, >90%.
+    thresholds: Vec<[u64; 10]>,
+    windows: Vec<u64>,
+}
+
+impl WindowAccum {
+    /// Creates an accumulator with the given window width.
+    pub fn new(n: usize, methods: usize, width: SimDuration) -> Self {
+        assert!(width.as_micros() > 0);
+        WindowAccum {
+            width_us: width.as_micros(),
+            n,
+            open: vec![OpenWin::default(); n * n * methods],
+            hist: (0..methods).map(|_| Histogram::new(200)).collect(),
+            thresholds: vec![[0; 10]; methods],
+            windows: vec![0; methods],
+        }
+    }
+
+    fn close(&mut self, cell: usize) {
+        let w = self.open[cell];
+        if !w.used || w.sent == 0 {
+            return;
+        }
+        let method = cell / (self.n * self.n);
+        let rate = w.lost as f64 / w.sent as f64;
+        self.hist[method].push(rate);
+        self.windows[method] += 1;
+        let th = &mut self.thresholds[method];
+        if w.lost > 0 {
+            th[0] += 1;
+        }
+        for (i, t) in th.iter_mut().enumerate().skip(1) {
+            if rate > i as f64 / 10.0 {
+                *t += 1;
+            }
+        }
+    }
+
+    /// Ingests one resolved pair (discarded samples are skipped).
+    pub fn on_outcome(&mut self, o: &PairOutcome) {
+        if o.discarded {
+            return;
+        }
+        let cell = o.method as usize * self.n * self.n
+            + o.src.idx() * self.n
+            + o.dst.idx();
+        let idx = o.sent.as_micros() / self.width_us;
+        if self.open[cell].used && self.open[cell].window_idx != idx {
+            self.close(cell);
+            self.open[cell] = OpenWin::default();
+        }
+        let w = &mut self.open[cell];
+        w.used = true;
+        w.window_idx = idx;
+        w.sent += 1;
+        if o.all_lost() {
+            w.lost += 1;
+        }
+    }
+
+    /// Closes every open window (end of run).
+    pub fn finish(&mut self) {
+        for cell in 0..self.open.len() {
+            self.close(cell);
+            self.open[cell] = OpenWin::default();
+        }
+    }
+
+    /// The per-method loss-rate histogram (Figure 3's raw material).
+    pub fn histogram(&self, method: u8) -> &Histogram {
+        &self.hist[method as usize]
+    }
+
+    /// Windows whose loss exceeded `10·i` percent, for i = 0..10
+    /// (`i = 0` means "any loss at all": the paper's `> 0` row).
+    pub fn threshold_counts(&self, method: u8) -> [u64; 10] {
+        self.thresholds[method as usize]
+    }
+
+    /// Total closed windows for a method.
+    pub fn window_count(&self, method: u8) -> u64 {
+        self.windows[method as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{HostId, SimTime};
+    use trace::LegOutcome;
+
+    fn outcome(method: u8, src: u16, dst: u16, t_secs: u64, lost: bool) -> PairOutcome {
+        PairOutcome {
+            id: 0,
+            method,
+            src: HostId(src),
+            dst: HostId(dst),
+            sent: SimTime::from_secs(t_secs),
+            legs: [
+                Some(LegOutcome { route: 0, lost, one_way_us: if lost { None } else { Some(1) } }),
+                None,
+            ],
+            discarded: false,
+        }
+    }
+
+    #[test]
+    fn windows_split_on_boundaries() {
+        let mut w = WindowAccum::new(2, 1, SimDuration::from_mins(20));
+        // Window 1: 2 sent, 1 lost. Window 2: 1 sent, 0 lost.
+        w.on_outcome(&outcome(0, 0, 1, 10, true));
+        w.on_outcome(&outcome(0, 0, 1, 20, false));
+        w.on_outcome(&outcome(0, 0, 1, 1_500, false));
+        w.finish();
+        assert_eq!(w.window_count(0), 2);
+        assert_eq!(w.threshold_counts(0)[0], 1, "one window saw loss");
+        // 50% loss > 40% threshold (index 4) but not > 50% (index 5).
+        assert_eq!(w.threshold_counts(0)[4], 1);
+        assert_eq!(w.threshold_counts(0)[5], 0);
+    }
+
+    #[test]
+    fn separate_paths_do_not_mix() {
+        let mut w = WindowAccum::new(3, 1, SimDuration::from_hours(1));
+        w.on_outcome(&outcome(0, 0, 1, 10, true));
+        w.on_outcome(&outcome(0, 0, 2, 10, false));
+        w.finish();
+        assert_eq!(w.window_count(0), 2, "two (path, window) cells");
+        assert_eq!(w.threshold_counts(0)[0], 1);
+    }
+
+    #[test]
+    fn separate_methods_do_not_mix() {
+        let mut w = WindowAccum::new(2, 2, SimDuration::from_hours(1));
+        w.on_outcome(&outcome(0, 0, 1, 10, true));
+        w.on_outcome(&outcome(1, 0, 1, 10, false));
+        w.finish();
+        assert_eq!(w.threshold_counts(0)[0], 1);
+        assert_eq!(w.threshold_counts(1)[0], 0);
+    }
+
+    #[test]
+    fn discarded_outcomes_skip_windows() {
+        let mut w = WindowAccum::new(2, 1, SimDuration::from_hours(1));
+        let mut o = outcome(0, 0, 1, 10, true);
+        o.discarded = true;
+        w.on_outcome(&o);
+        w.finish();
+        assert_eq!(w.window_count(0), 0);
+    }
+
+    #[test]
+    fn histogram_collects_rates() {
+        let mut w = WindowAccum::new(2, 1, SimDuration::from_mins(20));
+        // One fully lossy window, one clean window.
+        w.on_outcome(&outcome(0, 0, 1, 10, true));
+        w.on_outcome(&outcome(0, 0, 1, 2_000, false));
+        w.finish();
+        let h = w.histogram(0);
+        assert_eq!(h.count(), 2);
+        assert!((h.fraction_at_or_below(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_windows_are_not_counted() {
+        let mut w = WindowAccum::new(2, 1, SimDuration::from_mins(20));
+        w.finish();
+        assert_eq!(w.window_count(0), 0);
+        assert_eq!(w.histogram(0).count(), 0);
+    }
+}

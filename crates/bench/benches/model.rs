@@ -1,0 +1,35 @@
+//! Bench: the Figure 6 analytic design-space model and the
+//! bandwidth-budget advisor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpath_core::model::DesignModel;
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    let model = DesignModel::ron2003_defaults();
+    let mut g = c.benchmark_group("fig6_model");
+    g.bench_function("figure6_curves_1001pts", |b| {
+        b.iter(|| black_box(model.figure6(64_000.0, 1001).len()))
+    });
+    g.bench_function("advisor_sweep", |b| {
+        b.iter(|| {
+            let mut picks = 0u32;
+            for flow_exp in 10..28 {
+                let flow = (1u64 << flow_exp) as f64;
+                for d in [0.05, 0.15, 0.25, 0.35] {
+                    if !matches!(
+                        model.recommend(flow, 1e9, d),
+                        mpath_core::Recommendation::Infeasible
+                    ) {
+                        picks += 1;
+                    }
+                }
+            }
+            black_box(picks)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Bench: regenerating Table 5 (one-way loss percentages) end to end —
+//! a scaled RON2003 run through the full simulator + overlay + collector
+//! pipeline, finishing with the table rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpath_core::{report, Dataset};
+use netsim::SimDuration;
+use std::hint::black_box;
+
+fn bench_table5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("ron2003_30min_30hosts", |b| {
+        b.iter(|| {
+            let out = Dataset::Ron2003.run(7, Some(SimDuration::from_mins(30)));
+            let rows = report::table5(&out);
+            black_box(rows.len())
+        })
+    });
+    g.bench_function("ronnarrow_30min_17hosts", |b| {
+        b.iter(|| {
+            let out = Dataset::RonNarrow.run(7, Some(SimDuration::from_mins(30)));
+            let rows = report::table5(&out);
+            black_box(rows.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench: regenerating Table 6 (hour-long high-loss periods) — the
+//! windowed-accumulation pipeline, plus a microbench of the window
+//! accumulator itself at trace-replay speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpath_core::{report, Dataset};
+use netsim::{HostId, SimDuration, SimTime};
+use std::hint::black_box;
+use trace::{LegOutcome, PairOutcome};
+
+fn bench_table6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.bench_function("ron2003_1h_windows", |b| {
+        b.iter(|| {
+            let out = Dataset::Ron2003.run(11, Some(SimDuration::from_mins(40)));
+            let t = report::table6(&out);
+            black_box(t.counts.len())
+        })
+    });
+    g.bench_function("window_accum_1M_outcomes", |b| {
+        let outcomes: Vec<PairOutcome> = (0..1_000_000u64)
+            .map(|i| PairOutcome {
+                id: i,
+                method: (i % 8) as u8,
+                src: HostId((i % 30) as u16),
+                dst: HostId(((i / 30) % 30) as u16),
+                sent: SimTime::from_millis(i * 37),
+                legs: [
+                    Some(LegOutcome { route: 0, lost: i % 97 == 0, one_way_us: Some(50_000) }),
+                    None,
+                ],
+                discarded: false,
+            })
+            .collect();
+        b.iter(|| {
+            let mut w = analysis::WindowAccum::new(30, 8, SimDuration::from_hours(1));
+            for o in &outcomes {
+                w.on_outcome(o);
+            }
+            w.finish();
+            black_box(w.window_count(0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

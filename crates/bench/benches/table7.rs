@@ -1,0 +1,23 @@
+//! Bench: regenerating Table 7 — the RONwide 2002 round-trip dataset
+//! with its twelve routing-method combinations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpath_core::{report, Dataset};
+use netsim::SimDuration;
+use std::hint::black_box;
+
+fn bench_table7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table7");
+    g.sample_size(10);
+    g.bench_function("ronwide_30min_roundtrip", |b| {
+        b.iter(|| {
+            let out = Dataset::RonWide.run(13, Some(SimDuration::from_mins(30)));
+            let rows = report::table7(&out);
+            black_box(rows.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table7);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Shared harness code for the benchmark suite and the `repro` binary:
+//! paper reference values, scaled-run helpers, and the §5.2 FEC
+//! experiment.
+
+#![warn(missing_docs)]
+
+pub mod fecx;
+pub mod paper;
+pub mod runs;
+
+pub use fecx::{fec_sweep, FecPoint, FecSweepConfig};
+pub use runs::{quick_2003, quick_narrow, quick_wide};

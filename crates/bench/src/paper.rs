@@ -1,0 +1,101 @@
+//! The published numbers (for side-by-side comparison in the repro
+//! output and the EXPERIMENTS.md shape checks).
+
+/// One published Table 5 row: (name, 1lp, 2lp, totlp, clp, lat_ms);
+/// `f64::NAN` marks a dash in the paper.
+pub type PaperRow = (&'static str, f64, f64, f64, f64, f64);
+
+/// Table 5, 2003 half.
+pub const TABLE5_2003: &[PaperRow] = &[
+    ("direct*", 0.42, f64::NAN, 0.42, f64::NAN, 54.13),
+    ("lat*", 0.43, f64::NAN, 0.43, f64::NAN, 48.01),
+    ("loss", 0.33, f64::NAN, 0.33, f64::NAN, 55.62),
+    ("direct rand", 0.41, 2.66, 0.26, 62.47, 51.71),
+    ("lat loss", 0.43, 1.95, 0.23, 55.08, 46.77),
+    ("direct direct", 0.42, 0.43, 0.30, 72.15, 54.24),
+    ("dd 10 ms", 0.41, 0.42, 0.27, 66.08, 54.28),
+    ("dd 20 ms", 0.41, 0.41, 0.27, 65.28, 54.39),
+];
+
+/// Table 5, 2002 half (RONnarrow).
+pub const TABLE5_2002: &[PaperRow] = &[
+    ("direct*", 0.74, f64::NAN, 0.74, f64::NAN, 69.54),
+    ("lat*", 0.75, f64::NAN, 0.75, f64::NAN, 69.43),
+    ("loss", 0.67, f64::NAN, 0.67, f64::NAN, 76.07),
+    ("direct rand", 0.74, 1.85, 0.38, 51.17, 68.33),
+    ("lat loss", 0.75, 1.53, 0.37, 49.82, 66.73),
+];
+
+/// Table 7 (RONwide 2002, round-trip): (name, 1lp, 2lp, totlp, clp, RTT).
+pub const TABLE7: &[PaperRow] = &[
+    ("direct", 0.27, f64::NAN, 0.27, f64::NAN, 133.5),
+    ("rand", 1.12, f64::NAN, 1.12, f64::NAN, 283.0),
+    ("lat", 0.34, f64::NAN, 0.34, f64::NAN, 137.0),
+    ("loss", 0.21, f64::NAN, 0.21, f64::NAN, 151.9),
+    ("direct direct", 0.29, 0.49, 0.21, 72.7, 134.3),
+    ("rand rand", 1.08, 1.12, 0.12, 11.2, 182.9),
+    ("direct rand", 0.29, 1.20, 0.12, 39.2, 130.1),
+    ("direct lat", 0.29, 0.95, 0.11, 39.3, 123.9),
+    ("direct loss", 0.27, 1.06, 0.11, 40.0, 130.5),
+    ("rand lat", 1.15, 0.41, 0.11, 9.3, 131.3),
+    ("rand loss", 1.11, 0.28, 0.11, 9.9, 140.4),
+    ("lat loss", 0.36, 0.79, 0.10, 29.0, 128.8),
+];
+
+/// Table 6 published counts: rows are thresholds >0..>90, columns in the
+/// paper's order (direct, direct direct, dd 10, dd 20, lat, loss,
+/// direct rand, lat loss).
+pub const TABLE6: &[[u64; 8]] = &[
+    [8817, 5183, 4024, 3832, 10695, 7066, 3846, 3353],
+    [1999, 1361, 1291, 1275, 1716, 1362, 1236, 1134],
+    [962, 799, 796, 783, 849, 791, 793, 757],
+    [630, 585, 591, 575, 604, 573, 579, 563],
+    [486, 480, 481, 465, 484, 468, 468, 451],
+    [379, 377, 367, 359, 363, 359, 369, 334],
+    [255, 251, 245, 249, 231, 219, 235, 215],
+    [130, 130, 130, 128, 118, 106, 125, 114],
+    [74, 73, 65, 64, 57, 59, 60, 56],
+    [31, 31, 37, 30, 16, 31, 28, 16],
+];
+
+/// §4.2 headline figures.
+pub mod headline {
+    /// Overall direct loss rate, 2003.
+    pub const DIRECT_LOSS_2003: f64 = 0.42;
+    /// Overall direct loss rate, 2002.
+    pub const DIRECT_LOSS_2002: f64 = 0.74;
+    /// Worst one-hour average loss rate observed.
+    pub const WORST_HOUR: f64 = 13.0;
+    /// Fraction of paths with long-term loss under 1%.
+    pub const PATHS_UNDER_1PCT: f64 = 0.80;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_expected_shapes() {
+        assert_eq!(TABLE5_2003.len(), 8);
+        assert_eq!(TABLE5_2002.len(), 5);
+        assert_eq!(TABLE7.len(), 12);
+        assert_eq!(TABLE6.len(), 10);
+    }
+
+    #[test]
+    fn paper_orderings_hold_internally() {
+        // The shape criteria of DESIGN.md §5, checked against the
+        // published numbers themselves (a guard against typos here).
+        let get = |n: &str| TABLE5_2003.iter().find(|r| r.0 == n).unwrap();
+        assert!(get("direct*").4.is_nan(), "single-packet rows have no clp");
+        let dd = get("direct direct").4;
+        let dd10 = get("dd 10 ms").4;
+        let dd20 = get("dd 20 ms").4;
+        let dr = get("direct rand").4;
+        let ll = get("lat loss").4;
+        assert!(dd > dd10 && dd10 > dd20 && dd20 > dr && dr > ll);
+        assert!(get("loss").3 < get("direct*").3);
+        assert!(get("direct rand").3 < get("loss").3);
+        assert!(get("lat loss").3 < get("direct rand").3);
+    }
+}

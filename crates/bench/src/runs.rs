@@ -1,0 +1,19 @@
+//! Scaled dataset runs shared by benches, tests and the repro binary.
+
+use mpath_core::{Dataset, ExperimentOutput};
+use netsim::SimDuration;
+
+/// Runs RON2003 for `hours` simulated hours.
+pub fn quick_2003(hours: u64, seed: u64) -> ExperimentOutput {
+    Dataset::Ron2003.run(seed, Some(SimDuration::from_hours(hours)))
+}
+
+/// Runs RONnarrow (2002, one-way) for `hours` simulated hours.
+pub fn quick_narrow(hours: u64, seed: u64) -> ExperimentOutput {
+    Dataset::RonNarrow.run(seed, Some(SimDuration::from_hours(hours)))
+}
+
+/// Runs RONwide (2002, round-trip) for `hours` simulated hours.
+pub fn quick_wide(hours: u64, seed: u64) -> ExperimentOutput {
+    Dataset::RonWide.run(seed, Some(SimDuration::from_hours(hours)))
+}

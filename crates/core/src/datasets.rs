@@ -1,0 +1,107 @@
+//! The three datasets of Table 3.
+//!
+//! | dataset   | hosts | days | probing                          |
+//! |-----------|-------|------|----------------------------------|
+//! | RONnarrow | 17    | 4    | one-way, 3 methods               |
+//! | RONwide   | 17    | 5    | round-trip, 12 method combos     |
+//! | RON2003   | 30    | 14   | one-way, 6 probe sets (8 rows)   |
+//!
+//! Paper-scale runs take minutes; every entry point accepts a duration
+//! override so tests and benches can run scaled-down versions (the
+//! statistics are rate-based, so shapes are preserved, only the error
+//! bars widen).
+
+use crate::experiment::{run_experiment, ExperimentConfig, ExperimentOutput};
+use crate::method::MethodSet;
+use netsim::{SimDuration, Topology};
+
+/// One of the paper's measurement campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// 30 hosts, 14 days, one-way, the six 2003 probe sets.
+    Ron2003,
+    /// 17 hosts, 4 days, one-way, three methods (2002).
+    RonNarrow,
+    /// 17 hosts, 5 days, round-trip, twelve combos (2002).
+    RonWide,
+}
+
+impl Dataset {
+    /// The dataset's name as the paper uses it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Ron2003 => "RON2003",
+            Dataset::RonNarrow => "RONnarrow",
+            Dataset::RonWide => "RONwide",
+        }
+    }
+
+    /// The paper's measurement duration for this dataset.
+    pub fn paper_duration(&self) -> SimDuration {
+        match self {
+            Dataset::Ron2003 => SimDuration::from_days(14),
+            Dataset::RonNarrow => SimDuration::from_days(4),
+            Dataset::RonWide => SimDuration::from_days(5),
+        }
+    }
+
+    /// Builds the era-appropriate testbed.
+    pub fn topology(&self, seed: u64) -> Topology {
+        match self {
+            Dataset::Ron2003 => Topology::ron2003(seed),
+            Dataset::RonNarrow | Dataset::RonWide => Topology::ron2002(seed),
+        }
+    }
+
+    /// The method registry this dataset probes.
+    pub fn methods(&self) -> MethodSet {
+        match self {
+            Dataset::Ron2003 => MethodSet::ron2003(),
+            Dataset::RonNarrow => MethodSet::ron_narrow(),
+            Dataset::RonWide => MethodSet::ron_wide(),
+        }
+    }
+
+    /// Experiment configuration with an optional duration override.
+    pub fn config(&self, seed: u64, duration: Option<SimDuration>) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::new(self.methods());
+        cfg.seed = seed;
+        cfg.duration = duration.unwrap_or_else(|| self.paper_duration());
+        cfg.round_trip = matches!(self, Dataset::RonWide);
+        cfg
+    }
+
+    /// Runs the dataset end to end.
+    pub fn run(&self, seed: u64, duration: Option<SimDuration>) -> ExperimentOutput {
+        let topo = self.topology(seed);
+        run_experiment(topo, self.config(seed, duration))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_shapes_match_table_3() {
+        assert_eq!(Dataset::Ron2003.topology(1).n(), 30);
+        assert_eq!(Dataset::RonNarrow.topology(1).n(), 17);
+        assert_eq!(Dataset::RonWide.topology(1).n(), 17);
+        assert_eq!(Dataset::Ron2003.paper_duration(), SimDuration::from_days(14));
+        assert!(Dataset::RonWide.config(1, None).round_trip);
+        assert!(!Dataset::Ron2003.config(1, None).round_trip);
+    }
+
+    #[test]
+    fn method_registries_match() {
+        assert_eq!(Dataset::Ron2003.methods().total(), 8);
+        assert_eq!(Dataset::RonNarrow.methods().total(), 5);
+        assert_eq!(Dataset::RonWide.methods().total(), 12);
+    }
+
+    #[test]
+    fn duration_override_applies() {
+        let cfg = Dataset::Ron2003.config(1, Some(SimDuration::from_hours(2)));
+        assert_eq!(cfg.duration, SimDuration::from_hours(2));
+    }
+}

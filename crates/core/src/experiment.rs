@@ -1,0 +1,577 @@
+//! The §4.1 measurement methodology as a deterministic experiment.
+//!
+//! "Each node periodically initiates probes to other nodes. A probe
+//! consists of one or two request packets from the initiator to the
+//! target. The nodes cycle through the different probe types, and for
+//! each probe, they pick a random destination node. After sending the
+//! probe, the host waits for a random amount of time between 0.6 and 1.2
+//! seconds, and then repeats the process."
+//!
+//! The runner drives three coupled layers over the [`netsim`] substrate:
+//!
+//! 1. the **overlay** — every host runs an [`overlay::OverlayNode`]
+//!    (15-second probing, loss-triggered chains, link-state
+//!    dissemination) that answers the `lat`/`loss`/`rand` route queries;
+//! 2. the **measurement driver** — the probe-type cycling above, with
+//!    64-bit identifiers and local-clock timestamps;
+//! 3. the **collector + accumulators** — the central machine of the
+//!    paper, resolving pairs, filtering host failures and streaming
+//!    outcomes into the loss and window statistics.
+
+use crate::method::MethodSet;
+use analysis::{LossAccum, WindowAccum};
+use netsim::{
+    Delivery, EventQueue, HostId, LoadProfile, NetCounters, Rng, SimDuration, SimTime, Topology,
+};
+use overlay::{
+    Delivered, MeasureKind, NodeConfig, OverlayNode, Packet, Policy, Route, RouteTag, Transmit,
+};
+use trace::{Collector, CollectorConfig, PairOutcome, RecvEvent, SendEvent};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The probe methods to cycle through.
+    pub methods: MethodSet,
+    /// Measurement duration (probing stops after this; in-flight pairs
+    /// still resolve).
+    pub duration: SimDuration,
+    /// Master seed; equal seeds give byte-identical results.
+    pub seed: u64,
+    /// Round-trip mode (RONwide 2002): targets echo measures back.
+    pub round_trip: bool,
+    /// Per-host pause between probes, seconds (§4.1: 0.6–1.2).
+    pub wait_range_s: (f64, f64),
+    /// Overlay node configuration.
+    pub node: NodeConfig,
+    /// Collector policy.
+    pub collector: CollectorConfig,
+    /// How often the collector resolves expired pairs.
+    pub sweep_interval: SimDuration,
+    /// Probability that an overlay node's user-space forwarder drops a
+    /// relayed packet (scheduling/queueing in the application; calibrated
+    /// against the elevated via-intermediate loss in Tables 5 and 7).
+    pub forward_drop: f64,
+    /// Disable the diurnal load swing (unit tests).
+    pub flat_load: bool,
+}
+
+impl ExperimentConfig {
+    /// Defaults for a method set: paper pacing, RON node config.
+    pub fn new(methods: MethodSet) -> Self {
+        ExperimentConfig {
+            methods,
+            duration: SimDuration::from_hours(6),
+            seed: 1,
+            round_trip: false,
+            wait_range_s: (0.6, 1.2),
+            node: NodeConfig::default(),
+            collector: CollectorConfig::default(),
+            sweep_interval: SimDuration::from_secs(10),
+            forward_drop: 0.008,
+            flat_load: false,
+        }
+    }
+}
+
+/// Everything a run produces.
+pub struct ExperimentOutput {
+    /// Analysis-method display names (indexed by method id).
+    pub names: Vec<&'static str>,
+    /// Loss/latency accumulators.
+    pub loss: LossAccum,
+    /// 20-minute windows (Figure 3).
+    pub win20: WindowAccum,
+    /// 1-hour windows (Table 6).
+    pub win60: WindowAccum,
+    /// Raw network flow counters.
+    pub net: NetCounters,
+    /// Overlay probes sent by all nodes (the reactive overhead).
+    pub overlay_probes: u64,
+    /// Measurement legs transmitted.
+    pub measure_legs: u64,
+    /// Pairs discarded by the host-failure filter.
+    pub discarded: u64,
+    /// Per route tag (direct/rand/lat/loss): (legs sent, legs that used
+    /// an intermediate). Shows how often each policy diverts.
+    pub route_usage: [(u64, u64); 4],
+    /// Host count.
+    pub n: usize,
+    /// Configured measurement duration.
+    pub duration: SimDuration,
+}
+
+impl ExperimentOutput {
+    /// Analysis-method id by display name.
+    pub fn index_of(&self, name: &str) -> Option<u8> {
+        self.names.iter().position(|n| *n == name).map(|i| i as u8)
+    }
+
+    /// Summary row for a named method.
+    pub fn summary(&self, name: &str) -> Option<analysis::MethodSummary> {
+        self.index_of(name).map(|m| self.loss.summary(m))
+    }
+}
+
+enum Ev {
+    /// Overlay timer for one host.
+    NodeTimer(u16),
+    /// Measurement-driver wakeup for one host.
+    Wake(u16),
+    /// A packet reaches a host.
+    Arrive { to: u16, packet: Packet },
+    /// The delayed second leg of a dd probe.
+    Leg { src: u16, dst: u16, id: u64, method: u8, leg: u8, tag: RouteTag, exclude: Option<Route> },
+    /// Collector sweep.
+    Sweep,
+}
+
+fn policy_for(tag: RouteTag) -> Policy {
+    match tag {
+        RouteTag::Direct => Policy::Direct,
+        RouteTag::Rand => Policy::Random,
+        RouteTag::Lat => Policy::MinLat,
+        RouteTag::Loss => Policy::MinLoss,
+    }
+}
+
+struct Runner {
+    cfg: ExperimentConfig,
+    net: netsim::Network,
+    nodes: Vec<OverlayNode>,
+    q: EventQueue<Ev>,
+    collector: Collector,
+    loss: LossAccum,
+    win20: WindowAccum,
+    win60: WindowAccum,
+    cycles: Vec<usize>,
+    rng: Rng,
+    measure_legs: u64,
+    route_usage: [(u64, u64); 4],
+}
+
+impl Runner {
+    fn new(topo: Topology, cfg: ExperimentConfig) -> Self {
+        let n = topo.n();
+        let total_methods = cfg.methods.total();
+        let root = Rng::new(cfg.seed ^ 0x00E0_77E5_7A11_BEEF);
+        let mut net = netsim::Network::new(topo, cfg.seed);
+        if cfg.flat_load {
+            net.set_load(LoadProfile::flat());
+        }
+        let nodes = (0..n)
+            .map(|i| {
+                OverlayNode::new(
+                    HostId(i as u16),
+                    n,
+                    cfg.node,
+                    cfg.seed ^ (0x1000 + i as u64),
+                    SimTime::ZERO,
+                )
+            })
+            .collect();
+        let collector = Collector::new(n, cfg.collector);
+        let loss = LossAccum::new(n, total_methods);
+        // total_methods counts real methods plus inferred views.
+        let win20 = WindowAccum::new(n, total_methods, SimDuration::from_mins(20));
+        let win60 = WindowAccum::new(n, total_methods, SimDuration::from_hours(1));
+        Runner {
+            rng: root.derive(7),
+            cfg,
+            net,
+            nodes,
+            q: EventQueue::new(),
+            collector,
+            loss,
+            win20,
+            win60,
+            cycles: vec![0; n],
+            measure_legs: 0,
+            route_usage: [(0, 0); 4],
+        }
+    }
+
+    fn local(&self, h: u16, now: SimTime) -> i64 {
+        self.net.local_micros(HostId(h), now)
+    }
+
+    /// Puts one node-emitted packet on the wire.
+    fn transmit(&mut self, now: SimTime, from: u16, tx: Transmit) {
+        debug_assert_ne!(HostId(from), tx.to);
+        match self.net.transmit(now, HostId(from), tx.to) {
+            Delivery::Delivered { delay } => {
+                self.q.push(now + delay, Ev::Arrive { to: tx.to.0, packet: tx.packet });
+            }
+            Delivery::Dropped { .. } => {}
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_measure(
+        &mut self,
+        now: SimTime,
+        src: u16,
+        dst: u16,
+        id: u64,
+        method: u8,
+        leg: u8,
+        tag: RouteTag,
+        exclude: Option<Route>,
+    ) -> Route {
+        let kind = if self.cfg.round_trip { MeasureKind::Request } else { MeasureKind::OneWay };
+        let sent_local_us = self.local(src, now);
+        self.collector.on_send(SendEvent {
+            id,
+            method,
+            leg,
+            src: HostId(src),
+            dst: HostId(dst),
+            route: tag as u8,
+            sent: now,
+            sent_local_us,
+        });
+        self.measure_legs += 1;
+        let node = &mut self.nodes[src as usize];
+        let route = match exclude {
+            // §3.2: the second copy of a multi-path pair travels a
+            // distinct path.
+            Some(first) => node.route_diverse(HostId(dst), policy_for(tag), now, first),
+            None => node.route(HostId(dst), policy_for(tag), now),
+        };
+        let pkt = Packet::Measure {
+            id,
+            method,
+            leg,
+            origin: HostId(src),
+            target: HostId(dst),
+            route: tag,
+            kind,
+            sent_local_us,
+        };
+        let usage = &mut self.route_usage[tag as usize];
+        usage.0 += 1;
+        if matches!(route, Route::Via(_)) {
+            usage.1 += 1;
+        }
+        let tx = node.wrap(route, HostId(dst), pkt);
+        self.transmit(now, src, tx);
+        route
+    }
+
+    fn on_wake(&mut self, now: SimTime, h: u16, end: SimTime) {
+        // Schedule the next wake first (pacing continues even while the
+        // host process is down — a crashed process leaves a send gap, the
+        // collector's 90 s filter sees it).
+        let wait = self.rng.uniform(self.cfg.wait_range_s.0, self.cfg.wait_range_s.1);
+        let next = now + SimDuration::from_secs_f64(wait);
+        if next < end {
+            self.q.push(next, Ev::Wake(h));
+        }
+        if !self.net.host_up(HostId(h), now) {
+            return;
+        }
+        let midx = self.cycles[h as usize] % self.cfg.methods.methods.len();
+        self.cycles[h as usize] += 1;
+        let method = self.cfg.methods.methods[midx].clone();
+        let n = self.nodes.len() as u64;
+        let mut dst = self.rng.below(n - 1) as u16;
+        if dst >= h {
+            dst += 1;
+        }
+        let id = self.rng.next_u64();
+        let first_route = self.send_measure(now, h, dst, id, midx as u8, 0, method.legs[0], None);
+        if method.legs.len() == 2 {
+            let tag = method.legs[1];
+            let exclude = if method.distinct { Some(first_route) } else { None };
+            if method.gap == SimDuration::ZERO {
+                self.send_measure(now, h, dst, id, midx as u8, 1, tag, exclude);
+            } else {
+                self.q.push(
+                    now + method.gap,
+                    Ev::Leg { src: h, dst, id, method: midx as u8, leg: 1, tag, exclude },
+                );
+            }
+        }
+    }
+
+    fn on_arrive(&mut self, now: SimTime, to: u16, packet: Packet) {
+        if !self.net.host_up(HostId(to), now) {
+            return; // receiver process down: packet dies at the host
+        }
+        let local = self.local(to, now);
+        // Is this host acting as a forwarding intermediate for the packet?
+        let relaying = matches!(&packet, Packet::Forward { target, .. } if target.0 != to);
+        let mut out = Vec::new();
+        let delivered = self.nodes[to as usize].on_packet(now, local, packet, &mut out);
+        for tx in out {
+            if relaying && self.rng.chance(self.cfg.forward_drop) {
+                continue; // the user-space forwarder dropped the packet
+            }
+            self.transmit(now, to, tx);
+        }
+        if let Some(Delivered::Measure { id, method, leg, origin, route, kind, .. }) = delivered {
+            match kind {
+                MeasureKind::OneWay => {
+                    self.collector.on_recv(RecvEvent { id, leg, recv: now, recv_local_us: local });
+                }
+                MeasureKind::Request => {
+                    // RONwide round-trip: echo back toward the origin via
+                    // the same tactic, chosen from this node's tables.
+                    let node = &mut self.nodes[to as usize];
+                    let r = node.route(origin, policy_for(route), now);
+                    let echo = Packet::Measure {
+                        id,
+                        method,
+                        leg,
+                        origin: HostId(to),
+                        target: origin,
+                        route,
+                        kind: MeasureKind::Echo,
+                        sent_local_us: local,
+                    };
+                    let tx = node.wrap(r, origin, echo);
+                    self.transmit(now, to, tx);
+                }
+                MeasureKind::Echo => {
+                    // Back at the origin: the round trip is complete.
+                    self.collector.on_recv(RecvEvent { id, leg, recv: now, recv_local_us: local });
+                }
+            }
+        }
+    }
+
+    fn on_node_timer(&mut self, now: SimTime, h: u16) {
+        let due = match self.nodes[h as usize].poll_at() {
+            Some(t) => t,
+            None => return,
+        };
+        if due > now {
+            // Stale timer; re-arm for the real deadline.
+            self.q.push(due, Ev::NodeTimer(h));
+            return;
+        }
+        if !self.net.host_up(HostId(h), now) {
+            // Crashed process: probing pauses; retry shortly.
+            self.q.push(now + SimDuration::from_secs(5), Ev::NodeTimer(h));
+            return;
+        }
+        let local = self.local(h, now);
+        let mut out = Vec::new();
+        self.nodes[h as usize].on_timer(now, local, &mut out);
+        for tx in out {
+            self.transmit(now, h, tx);
+        }
+        if let Some(next) = self.nodes[h as usize].poll_at() {
+            self.q.push(next.max(now + SimDuration::from_micros(1)), Ev::NodeTimer(h));
+        }
+    }
+
+    fn drain_outcomes(&mut self, now: SimTime) {
+        self.collector.advance(now);
+        let outs = self.collector.drain();
+        for o in outs {
+            self.feed(&o);
+        }
+    }
+
+    fn feed(&mut self, o: &PairOutcome) {
+        self.loss.on_outcome(o);
+        self.win20.on_outcome(o);
+        self.win60.on_outcome(o);
+        // Synthesise the inferred views (direct*, lat*).
+        let base = self.cfg.methods.methods.len() as u8;
+        for (vi, view) in self.cfg.methods.views.iter().enumerate() {
+            if view.source == o.method {
+                if let Some(leg) = o.legs[view.leg as usize] {
+                    let synth = PairOutcome {
+                        id: o.id,
+                        method: base + vi as u8,
+                        src: o.src,
+                        dst: o.dst,
+                        sent: o.sent,
+                        legs: [Some(leg), None],
+                        discarded: o.discarded,
+                    };
+                    self.loss.on_outcome(&synth);
+                    self.win20.on_outcome(&synth);
+                    self.win60.on_outcome(&synth);
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> ExperimentOutput {
+        let n = self.nodes.len();
+        let end = SimTime::ZERO + self.cfg.duration;
+        // Tail time for in-flight pairs to resolve.
+        let hard_end = end + self.cfg.collector.receive_window + SimDuration::from_secs(10);
+        // Stagger initial wakes and arm node timers.
+        for h in 0..n as u16 {
+            let stagger = SimDuration::from_secs_f64(self.rng.uniform(0.0, 1.2));
+            self.q.push(SimTime::ZERO + stagger, Ev::Wake(h));
+            if let Some(t) = self.nodes[h as usize].poll_at() {
+                self.q.push(t, Ev::NodeTimer(h));
+            }
+        }
+        self.q.push(SimTime::ZERO + self.cfg.sweep_interval, Ev::Sweep);
+
+        while let Some((now, ev)) = self.q.pop() {
+            if now > hard_end {
+                break;
+            }
+            match ev {
+                Ev::Wake(h) => self.on_wake(now, h, end),
+                Ev::NodeTimer(h) => self.on_node_timer(now, h),
+                Ev::Arrive { to, packet } => self.on_arrive(now, to, packet),
+                Ev::Leg { src, dst, id, method, leg, tag, exclude } => {
+                    if self.net.host_up(HostId(src), now) {
+                        self.send_measure(now, src, dst, id, method, leg, tag, exclude);
+                    }
+                }
+                Ev::Sweep => {
+                    self.drain_outcomes(now);
+                    self.q.push(now + self.cfg.sweep_interval, Ev::Sweep);
+                }
+            }
+        }
+        // Final resolution of everything still pending.
+        self.collector.advance(hard_end);
+        self.collector.finish(hard_end);
+        let outs = self.collector.drain();
+        for o in outs {
+            self.feed(&o);
+        }
+        self.win20.finish();
+        self.win60.finish();
+
+        let overlay_probes = self.nodes.iter().map(|nd| nd.counters().0).sum();
+        let (_, discarded, _) = self.collector.counters();
+        ExperimentOutput {
+            names: self.cfg.methods.names(),
+            loss: self.loss,
+            win20: self.win20,
+            win60: self.win60,
+            net: *self.net.counters(),
+            overlay_probes,
+            measure_legs: self.measure_legs,
+            discarded,
+            route_usage: self.route_usage,
+            n,
+            duration: self.cfg.duration,
+        }
+    }
+}
+
+/// Runs the paper's measurement experiment on `topo` under `cfg`.
+pub fn run_experiment(topo: Topology, cfg: ExperimentConfig) -> ExperimentOutput {
+    Runner::new(topo, cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::MethodSet;
+
+    fn quick_cfg(methods: MethodSet, seed: u64, mins: u64) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::new(methods);
+        cfg.duration = SimDuration::from_mins(mins);
+        cfg.seed = seed;
+        cfg.flat_load = true;
+        cfg
+    }
+
+    #[test]
+    fn lossless_network_measures_zero_loss() {
+        let topo = Topology::synthetic(4, 0.0, 11);
+        let out = run_experiment(topo, quick_cfg(MethodSet::ron2003(), 11, 30));
+        for name in ["loss", "direct rand", "direct direct", "direct*"] {
+            let s = out.summary(name).unwrap();
+            assert!(s.pairs > 50, "{name}: pairs={}", s.pairs);
+            assert_eq!(s.totlp, 0.0, "{name} must see no loss");
+        }
+        assert!(out.measure_legs > 0);
+        assert!(out.overlay_probes > 0, "the RON prober must run");
+    }
+
+    #[test]
+    fn lossy_network_direct_sees_loss_and_mesh_reduces_it() {
+        // 1.5% per edge → ~3% per path; mesh spreads copies across
+        // distinct cores so totlp must drop well below direct loss.
+        let topo = Topology::synthetic(6, 0.015, 13);
+        let out = run_experiment(topo, quick_cfg(MethodSet::ron2003(), 13, 240));
+        let direct = out.summary("direct*").unwrap();
+        let mesh = out.summary("direct rand").unwrap();
+        assert!(direct.lp1 > 1.0, "direct lp1={}", direct.lp1);
+        assert!(
+            mesh.totlp < direct.lp1 * 0.85,
+            "mesh {} vs direct {}",
+            mesh.totlp,
+            direct.lp1
+        );
+        let clp = mesh.clp.expect("mesh clp");
+        assert!(clp < 100.0);
+    }
+
+    #[test]
+    fn back_to_back_clp_exceeds_random_intermediate_clp() {
+        // The paper's central correlation finding, on a small testbed.
+        let topo = Topology::synthetic(6, 0.02, 17);
+        let out = run_experiment(topo, quick_cfg(MethodSet::ron2003(), 17, 360));
+        let dd = out.summary("direct direct").unwrap().clp.expect("dd clp");
+        let dr = out.summary("direct rand").unwrap().clp.expect("dr clp");
+        assert!(dd > dr, "CLP(direct direct)={dd} must exceed CLP(direct rand)={dr}");
+        assert!(dd > 40.0, "bursty losses: dd clp={dd}");
+    }
+
+    #[test]
+    fn round_trip_mode_produces_rtt_latencies() {
+        let topo = Topology::synthetic(4, 0.0, 19);
+        let mut cfg = quick_cfg(MethodSet::ron_wide(), 19, 30);
+        cfg.round_trip = true;
+        let out = run_experiment(topo, cfg);
+        let d = out.summary("direct").unwrap();
+        assert!(d.pairs > 30);
+        assert_eq!(d.totlp, 0.0);
+        // One-way in this synthetic topo is a few ms; RTT must be ~2×
+        // (and definitely above one-way).
+        assert!(d.lat_ms > 5.0, "rtt={}ms", d.lat_ms);
+        let rr = out.summary("rand rand").unwrap();
+        assert!(rr.lat_ms > d.lat_ms, "two-hop RTT must exceed direct RTT");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_tables() {
+        let run = |seed| {
+            let topo = Topology::synthetic(4, 0.01, seed);
+            let out = run_experiment(topo, quick_cfg(MethodSet::ron_narrow(), seed, 60));
+            let s = out.summary("direct rand").unwrap();
+            (s.lp1, s.lp2, s.totlp, s.clp, s.lat_ms, s.pairs)
+        };
+        assert_eq!(run(23), run(23));
+        assert_ne!(run(23), run(24), "different seeds explore different universes");
+    }
+
+    #[test]
+    fn views_match_their_source_legs() {
+        let topo = Topology::synthetic(5, 0.01, 29);
+        let out = run_experiment(topo, quick_cfg(MethodSet::ron2003(), 29, 120));
+        let dr = out.index_of("direct rand").unwrap();
+        let dstar = out.index_of("direct*").unwrap();
+        // direct*'s pair count equals direct rand's (every pair yields a
+        // view) and its lp1 equals direct rand's first-leg loss.
+        let a = out.loss.summary(dr);
+        let b = out.loss.summary(dstar);
+        assert_eq!(a.pairs, b.pairs);
+        assert!((a.lp1 - b.lp1).abs() < 1e-9);
+        assert_eq!(b.lp2, None, "views are single-packet");
+    }
+
+    #[test]
+    fn windows_accumulate() {
+        let topo = Topology::synthetic(4, 0.02, 31);
+        let out = run_experiment(topo, quick_cfg(MethodSet::ron_narrow(), 31, 90));
+        let loss_m = out.index_of("loss").unwrap();
+        assert!(out.win20.window_count(loss_m) > 0, "20-minute windows must close");
+        assert!(out.win60.window_count(loss_m) > 0, "hour windows must close");
+    }
+}

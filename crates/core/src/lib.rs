@@ -1,0 +1,33 @@
+//! # mpath-core — best-path vs. multi-path overlay routing
+//!
+//! The paper's primary contribution, reimplemented end to end:
+//!
+//! * [`method`] — the routing tactics of Table 4 (`direct`, `rand`,
+//!   `lat`, `loss`) and every one- and two-packet combination the three
+//!   datasets measure, including the paper's *inferred* rows (`direct*`
+//!   from the first packet of `direct rand`, `lat*` from the second
+//!   packet of `lat loss`);
+//! * [`experiment`] — the §4.1 measurement methodology as a
+//!   deterministic discrete-event run: hosts cycle through probe types,
+//!   pick random destinations, pace sends uniformly in 0.6–1.2 s, stamp
+//!   64-bit identifiers and local clocks, and push logs to the central
+//!   collector, while the RON overlay (probing + link-state + one-hop
+//!   routing) runs underneath;
+//! * [`datasets`] — the RONnarrow / RONwide / RON2003 configurations;
+//! * [`report`] — assembling accumulator state into the paper's tables
+//!   and figures;
+//! * [`model`] — the §5 analytic model: overhead and limits of reactive
+//!   vs. redundant routing (Figure 6) and a bandwidth-budget advisor.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiment;
+pub mod method;
+pub mod model;
+pub mod report;
+
+pub use datasets::Dataset;
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentOutput};
+pub use method::{Method, MethodSet, View};
+pub use model::{DesignModel, Recommendation};

@@ -1,0 +1,212 @@
+//! The routing-method registry (Table 4 and the dataset method lists).
+//!
+//! A *method* is what one probe measures: one or two packets, each routed
+//! by a [`RouteTag`] tactic, optionally separated by a fixed delay
+//! (`dd 10ms` / `dd 20ms`). A *view* is an inferred single-packet method
+//! derived from one leg of a real method — the paper marks these with an
+//! asterisk ("Items marked with an asterisk were inferred from the first
+//! packet of a two-packet pair").
+
+use netsim::SimDuration;
+pub use overlay::RouteTag;
+
+/// One probing method.
+#[derive(Debug, Clone)]
+pub struct Method {
+    /// Display name as the paper prints it.
+    pub name: &'static str,
+    /// Route tactic per packet (1 or 2 entries).
+    pub legs: Vec<RouteTag>,
+    /// Delay between the two packets (0 = back-to-back).
+    pub gap: SimDuration,
+    /// Whether the second copy must take a path distinct from the first
+    /// (§3.2 multi-path pairs: true; the same-path dd probes: false).
+    pub distinct: bool,
+}
+
+impl Method {
+    fn single(name: &'static str, tag: RouteTag) -> Method {
+        Method { name, legs: vec![tag], gap: SimDuration::ZERO, distinct: false }
+    }
+
+    /// A 2-redundant multi-path pair: copies must use distinct paths.
+    fn pair(name: &'static str, a: RouteTag, b: RouteTag, gap: SimDuration) -> Method {
+        Method { name, legs: vec![a, b], gap, distinct: true }
+    }
+
+    /// A same-path pair (direct direct / dd 10 ms / dd 20 ms).
+    fn same_path(name: &'static str, gap: SimDuration) -> Method {
+        Method {
+            name,
+            legs: vec![RouteTag::Direct, RouteTag::Direct],
+            gap,
+            distinct: false,
+        }
+    }
+}
+
+/// An inferred single-packet view of one leg of a real method.
+#[derive(Debug, Clone)]
+pub struct View {
+    /// Display name (`direct*`, `lat*`).
+    pub name: &'static str,
+    /// Index of the source method in [`MethodSet::methods`].
+    pub source: u8,
+    /// Which leg to extract.
+    pub leg: u8,
+}
+
+/// The methods a dataset sends, plus its inferred views.
+#[derive(Debug, Clone)]
+pub struct MethodSet {
+    /// Actually transmitted probe types.
+    pub methods: Vec<Method>,
+    /// Inferred single-leg views.
+    pub views: Vec<View>,
+}
+
+impl MethodSet {
+    /// Total analysis-method count (real + views). Views get indices
+    /// `methods.len()..`.
+    pub fn total(&self) -> usize {
+        self.methods.len() + self.views.len()
+    }
+
+    /// Display names indexed by analysis-method id.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.methods
+            .iter()
+            .map(|m| m.name)
+            .chain(self.views.iter().map(|v| v.name))
+            .collect()
+    }
+
+    /// Analysis-method id by display name.
+    pub fn index_of(&self, name: &str) -> Option<u8> {
+        self.names().iter().position(|n| *n == name).map(|i| i as u8)
+    }
+
+    /// The RON2003 method set (§4, "six sets of probes" plus the two
+    /// inferred rows of Table 5).
+    pub fn ron2003() -> MethodSet {
+        let methods = vec![
+            Method::single("loss", RouteTag::Loss),
+            Method::pair("direct rand", RouteTag::Direct, RouteTag::Rand, SimDuration::ZERO),
+            // Leg order chosen to match Table 5's numbers: the 1lp column
+            // of "lat loss" equals the lat* row exactly, so the first
+            // copy rides the latency-optimised route and the second rides
+            // the loss-optimised route on a distinct path.
+            Method::pair("lat loss", RouteTag::Lat, RouteTag::Loss, SimDuration::ZERO),
+            Method::same_path("direct direct", SimDuration::ZERO),
+            Method::same_path("dd 10 ms", SimDuration::from_millis(10)),
+            Method::same_path("dd 20 ms", SimDuration::from_millis(20)),
+        ];
+        let views = vec![
+            View { name: "direct*", source: 1, leg: 0 },
+            View { name: "lat*", source: 2, leg: 0 },
+        ];
+        MethodSet { methods, views }
+    }
+
+    /// The RONnarrow 2002 method set: "one-way samples for three routing
+    /// methods" (plus the same two inferred rows for Table 5's 2002
+    /// half).
+    pub fn ron_narrow() -> MethodSet {
+        let methods = vec![
+            Method::single("loss", RouteTag::Loss),
+            Method::pair("direct rand", RouteTag::Direct, RouteTag::Rand, SimDuration::ZERO),
+            Method::pair("lat loss", RouteTag::Lat, RouteTag::Loss, SimDuration::ZERO),
+        ];
+        let views = vec![
+            View { name: "direct*", source: 1, leg: 0 },
+            View { name: "lat*", source: 2, leg: 0 },
+        ];
+        MethodSet { methods, views }
+    }
+
+    /// The RONwide 2002 method set: the twelve round-trip route
+    /// combinations of Table 7.
+    pub fn ron_wide() -> MethodSet {
+        use RouteTag::*;
+        let z = SimDuration::ZERO;
+        let methods = vec![
+            Method::single("direct", Direct),
+            Method::single("rand", Rand),
+            Method::single("lat", Lat),
+            Method::single("loss", Loss),
+            Method::same_path("direct direct", z),
+            Method::pair("rand rand", Rand, Rand, z),
+            Method::pair("direct rand", Direct, Rand, z),
+            Method::pair("direct lat", Direct, Lat, z),
+            Method::pair("direct loss", Direct, Loss, z),
+            Method::pair("rand lat", Rand, Lat, z),
+            Method::pair("rand loss", Rand, Loss, z),
+            Method::pair("lat loss", Lat, Loss, z),
+        ];
+        MethodSet { methods, views: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ron2003_has_six_probe_sets_and_two_views() {
+        let s = MethodSet::ron2003();
+        assert_eq!(s.methods.len(), 6);
+        assert_eq!(s.views.len(), 2);
+        assert_eq!(s.total(), 8, "the eight rows of Table 5 (2003)");
+        // dd methods must share tactics but differ in gap.
+        let dd = s.index_of("direct direct").unwrap() as usize;
+        let dd10 = s.index_of("dd 10 ms").unwrap() as usize;
+        assert_eq!(s.methods[dd].legs, s.methods[dd10].legs);
+        assert_eq!(s.methods[dd].gap, SimDuration::ZERO);
+        assert_eq!(s.methods[dd10].gap, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn views_reference_the_documented_legs() {
+        let s = MethodSet::ron2003();
+        let direct_star = &s.views[0];
+        assert_eq!(direct_star.name, "direct*");
+        assert_eq!(s.methods[direct_star.source as usize].name, "direct rand");
+        assert_eq!(direct_star.leg, 0, "inferred from the FIRST packet");
+        let lat_star = &s.views[1];
+        assert_eq!(s.methods[lat_star.source as usize].name, "lat loss");
+        assert_eq!(lat_star.leg, 0, "Table 5: lat loss 1lp == lat* exactly");
+    }
+
+    #[test]
+    fn lat_loss_sends_lat_first_and_requires_distinct_paths() {
+        let s = MethodSet::ron2003();
+        let ll = &s.methods[s.index_of("lat loss").unwrap() as usize];
+        assert_eq!(ll.legs, vec![RouteTag::Lat, RouteTag::Loss]);
+        assert!(ll.distinct);
+        let dd = &s.methods[s.index_of("direct direct").unwrap() as usize];
+        assert!(!dd.distinct, "dd probes intentionally share the path");
+    }
+
+    #[test]
+    fn ron_wide_matches_table_7() {
+        let s = MethodSet::ron_wide();
+        assert_eq!(s.methods.len(), 12);
+        assert!(s.views.is_empty());
+        for name in [
+            "direct", "rand", "lat", "loss", "direct direct", "rand rand", "direct rand",
+            "direct lat", "direct loss", "rand lat", "rand loss", "lat loss",
+        ] {
+            assert!(s.index_of(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn names_cover_views() {
+        let s = MethodSet::ron_narrow();
+        let names = s.names();
+        assert_eq!(names.len(), 5);
+        assert_eq!(s.index_of("direct*"), Some(3));
+        assert_eq!(s.index_of("lat*"), Some(4));
+        assert_eq!(s.index_of("bogus"), None);
+    }
+}

@@ -1,0 +1,264 @@
+//! The §5 analytic model: when to probe, when to duplicate.
+//!
+//! The paper frames the choice as a *bandwidth budget*: an application
+//! spends capacity either on probes (reactive routing) or on duplicate
+//! packets (redundant routing), subject to three limits (Figure 6):
+//!
+//! * **best expected path** — probing can only find the best existing
+//!   path; `p_reactive = min_i p_i` (§5.1);
+//! * **capacity** — probe overhead is `O(N²)` and flow-independent;
+//!   duplication overhead is proportional to the flow (§5.3's
+//!   `1 + N²/Bandwidth` vs. `2`);
+//! * **independence** — duplication cannot beat the correlation of the
+//!   underlying paths; with conditional loss probability `clp`, a second
+//!   copy removes at most `1 − clp` of losses (§5.2's ~50% empirical
+//!   ceiling).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the design-space model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DesignModel {
+    /// Overlay size.
+    pub n: usize,
+    /// Baseline probe rate toward each peer, Hz (RON: 1/15 s).
+    pub probe_rate_hz: f64,
+    /// Probe packet size, bytes (request + response, amortised).
+    pub probe_bytes: f64,
+    /// Unconditional loss rate of the direct path (e.g. 0.0042).
+    pub p_direct: f64,
+    /// Expected loss rate of the best overlay path (the reactive floor).
+    pub p_best: f64,
+    /// Conditional loss probability between copies on distinct overlay
+    /// paths (the independence ceiling; the paper measures ~0.6).
+    pub clp: f64,
+}
+
+impl DesignModel {
+    /// The paper's measured 2003 operating point.
+    pub fn ron2003_defaults() -> Self {
+        DesignModel {
+            n: 30,
+            probe_rate_hz: 1.0 / 15.0,
+            probe_bytes: 128.0,
+            p_direct: 0.0042,
+            p_best: 0.0033 * 0.5, // loss routing achieved 0.33%; the floor sits below it
+            clp: 0.62,
+        }
+    }
+
+    /// Probing bandwidth per node, bytes/s: each node probes `n − 1`
+    /// peers and answers as many (the `O(N²)` system cost divided over N
+    /// nodes).
+    pub fn probe_bandwidth(&self) -> f64 {
+        2.0 * (self.n as f64 - 1.0) * self.probe_rate_hz * self.probe_bytes
+    }
+
+    /// Maximum loss-rate improvement reactive routing can reach (the
+    /// best-expected-path limit), as a fraction of baseline losses.
+    pub fn reactive_limit(&self) -> f64 {
+        (1.0 - self.p_best / self.p_direct).clamp(0.0, 1.0)
+    }
+
+    /// Maximum improvement k-redundant routing can reach given the
+    /// correlation ceiling: copies die together with probability `clp`.
+    pub fn redundant_limit(&self, copies: u32) -> f64 {
+        1.0 - self.clp.powi(copies.saturating_sub(1) as i32)
+    }
+
+    /// Probe rate multiplier needed to realise improvement `d`: pushing
+    /// toward the limit requires ever-faster reaction (asymptote at the
+    /// best-path limit, §5.1's "asymptotically approaches").
+    pub fn reactive_rate_factor(&self, d: f64) -> Option<f64> {
+        let lim = self.reactive_limit();
+        if d >= lim {
+            return None;
+        }
+        Some(1.0 / (1.0 - d / lim))
+    }
+
+    /// Replication factor needed for improvement `d` under correlated
+    /// copies: residual after m copies is `clp^(m−1)`.
+    pub fn redundant_copies(&self, d: f64) -> Option<f64> {
+        if d <= 0.0 {
+            return Some(1.0);
+        }
+        if self.clp <= 0.0 {
+            return Some(2.0);
+        }
+        if d >= 1.0 - f64::EPSILON {
+            return None;
+        }
+        let m = 1.0 + (1.0 - d).ln() / self.clp.ln();
+        // d beyond the k-copy ceiling for any practical k is infeasible —
+        // the ln ratio still returns a value, so cap at a sane fan-out.
+        if m > 64.0 {
+            None
+        } else {
+            Some(m)
+        }
+    }
+
+    /// Fraction of a `flow_bps` stream's capacity share left for data
+    /// when reactive routing targets improvement `d` (Figure 6's
+    /// "Reactive" curve).
+    pub fn reactive_data_fraction(&self, d: f64, flow_bps: f64) -> Option<f64> {
+        let factor = self.reactive_rate_factor(d)?;
+        let probe = self.probe_bandwidth() * 8.0 * factor; // bits/s
+        Some(flow_bps / (flow_bps + probe))
+    }
+
+    /// Fraction of capacity carrying *useful* data when redundant routing
+    /// targets improvement `d` (Figure 6's "Redundant" curve): `1/m`.
+    pub fn redundant_data_fraction(&self, d: f64) -> Option<f64> {
+        self.redundant_copies(d).map(|m| 1.0 / m)
+    }
+
+    /// Generates the Figure 6 curves on an improvement grid.
+    /// Returns `(grid, reactive_fraction, redundant_fraction)` with
+    /// `None` encoded as `f64::NAN` for plotting gaps at the limits.
+    pub fn figure6(&self, flow_bps: f64, points: usize) -> Vec<(f64, f64, f64)> {
+        (0..points)
+            .map(|i| {
+                let d = i as f64 / (points - 1).max(1) as f64;
+                (
+                    d,
+                    self.reactive_data_fraction(d, flow_bps).unwrap_or(f64::NAN),
+                    self.redundant_data_fraction(d).unwrap_or(f64::NAN),
+                )
+            })
+            .collect()
+    }
+
+    /// Chooses a scheme for a flow of `flow_bps` against a capacity of
+    /// `capacity_bps`, targeting improvement `d`.
+    pub fn recommend(&self, flow_bps: f64, capacity_bps: f64, d: f64) -> Recommendation {
+        let reactive = self
+            .reactive_rate_factor(d)
+            .map(|f| self.probe_bandwidth() * 8.0 * f)
+            .filter(|probe| flow_bps + probe <= capacity_bps);
+        let redundant = self
+            .redundant_copies(d)
+            .map(|m| flow_bps * (m - 1.0))
+            .filter(|extra| flow_bps + extra <= capacity_bps);
+        match (reactive, redundant) {
+            (None, None) => Recommendation::Infeasible,
+            (Some(p), None) => Recommendation::Reactive { overhead_bps: p },
+            (None, Some(x)) => Recommendation::Redundant { overhead_bps: x },
+            (Some(p), Some(x)) => {
+                if p <= x {
+                    Recommendation::Reactive { overhead_bps: p }
+                } else {
+                    Recommendation::Redundant { overhead_bps: x }
+                }
+            }
+        }
+    }
+}
+
+/// The advisor's verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Recommendation {
+    /// Probe-based reactive routing; overhead is flow-independent.
+    Reactive {
+        /// Probe traffic, bits/s.
+        overhead_bps: f64,
+    },
+    /// Redundant multi-path routing; overhead scales with the flow.
+    Redundant {
+        /// Duplicate traffic, bits/s.
+        overhead_bps: f64,
+    },
+    /// Neither scheme reaches the target inside the capacity.
+    Infeasible,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DesignModel {
+        DesignModel::ron2003_defaults()
+    }
+
+    #[test]
+    fn limits_match_paper_scale() {
+        let m = model();
+        // "about 40% of the losses we observed were avoidable" via a
+        // second copy: 1 − clp = 0.38.
+        let r2 = m.redundant_limit(2);
+        assert!((r2 - 0.38).abs() < 0.01, "r2={r2}");
+        assert!(m.redundant_limit(3) > r2, "more copies, more improvement");
+        assert!(m.reactive_limit() > 0.5, "loss routing has headroom");
+    }
+
+    #[test]
+    fn reactive_rate_explodes_at_limit() {
+        let m = model();
+        let lim = m.reactive_limit();
+        assert!(m.reactive_rate_factor(0.0).unwrap() == 1.0);
+        let near = m.reactive_rate_factor(lim * 0.99).unwrap();
+        assert!(near > 50.0, "near-limit factor {near}");
+        assert!(m.reactive_rate_factor(lim).is_none());
+    }
+
+    #[test]
+    fn redundant_copies_monotone() {
+        let m = model();
+        let m2 = m.redundant_copies(0.2).unwrap();
+        let m3 = m.redundant_copies(0.35).unwrap();
+        assert!(m3 > m2);
+        assert!(m.redundant_copies(0.38).unwrap() > 1.9, "paper's 2-copy point");
+        assert!(m.redundant_copies(0.999999).is_none() || m.redundant_copies(0.999999).unwrap() > 20.0);
+    }
+
+    #[test]
+    fn thin_flows_prefer_redundancy_thick_flows_prefer_probing() {
+        // §5.3: "For low-bandwidth flows, redundant approaches can offer
+        // similar benefits with lower overhead. For high-bandwidth flows
+        // … alternate-path routing has constant overhead."
+        let m = model();
+        let capacity = 1e9;
+        let thin = m.recommend(8_000.0, capacity, 0.3); // 8 kbit/s stream
+        let thick = m.recommend(50e6, capacity, 0.3); // 50 Mbit/s stream
+        assert!(matches!(thin, Recommendation::Redundant { .. }), "thin: {thin:?}");
+        assert!(matches!(thick, Recommendation::Reactive { .. }), "thick: {thick:?}");
+    }
+
+    #[test]
+    fn capacity_limit_forces_infeasible() {
+        let m = model();
+        // Flow already saturates the link: neither probes (≈9 kbit/s at
+        // this target) nor a second copy (1 Mbit/s) fit in 2 kbit/s slack.
+        let r = m.recommend(1e6, 1.002e6, 0.35);
+        assert_eq!(r, Recommendation::Infeasible);
+    }
+
+    #[test]
+    fn figure6_curves_are_sane() {
+        let m = model();
+        let pts = m.figure6(64_000.0, 101);
+        assert_eq!(pts.len(), 101);
+        // Reactive data fraction decreases with the target; redundant too.
+        let react: Vec<f64> = pts.iter().map(|p| p.1).filter(|v| !v.is_nan()).collect();
+        for w in react.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        let red: Vec<f64> = pts.iter().map(|p| p.2).filter(|v| !v.is_nan()).collect();
+        for w in red.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        // At d = 0 nothing is duplicated.
+        assert!((pts[0].2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_bandwidth_scales_quadratically_systemwide() {
+        let mut m = model();
+        let b30 = m.probe_bandwidth() * 30.0;
+        m.n = 60;
+        let b60 = m.probe_bandwidth() * 60.0;
+        let ratio = b60 / b30;
+        assert!((ratio - 4.07).abs() < 0.2, "system probe cost ~N²: ratio {ratio}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Arithmetic in GF(2⁸) with the primitive polynomial x⁸+x⁴+x³+x²+1
+//! (0x11D), the field conventionally used by Reed–Solomon erasure codes.
+//!
+//! Exponential/logarithm tables are computed at compile time; `mul` is
+//! two table lookups and one add.
+
+const POLY: u32 = 0x11D;
+
+const fn build_tables() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u32 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Duplicate so mul can index exp[log a + log b] without a modulo.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_tables();
+/// exp table: `EXP[i] = α^i`, doubled to avoid modular reduction.
+pub const EXP: [u8; 512] = TABLES.0;
+/// log table: `LOG[α^i] = i`; `LOG[0]` is undefined (never read).
+pub const LOG: [u8; 256] = TABLES.1;
+
+/// Addition (= subtraction) in GF(2⁸).
+#[inline]
+pub const fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication in GF(2⁸).
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse. Panics on zero.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Division `a / b`. Panics when `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        0
+    } else {
+        EXP[(LOG[a as usize] as usize + 255 - LOG[b as usize] as usize) % 255]
+    }
+}
+
+/// `a^n` by exponent arithmetic.
+pub fn pow(a: u8, n: u32) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let e = (LOG[a as usize] as u32 * n) % 255;
+    EXP[e as usize]
+}
+
+/// `dst[i] ^= c · src[i]` — the inner loop of encoding and decoding.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let lc = LOG[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= EXP[lc + LOG[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent() {
+        for i in 1..=255u32 {
+            let a = EXP[LOG[i as usize] as usize];
+            assert_eq!(a as u32, i, "exp(log({i}))");
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_schoolbook() {
+        // Carry-less schoolbook multiply mod POLY as the oracle.
+        fn slow_mul(mut a: u16, mut b: u16) -> u8 {
+            let mut acc: u16 = 0;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= POLY as u16;
+                }
+                b >>= 1;
+            }
+            acc as u8
+        }
+        for a in 0..=255u16 {
+            for b in (0..=255u16).step_by(7) {
+                assert_eq!(mul(a as u8, b as u8), slow_mul(a, b), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms_hold() {
+        // Spot-check associativity / distributivity across a grid.
+        for &a in &[1u8, 2, 3, 29, 76, 200, 255] {
+            for &b in &[1u8, 5, 17, 99, 254] {
+                for &c in &[2u8, 11, 123, 250] {
+                    assert_eq!(mul(a, mul(b, c)), mul(mul(a, b), c), "assoc");
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)), "distr");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a={a}");
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn zero_behaviour() {
+        assert_eq!(mul(0, 123), 0);
+        assert_eq!(mul(123, 0), 0);
+        assert_eq!(div(0, 5), 0);
+        assert_eq!(pow(0, 5), 0);
+        assert_eq!(pow(0, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn inv_zero_panics() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for &a in &[2u8, 3, 29, 142] {
+            let mut acc = 1u8;
+            for n in 0..20 {
+                assert_eq!(pow(a, n), acc, "a={a} n={n}");
+                acc = mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_accumulates() {
+        let src = [1u8, 2, 3, 0, 255];
+        let mut dst = [9u8, 9, 9, 9, 9];
+        let c = 7;
+        let expect: Vec<u8> = src.iter().zip(dst.iter()).map(|(&s, &d)| d ^ mul(c, s)).collect();
+        mul_acc(&mut dst, &src, c);
+        assert_eq!(dst.to_vec(), expect);
+    }
+
+    #[test]
+    fn mul_acc_identity_and_zero() {
+        let src = [5u8, 6, 7];
+        let mut dst = [1u8, 1, 1];
+        mul_acc(&mut dst, &src, 1);
+        assert_eq!(dst, [4, 7, 6]);
+        let before = dst;
+        mul_acc(&mut dst, &src, 0);
+        assert_eq!(dst, before);
+    }
+}

@@ -1,0 +1,164 @@
+//! Block interleaving.
+//!
+//! A burst that kills `b` consecutive packets kills at most
+//! `ceil(b / depth)` packets of any one FEC group once groups are
+//! interleaved to depth `depth`. The §5.2 trade-off: deeper interleaving
+//! tolerates longer bursts but delays recovery by up to
+//! `rows × cols` packet slots — at interactive packet rates that is the
+//! "nearly half a second" the paper warns about.
+
+/// A rows × cols block interleaver (a fixed permutation of
+/// `rows * cols` packet slots: write row-major, read column-major).
+///
+/// `rows` is the group length (k + r shards) and `cols` the interleaving
+/// depth (number of groups in flight).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInterleaver {
+    rows: usize,
+    cols: usize,
+}
+
+impl BlockInterleaver {
+    /// Creates an interleaver; both dimensions must be ≥ 1.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1, "degenerate interleaver");
+        BlockInterleaver { rows, cols }
+    }
+
+    /// Total slots in one interleaving block.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Never empty (dimensions are ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maps a logical index (group-major order: group `g`'s packets are
+    /// contiguous) to its transmit slot (packet-position-major order:
+    /// packet `p` of every group goes out before packet `p+1` of any).
+    pub fn permute(&self, i: usize) -> usize {
+        let block = i / self.len();
+        let off = i % self.len();
+        let (group, pos) = (off / self.rows, off % self.rows);
+        block * self.len() + pos * self.cols + group
+    }
+
+    /// Inverse of [`BlockInterleaver::permute`].
+    pub fn inverse(&self, j: usize) -> usize {
+        let block = j / self.len();
+        let off = j % self.len();
+        let (pos, group) = (off / self.cols, off % self.cols);
+        block * self.len() + group * self.rows + pos
+    }
+
+    /// The spacing (in transmit slots) between consecutive packets of the
+    /// same group — the burst length the interleaver absorbs.
+    pub fn group_spacing(&self) -> usize {
+        self.cols
+    }
+
+    /// Worst-case extra buffering (in slots) the interleaver introduces.
+    pub fn max_delay_slots(&self) -> usize {
+        self.len().saturating_sub(1)
+    }
+
+    /// Interleaves a slice (length must be a multiple of
+    /// [`BlockInterleaver::len`]).
+    pub fn interleave<T: Clone>(&self, xs: &[T]) -> Vec<T> {
+        assert_eq!(xs.len() % self.len(), 0, "length must be a whole number of blocks");
+        let mut out = xs.to_vec();
+        for (i, x) in xs.iter().enumerate() {
+            out[self.permute(i)] = x.clone();
+        }
+        out
+    }
+
+    /// Undoes [`BlockInterleaver::interleave`].
+    pub fn deinterleave<T: Clone>(&self, xs: &[T]) -> Vec<T> {
+        assert_eq!(xs.len() % self.len(), 0, "length must be a whole number of blocks");
+        let mut out = xs.to_vec();
+        for (j, x) in xs.iter().enumerate() {
+            out[self.inverse(j)] = x.clone();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permute_is_a_bijection() {
+        for (r, c) in [(1, 1), (6, 1), (1, 7), (6, 4), (9, 16)] {
+            let il = BlockInterleaver::new(r, c);
+            let n = il.len() * 3; // several blocks
+            let mut seen = vec![false; n];
+            for i in 0..n {
+                let j = il.permute(i);
+                assert!(j < n);
+                assert!(!seen[j], "slot {j} hit twice ({r}x{c})");
+                seen[j] = true;
+                assert_eq!(il.inverse(j), i, "inverse broken at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_restores_order() {
+        let il = BlockInterleaver::new(3, 4);
+        let xs: Vec<u32> = (0..24).collect();
+        let tx = il.interleave(&xs);
+        assert_ne!(tx, xs, "interleaving must reorder");
+        assert_eq!(il.deinterleave(&tx), xs);
+    }
+
+    #[test]
+    fn consecutive_group_packets_are_spaced_by_depth() {
+        let il = BlockInterleaver::new(6, 5);
+        // Group 0 occupies logical slots 0..6 of the first block.
+        let slots: Vec<usize> = (0..6).map(|i| il.permute(i)).collect();
+        for w in slots.windows(2) {
+            assert_eq!(w[1] - w[0], 5, "spacing must equal depth");
+        }
+    }
+
+    #[test]
+    fn burst_hits_at_most_one_packet_per_group_when_short() {
+        let il = BlockInterleaver::new(6, 5);
+        // A burst of `depth` consecutive transmit slots.
+        for burst_start in 0..25 {
+            let killed: Vec<usize> = (burst_start..burst_start + 5)
+                .map(|j| il.inverse(j))
+                .collect();
+            // Count kills per group (logical index / rows... group = i / 6
+            // within a block of 30).
+            let mut per_group = std::collections::HashMap::new();
+            for i in killed {
+                *per_group.entry(i / 6).or_insert(0) += 1;
+            }
+            for (g, k) in per_group {
+                assert!(k <= 1, "burst at {burst_start} killed {k} packets of group {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_one_is_identity() {
+        let il = BlockInterleaver::new(6, 1);
+        for i in 0..18 {
+            assert_eq!(il.permute(i), i);
+        }
+        assert_eq!(il.max_delay_slots(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of blocks")]
+    fn partial_blocks_rejected() {
+        let il = BlockInterleaver::new(3, 4);
+        let xs: Vec<u32> = (0..13).collect();
+        let _ = il.interleave(&xs);
+    }
+}

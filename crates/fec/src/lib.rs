@@ -1,0 +1,30 @@
+//! # fec — packet-level forward error correction
+//!
+//! §5.2 of the paper analyses how FEC interacts with bursty, correlated
+//! packet loss: "Reed-Solomon erasure codes are a standard FEC method …
+//! If the first packet in a packet train is lost, the high conditional
+//! loss probability tells us that there is a 70% chance that the second
+//! packet will also be lost — so to avoid this, the FEC information must
+//! be spread out by nearly half a second if sending packets down the same
+//! path."
+//!
+//! This crate supplies the machinery to reproduce that analysis:
+//!
+//! * [`gf256`] — arithmetic in GF(2⁸) (polynomial 0x11D);
+//! * [`rs`] — a systematic Reed–Solomon erasure code built from a Cauchy
+//!   matrix (any k of the k+r shards reconstruct the group);
+//! * [`interleave`] — a block interleaver that spreads a group's packets
+//!   over time to decorrelate burst losses;
+//! * [`stream`] — a streaming encoder/decoder pair with recovery-delay
+//!   accounting.
+
+#![warn(missing_docs)]
+
+pub mod gf256;
+pub mod interleave;
+pub mod rs;
+pub mod stream;
+
+pub use interleave::BlockInterleaver;
+pub use rs::{ErasureCode, FecError};
+pub use stream::{FecPacket, FecReceiver, FecSender, ReceiverStats};

@@ -1,0 +1,326 @@
+//! A systematic Reed–Solomon erasure code over GF(2⁸).
+//!
+//! The generator is a Cauchy matrix `C[p][j] = 1 / (x_p ⊕ y_j)` with
+//! `x_p = k + p`, `y_j = j`. Every square submatrix of a Cauchy matrix is
+//! nonsingular, so *any* k of the k+r shards (data or parity) suffice to
+//! reconstruct the group — the standard property FEC-based multi-path
+//! schemes rely on (§5.2, [Rizzo/RMDP]).
+//!
+//! Encoding appends `r` parity shards to `k` data shards; decoding
+//! reconstructs missing data shards by Gauss–Jordan elimination of the
+//! k×k system formed by the surviving rows.
+
+use crate::gf256::{self, mul_acc};
+use std::fmt;
+
+/// Erasure-coding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FecError {
+    /// `k`, `r`, or `k + r` outside the field's limits.
+    BadGeometry {
+        /// Requested data shards.
+        k: usize,
+        /// Requested parity shards.
+        r: usize,
+    },
+    /// Fewer than `k` shards survive: the group is unrecoverable.
+    NotEnoughShards {
+        /// Shards present.
+        have: usize,
+        /// Shards needed.
+        need: usize,
+    },
+    /// Shards disagree in length.
+    LengthMismatch,
+}
+
+impl fmt::Display for FecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FecError::BadGeometry { k, r } => write!(f, "invalid geometry k={k} r={r}"),
+            FecError::NotEnoughShards { have, need } => {
+                write!(f, "unrecoverable: {have} shards present, {need} needed")
+            }
+            FecError::LengthMismatch => write!(f, "shards have differing lengths"),
+        }
+    }
+}
+
+impl std::error::Error for FecError {}
+
+/// A (k, r) systematic erasure code: k data shards, r parity shards.
+#[derive(Debug, Clone)]
+pub struct ErasureCode {
+    k: usize,
+    r: usize,
+    /// r × k Cauchy rows.
+    rows: Vec<Vec<u8>>,
+}
+
+impl ErasureCode {
+    /// Creates a code with `k` data and `r` parity shards (`k ≥ 1`,
+    /// `r ≥ 0`, `k + r ≤ 256`).
+    pub fn new(k: usize, r: usize) -> Result<Self, FecError> {
+        if k == 0 || k + r > 256 {
+            return Err(FecError::BadGeometry { k, r });
+        }
+        let rows = (0..r)
+            .map(|p| {
+                (0..k)
+                    .map(|j| gf256::inv(((k + p) as u8) ^ (j as u8)))
+                    .collect()
+            })
+            .collect();
+        Ok(ErasureCode { k, r, rows })
+    }
+
+    /// Data shard count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Parity shard count.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Computes the `r` parity shards for `data` (all equal length).
+    pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, FecError> {
+        if data.len() != self.k {
+            return Err(FecError::BadGeometry { k: data.len(), r: self.r });
+        }
+        let len = data[0].len();
+        if data.iter().any(|d| d.len() != len) {
+            return Err(FecError::LengthMismatch);
+        }
+        let mut parity = vec![vec![0u8; len]; self.r];
+        for (p, row) in self.rows.iter().enumerate() {
+            for (j, d) in data.iter().enumerate() {
+                mul_acc(&mut parity[p], d, row[j]);
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Reconstructs missing **data** shards in place.
+    ///
+    /// `shards` has length `k + r`: indices `0..k` are data, `k..k+r`
+    /// parity; `None` marks an erasure. On success every data slot is
+    /// `Some`. Parity slots are left as they were.
+    pub fn decode(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), FecError> {
+        if shards.len() != self.k + self.r {
+            return Err(FecError::BadGeometry { k: shards.len(), r: 0 });
+        }
+        let missing: Vec<usize> =
+            (0..self.k).filter(|&i| shards[i].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let have = shards.iter().filter(|s| s.is_some()).count();
+        if have < self.k {
+            return Err(FecError::NotEnoughShards { have, need: self.k });
+        }
+        let len = shards
+            .iter()
+            .flatten()
+            .map(|s| s.len())
+            .next()
+            .ok_or(FecError::NotEnoughShards { have: 0, need: self.k })?;
+        if shards.iter().flatten().any(|s| s.len() != len) {
+            return Err(FecError::LengthMismatch);
+        }
+
+        // Assemble k rows: prefer surviving data rows (identity), fill
+        // with surviving parity rows.
+        let mut matrix: Vec<Vec<u8>> = Vec::with_capacity(self.k);
+        let mut rhs: Vec<Vec<u8>> = Vec::with_capacity(self.k);
+        for i in 0..self.k {
+            if let Some(s) = &shards[i] {
+                let mut row = vec![0u8; self.k];
+                row[i] = 1;
+                matrix.push(row);
+                rhs.push(s.clone());
+            }
+        }
+        for p in 0..self.r {
+            if matrix.len() == self.k {
+                break;
+            }
+            if let Some(s) = &shards[self.k + p] {
+                matrix.push(self.rows[p].clone());
+                rhs.push(s.clone());
+            }
+        }
+        debug_assert_eq!(matrix.len(), self.k);
+
+        // Gauss–Jordan over GF(256): reduce [matrix | rhs] to identity.
+        for col in 0..self.k {
+            // Find a pivot.
+            let pivot = (col..self.k)
+                .find(|&row| matrix[row][col] != 0)
+                .expect("Cauchy system is always solvable");
+            matrix.swap(col, pivot);
+            rhs.swap(col, pivot);
+            // Normalise the pivot row.
+            let pv = matrix[col][col];
+            if pv != 1 {
+                let inv = gf256::inv(pv);
+                for x in matrix[col].iter_mut() {
+                    *x = gf256::mul(*x, inv);
+                }
+                let row = std::mem::take(&mut rhs[col]);
+                let mut scaled = vec![0u8; len];
+                mul_acc(&mut scaled, &row, inv);
+                rhs[col] = scaled;
+            }
+            // Eliminate the column elsewhere.
+            for row in 0..self.k {
+                if row == col || matrix[row][col] == 0 {
+                    continue;
+                }
+                let c = matrix[row][col];
+                let pivot_row = matrix[col].clone();
+                for (x, p) in matrix[row].iter_mut().zip(&pivot_row) {
+                    *x ^= gf256::mul(c, *p);
+                }
+                let pivot_rhs = rhs[col].clone();
+                mul_acc(&mut rhs[row], &pivot_rhs, c);
+            }
+        }
+
+        // matrix is now the identity: rhs[i] is data shard i.
+        for i in missing {
+            shards[i] = Some(rhs[i].clone());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut state = seed;
+        (0..k)
+            .map(|_| {
+                (0..len)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (state >> 33) as u8
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn roundtrip(k: usize, r: usize, erase: &[usize]) {
+        let code = ErasureCode::new(k, r).unwrap();
+        let data = sample_data(k, 64, (k * 31 + r) as u64);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        for &e in erase {
+            shards[e] = None;
+        }
+        code.decode(&mut shards).unwrap();
+        for i in 0..k {
+            assert_eq!(shards[i].as_ref().unwrap(), &data[i], "shard {i} (k={k}, r={r})");
+        }
+    }
+
+    #[test]
+    fn no_erasures_is_noop() {
+        roundtrip(5, 1, &[]);
+    }
+
+    #[test]
+    fn paper_5_1_code_recovers_one_loss() {
+        // §5.2's example: "1 redundant packet for every 5 data packets".
+        for e in 0..6 {
+            roundtrip(5, 1, &[e]);
+        }
+    }
+
+    #[test]
+    fn recovers_r_erasures_anywhere() {
+        // k=6, r=3: every 3-subset of the 9 shards may vanish.
+        let k = 6;
+        let r = 3;
+        for a in 0..k + r {
+            for b in a + 1..k + r {
+                for c in b + 1..k + r {
+                    roundtrip(k, r, &[a, b, c]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_rejected() {
+        let code = ErasureCode::new(4, 2).unwrap();
+        let data = sample_data(4, 16, 9);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .into_iter()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[4] = None;
+        let err = code.decode(&mut shards).unwrap_err();
+        assert!(matches!(err, FecError::NotEnoughShards { have: 3, need: 4 }));
+    }
+
+    #[test]
+    fn geometry_limits() {
+        assert!(ErasureCode::new(0, 1).is_err());
+        assert!(ErasureCode::new(200, 57).is_err());
+        assert!(ErasureCode::new(200, 56).is_ok());
+        assert!(ErasureCode::new(1, 0).is_ok());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let code = ErasureCode::new(2, 1).unwrap();
+        let a = vec![1u8; 8];
+        let b = vec![2u8; 9];
+        assert_eq!(
+            code.encode(&[&a, &b]).unwrap_err(),
+            FecError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn parity_is_deterministic_and_nontrivial() {
+        let code = ErasureCode::new(3, 2).unwrap();
+        let data = sample_data(3, 32, 4);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let p1 = code.encode(&refs).unwrap();
+        let p2 = code.encode(&refs).unwrap();
+        assert_eq!(p1, p2);
+        assert_ne!(p1[0], p1[1], "distinct parity rows");
+        assert_ne!(p1[0], data[0], "parity is not a copy");
+    }
+
+    #[test]
+    fn zero_length_shards_work() {
+        roundtrip(3, 2, &[0, 4]);
+        let code = ErasureCode::new(2, 1).unwrap();
+        let parity = code.encode(&[&[], &[]]).unwrap();
+        assert_eq!(parity, vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn large_group_roundtrip() {
+        // A content-distribution-scale group.
+        roundtrip(32, 8, &[0, 5, 11, 31, 33, 36, 38, 39]);
+    }
+}

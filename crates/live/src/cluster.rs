@@ -1,0 +1,210 @@
+//! Multi-node localhost clusters and the mesh-vs-direct live demo.
+
+use crate::driver::{LiveConfig, LiveEvent, LiveNode};
+use crate::impair::Impairment;
+use netsim::HostId;
+use overlay::{NodeConfig, Policy, ProberConfig};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::UdpSocket;
+use tokio::time::Duration;
+
+/// A set of live overlay nodes on loopback.
+pub struct Cluster {
+    nodes: Vec<Arc<LiveNode>>,
+}
+
+/// Demo-friendly node configuration: everything runs ~50× faster than
+/// the RON defaults so convergence takes seconds, not minutes.
+pub fn demo_node_config() -> NodeConfig {
+    NodeConfig {
+        prober: ProberConfig {
+            interval: netsim::SimDuration::from_millis(300),
+            jitter_frac: 0.2,
+            timeout: netsim::SimDuration::from_millis(150),
+            fast_count: 4,
+            fast_spacing: netsim::SimDuration::from_millis(100),
+        },
+        window: 100,
+        ewma_alpha: 0.1,
+        staleness: netsim::SimDuration::from_secs(5),
+        loss_hysteresis: 0.05,
+        lat_hysteresis: 0.10,
+    }
+}
+
+async fn reserve_addrs(n: usize) -> std::io::Result<Vec<SocketAddr>> {
+    // Bind ephemeral sockets to discover free ports, then release them.
+    // (A small race window exists; fine for demos and tests.)
+    let mut addrs = Vec::with_capacity(n);
+    let mut sockets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = UdpSocket::bind("127.0.0.1:0").await?;
+        addrs.push(s.local_addr()?);
+        sockets.push(s);
+    }
+    drop(sockets);
+    Ok(addrs)
+}
+
+impl Cluster {
+    /// Spawns `n` nodes on loopback with the given impairment.
+    pub async fn spawn(n: usize, impair: Impairment, seed: u64) -> std::io::Result<Cluster> {
+        let peers = reserve_addrs(n).await?;
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let cfg = LiveConfig {
+                me: HostId(i as u16),
+                peers: peers.clone(),
+                node: demo_node_config(),
+                impair,
+                seed: seed ^ (i as u64) << 8,
+            };
+            nodes.push(LiveNode::spawn(cfg).await?);
+        }
+        Ok(Cluster { nodes })
+    }
+
+    /// The spawned nodes.
+    pub fn nodes(&self) -> &[Arc<LiveNode>] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Clusters are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Shuts every node down.
+    pub async fn shutdown(&self) {
+        for n in &self.nodes {
+            n.shutdown().await;
+        }
+    }
+}
+
+/// Results of [`run_mesh_demo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemoReport {
+    /// Data packets sent per strategy.
+    pub sent: u32,
+    /// Arrivals when sending one copy on the direct path.
+    pub direct_delivered: u32,
+    /// Arrivals when sending two copies (direct + random intermediate).
+    pub mesh_delivered: u32,
+}
+
+/// Live mesh-vs-direct comparison: node 0 streams data to node 1 over an
+/// impaired loopback wire, once singly (direct) and once 2-redundantly
+/// (direct + random intermediate). Returns delivery counts.
+pub async fn run_mesh_demo(
+    cluster: &Cluster,
+    packets: u32,
+    pacing: Duration,
+) -> std::io::Result<DemoReport> {
+    assert!(cluster.len() >= 3, "mesh needs an intermediate");
+    let src = &cluster.nodes()[0];
+    let dst = &cluster.nodes()[1];
+    let mut events = dst.take_events().expect("events taken once");
+
+    // Stream 1: direct only. Stream 2: direct + random intermediate.
+    for seq in 0..packets {
+        src.send_data(HostId(1), 1, seq, bytes::Bytes::from_static(b"payload"), Policy::Direct)
+            .await;
+        src.send_data(HostId(1), 2, seq, bytes::Bytes::from_static(b"payload"), Policy::Direct)
+            .await;
+        src.send_data(HostId(1), 2, seq, bytes::Bytes::from_static(b"payload"), Policy::Random)
+            .await;
+        tokio::time::sleep(pacing).await;
+    }
+
+    // Collect deliveries until the line goes quiet.
+    let mut got_direct = vec![false; packets as usize];
+    let mut got_mesh = vec![false; packets as usize];
+    loop {
+        match tokio::time::timeout(Duration::from_millis(500), events.recv()).await {
+            Ok(Some(LiveEvent::Data { stream, seq, .. })) => {
+                if let Some(slot) = match stream {
+                    1 => got_direct.get_mut(seq as usize),
+                    2 => got_mesh.get_mut(seq as usize),
+                    _ => None,
+                } {
+                    *slot = true;
+                }
+            }
+            Ok(Some(_)) => {}
+            Ok(None) | Err(_) => break,
+        }
+    }
+    Ok(DemoReport {
+        sent: packets,
+        direct_delivered: got_direct.iter().filter(|&&x| x).count() as u32,
+        mesh_delivered: got_mesh.iter().filter(|&&x| x).count() as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn nodes_learn_each_other_over_loopback() {
+        let cluster = Cluster::spawn(3, Impairment::none(), 7).await.unwrap();
+        tokio::time::sleep(Duration::from_millis(1500)).await;
+        let snap = cluster.nodes()[0].snapshot().await.expect("snapshot");
+        assert_eq!(snap.len(), 2);
+        for (peer, loss, lat, dead) in snap {
+            assert!(!dead, "peer {peer:?} wrongly dead");
+            assert_eq!(loss, 0.0, "loopback lost probes to {peer:?}");
+            let lat = lat.expect("latency measured");
+            assert!(lat < 200_000.0, "loopback rtt/2 {lat}us");
+        }
+        cluster.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn data_flows_direct_and_via_intermediate() {
+        let cluster = Cluster::spawn(3, Impairment::none(), 8).await.unwrap();
+        tokio::time::sleep(Duration::from_millis(600)).await;
+        let report = run_mesh_demo(&cluster, 20, Duration::from_millis(5)).await.unwrap();
+        assert_eq!(report.direct_delivered, 20, "clean wire: all direct arrive");
+        assert_eq!(report.mesh_delivered, 20, "clean wire: all mesh arrive");
+        cluster.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn mesh_beats_direct_on_lossy_wire() {
+        // 25% loss per hop: direct ≈ 75% delivery; mesh (direct + a
+        // 2-hop copy) ≈ 1 − 0.25 × (1 − 0.75²) ≈ 89%.
+        let cluster = Cluster::spawn(4, Impairment::lossy(0.25, 2), 9).await.unwrap();
+        tokio::time::sleep(Duration::from_millis(1200)).await;
+        let report = run_mesh_demo(&cluster, 150, Duration::from_millis(4)).await.unwrap();
+        assert!(
+            report.mesh_delivered > report.direct_delivered,
+            "mesh {} must beat direct {}",
+            report.mesh_delivered,
+            report.direct_delivered
+        );
+        cluster.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn dead_peer_is_detected_live() {
+        let cluster = Cluster::spawn(3, Impairment::none(), 10).await.unwrap();
+        tokio::time::sleep(Duration::from_millis(800)).await;
+        // Kill node 2; node 0 must mark it dead within a few fast chains.
+        cluster.nodes()[2].shutdown().await;
+        tokio::time::sleep(Duration::from_millis(1500)).await;
+        let snap = cluster.nodes()[0].snapshot().await.expect("snapshot");
+        let dead_peer = snap.iter().find(|(p, _, _, _)| *p == HostId(2)).unwrap();
+        assert!(dead_peer.3, "node 2 should be declared dead");
+        let live_peer = snap.iter().find(|(p, _, _, _)| *p == HostId(1)).unwrap();
+        assert!(!live_peer.3, "node 1 must stay alive");
+        cluster.shutdown().await;
+    }
+}

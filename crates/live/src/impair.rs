@@ -1,0 +1,89 @@
+//! Outbound impairment: loss and delay injection for localhost runs.
+//!
+//! Loopback never loses a packet and delivers in microseconds, which
+//! makes overlay demos boring and untestable. The impairment layer sits
+//! between the node and its socket, dropping packets with a configured
+//! probability and delaying the rest — the same role the fault-injection
+//! flags play in smoltcp's examples.
+
+use std::time::Duration;
+
+/// Impairment parameters for one node's outbound traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct Impairment {
+    /// Drop probability per packet (0.0 = clean).
+    pub loss: f64,
+    /// Fixed one-way delay added to every packet.
+    pub delay: Duration,
+    /// Extra uniformly-distributed jitter on top of `delay`.
+    pub jitter: Duration,
+}
+
+impl Default for Impairment {
+    fn default() -> Self {
+        Impairment { loss: 0.0, delay: Duration::ZERO, jitter: Duration::ZERO }
+    }
+}
+
+impl Impairment {
+    /// A clean wire.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A testbed-like wire: `loss` drop rate, ~`delay_ms` one-way delay.
+    pub fn lossy(loss: f64, delay_ms: u64) -> Self {
+        Impairment {
+            loss,
+            delay: Duration::from_millis(delay_ms),
+            jitter: Duration::from_millis(delay_ms / 4),
+        }
+    }
+
+    /// Decides one packet's fate: `None` = dropped, `Some(d)` = deliver
+    /// after `d`.
+    pub fn judge(&self, rng: &mut netsim::Rng) -> Option<Duration> {
+        if rng.chance(self.loss) {
+            return None;
+        }
+        let jitter_us = if self.jitter.is_zero() {
+            0.0
+        } else {
+            rng.uniform(0.0, self.jitter.as_micros() as f64)
+        };
+        Some(self.delay + Duration::from_micros(jitter_us as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_wire_never_drops_or_delays() {
+        let imp = Impairment::none();
+        let mut rng = netsim::Rng::new(1);
+        for _ in 0..1000 {
+            assert_eq!(imp.judge(&mut rng), Some(Duration::ZERO));
+        }
+    }
+
+    #[test]
+    fn lossy_wire_drops_roughly_at_rate() {
+        let imp = Impairment::lossy(0.3, 0);
+        let mut rng = netsim::Rng::new(2);
+        let dropped = (0..10_000).filter(|_| imp.judge(&mut rng).is_none()).count();
+        assert!((2_700..3_300).contains(&dropped), "dropped={dropped}");
+    }
+
+    #[test]
+    fn delay_within_bounds() {
+        let imp = Impairment::lossy(0.0, 40);
+        let mut rng = netsim::Rng::new(3);
+        for _ in 0..1000 {
+            let d = imp.judge(&mut rng).unwrap();
+            assert!(d >= Duration::from_millis(40));
+            assert!(d <= Duration::from_millis(50));
+        }
+    }
+}

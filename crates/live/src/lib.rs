@@ -1,0 +1,24 @@
+//! # mpath-live — running the overlay on real sockets
+//!
+//! The discrete-event experiments prove the routing logic; this crate
+//! proves it *deploys*. The exact same [`overlay::OverlayNode`] state
+//! machine is driven here by a tokio event loop over UDP sockets:
+//! packets are encoded with the wire codec, timers map to
+//! `tokio::time::sleep_until`, and the node's emitted [`Transmit`]s go
+//! out through an optional impairment layer (random loss + delay) so
+//! localhost demos exhibit testbed-like behaviour.
+//!
+//! Structure follows the structured-concurrency discipline: a
+//! [`driver::LiveNode`] owns its socket task; dropping the handle (or
+//! calling [`driver::LiveNode::shutdown`]) terminates it; nothing
+//! outlives the cluster that spawned it.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod driver;
+pub mod impair;
+
+pub use cluster::{run_mesh_demo, Cluster, DemoReport};
+pub use driver::{LiveConfig, LiveEvent, LiveNode};
+pub use impair::Impairment;

@@ -1,0 +1,307 @@
+//! The animated network: transmits packets across a topology.
+//!
+//! [`Network`] owns the live state of every segment plus per-host
+//! process-liveness, and answers one question: *a packet leaves `src`
+//! for `dst` at time `t` — when does it arrive, if at all?* All policy
+//! (probing, routing, duplication) lives in higher crates.
+
+use crate::load::LoadProfile;
+use crate::outage::{OutageParams, OutageProcess};
+use crate::rng::Rng;
+use crate::segment::{DropCause, Segment, SegmentId, Transit};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{HostId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of handing one packet to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Packet will arrive after `delay`.
+    Delivered {
+        /// Total one-way delay across the three segments.
+        delay: SimDuration,
+    },
+    /// Packet died.
+    Dropped {
+        /// Segment where it died.
+        segment: SegmentId,
+        /// Why.
+        cause: DropCause,
+    },
+}
+
+impl Delivery {
+    /// True when the packet survived.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, Delivery::Delivered { .. })
+    }
+}
+
+/// Aggregate flow counters for a run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct NetCounters {
+    /// Packets offered to the network.
+    pub sent: u64,
+    /// Packets that arrived.
+    pub delivered: u64,
+    /// Drops inside failure windows.
+    pub dropped_outage: u64,
+    /// Congestion drops.
+    pub dropped_congestion: u64,
+}
+
+impl NetCounters {
+    /// Overall loss rate.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            1.0 - self.delivered as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Live network state for one experiment run.
+pub struct Network {
+    topo: Topology,
+    segments: Vec<Segment>,
+    host_proc: Vec<OutageProcess>,
+    host_rng: Rng,
+    load: LoadProfile,
+    counters: NetCounters,
+}
+
+impl Network {
+    /// Animates `topo`; all randomness derives from `seed`.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        let root = Rng::new(seed);
+        let segments = topo
+            .specs()
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                Segment::new(SegmentId(i as u32), spec.clone(), root.derive(0x5E6 + i as u64))
+            })
+            .collect();
+        // Host process crashes: rare, minutes-long (the events the
+        // collector's 90 s rule must filter, §4.1).
+        // Volunteer-testbed flakiness: measurement processes restart,
+        // hosts reboot, links get unplugged. Roughly 1% downtime per
+        // host — invisible to the endpoint filter when the host serves
+        // as a forwarding intermediate, which is a big part of why
+        // random-intermediate legs lose several times more packets than
+        // direct ones (Tables 5 and 7).
+        let crash_params = if topo.params().host_crashes {
+            OutageParams {
+                mean_up: SimDuration::from_secs(130_000), // ~1.5 days
+                min_down: SimDuration::from_mins(4),
+                alpha: 1.2,
+                max_down: SimDuration::from_hours(2),
+            }
+        } else {
+            OutageParams::never()
+        };
+        let host_proc = (0..topo.n()).map(|_| OutageProcess::new(crash_params)).collect();
+        Network {
+            topo,
+            segments,
+            host_proc,
+            host_rng: root.derive(0xCAFE),
+            load: LoadProfile::diurnal(),
+            counters: NetCounters::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Replaces the load profile (tests use [`LoadProfile::flat`]).
+    pub fn set_load(&mut self, load: LoadProfile) {
+        self.load = load;
+    }
+
+    /// Current load intensity.
+    pub fn intensity(&self, now: SimTime) -> f64 {
+        self.load.intensity(now)
+    }
+
+    /// Is the host process alive at `now`? (Network connectivity is a
+    /// separate matter — this models crashes/restarts of the measurement
+    /// process itself.)
+    pub fn host_up(&mut self, h: HostId, now: SimTime) -> bool {
+        !self.host_proc[h.idx()].is_down(now, &mut self.host_rng)
+    }
+
+    /// Transmits one packet on the one-way overlay hop `src → dst`.
+    ///
+    /// The caller is responsible for checking host liveness; the network
+    /// only models wires. Each segment is sampled at the instant the
+    /// packet actually crosses it.
+    pub fn transmit(&mut self, now: SimTime, src: HostId, dst: HostId) -> Delivery {
+        debug_assert_ne!(src, dst, "no self-hops on the overlay");
+        self.counters.sent += 1;
+        let mut t = now;
+        for seg_id in self.topo.path(src, dst) {
+            let intensity = self.load.intensity(t);
+            match self.segments[seg_id.0 as usize].transit(t, intensity) {
+                Transit::Pass(d) => t += d,
+                Transit::Dropped(cause) => {
+                    match cause {
+                        DropCause::Outage => self.counters.dropped_outage += 1,
+                        DropCause::Congestion => self.counters.dropped_congestion += 1,
+                        DropCause::HostDown => {}
+                    }
+                    return Delivery::Dropped { segment: seg_id, cause };
+                }
+            }
+        }
+        self.counters.delivered += 1;
+        Delivery::Delivered { delay: t - now }
+    }
+
+    /// Local (possibly skewed) clock reading of `host` at true time `t`,
+    /// microseconds.
+    pub fn local_micros(&self, host: HostId, t: SimTime) -> i64 {
+        self.topo.clock(host).local_micros(t)
+    }
+
+    /// Flow counters.
+    pub fn counters(&self) -> &NetCounters {
+        &self.counters
+    }
+
+    /// Mutable access to a segment (fault injection in tests/examples).
+    pub fn segment_mut(&mut self, id: SegmentId) -> &mut Segment {
+        &mut self.segments[id.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn lossless_synthetic_delivers_everything() {
+        let topo = Topology::synthetic(4, 0.0, 1);
+        let mut net = Network::new(topo, 1);
+        net.set_load(LoadProfile::flat());
+        let (a, b) = (HostId(0), HostId(2));
+        for i in 0..1000 {
+            let d = net.transmit(SimTime::from_secs(i), a, b);
+            assert!(d.is_delivered(), "dropped at t={i}: {d:?}");
+        }
+        assert_eq!(net.counters().sent, 1000);
+        assert_eq!(net.counters().delivered, 1000);
+    }
+
+    #[test]
+    fn loss_rate_tracks_configuration() {
+        // 1% per edge + small core → ~2% per path.
+        let topo = Topology::synthetic(4, 0.01, 2);
+        let mut net = Network::new(topo, 2);
+        net.set_load(LoadProfile::flat());
+        let pairs = net.topo().ordered_pairs();
+        let mut t = SimTime::ZERO;
+        let n = 120_000;
+        for i in 0..n {
+            let (a, b) = pairs[i % pairs.len()];
+            net.transmit(t, a, b);
+            t += SimDuration::from_millis(137);
+        }
+        let rate = net.counters().loss_rate();
+        assert!((0.012..0.034).contains(&rate), "rate={rate}");
+    }
+
+    #[test]
+    fn delay_roughly_geographic() {
+        let topo = Topology::ron2003(3);
+        let mit = topo.host_by_name("MIT").unwrap();
+        let lon = topo.host_by_name("GBLX-LON").unwrap();
+        let mazu = topo.host_by_name("Mazu").unwrap();
+        let mut net = Network::new(topo, 3);
+        net.set_load(LoadProfile::flat());
+        let mean_delay = |net: &mut Network, a, b| {
+            let mut sum = 0.0;
+            let mut n = 0;
+            for i in 0..300 {
+                if let Delivery::Delivered { delay } =
+                    net.transmit(SimTime::from_secs(40 + i * 7), a, b)
+                {
+                    sum += delay.as_millis_f64();
+                    n += 1;
+                }
+            }
+            sum / n as f64
+        };
+        let far = mean_delay(&mut net, mit, lon);
+        let near = mean_delay(&mut net, mit, mazu);
+        assert!(far > 25.0, "transatlantic {far}ms");
+        assert!(near < 15.0, "metro {near}ms");
+    }
+
+    #[test]
+    fn forced_outage_kills_direct_but_not_detour() {
+        let topo = Topology::synthetic(4, 0.0, 4);
+        let (a, b, c) = (HostId(0), HostId(1), HostId(2));
+        let core_ab = topo.seg_core(a, b);
+        let mut net = Network::new(topo, 4);
+        net.set_load(LoadProfile::flat());
+        let t = SimTime::from_secs(100);
+        net.segment_mut(core_ab).force_outage(t, SimDuration::from_secs(60));
+        assert!(!net.transmit(t, a, b).is_delivered(), "direct must die");
+        // Detour a→c and c→b avoids the failed core segment.
+        assert!(net.transmit(t, a, c).is_delivered());
+        assert!(net.transmit(t, c, b).is_delivered());
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let topo = Topology::ron2003(9);
+            let mut net = Network::new(topo, 9);
+            let pairs = net.topo().ordered_pairs();
+            let mut outcomes = Vec::new();
+            let mut t = SimTime::ZERO;
+            for i in 0..5_000 {
+                let (a, b) = pairs[i % pairs.len()];
+                outcomes.push(net.transmit(t, a, b).is_delivered());
+                t += SimDuration::from_millis(311);
+            }
+            outcomes
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn host_crash_filter_source_exists() {
+        let topo = Topology::ron2003(10);
+        let mut net = Network::new(topo, 10);
+        // Over two weeks some host must be down at some point.
+        // Sample each host every 10 minutes over two weeks; crash windows
+        // are minutes long, so this grid cannot miss them all.
+        let mut saw_down = false;
+        'outer: for step in 0..(14 * 144) {
+            for h in 0..30u16 {
+                if !net.host_up(HostId(h), SimTime::from_secs(step * 600)) {
+                    saw_down = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(saw_down, "expected at least one host crash in 14 days");
+    }
+
+    #[test]
+    fn synthetic_without_crashes_is_always_up() {
+        let topo = Topology::synthetic(5, 0.01, 11);
+        let mut net = Network::new(topo, 11);
+        for d in 0..30u64 {
+            for h in 0..5u16 {
+                assert!(net.host_up(HostId(h), SimTime::from_secs(d * 86_400)));
+            }
+        }
+    }
+}

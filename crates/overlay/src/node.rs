@@ -1,0 +1,485 @@
+//! The assembled overlay node: prober + link-state table + forwarder.
+//!
+//! [`OverlayNode`] is a sans-io state machine. Its inputs are timer
+//! expiries ([`OverlayNode::on_timer`]) and received packets
+//! ([`OverlayNode::on_packet`]); its outputs are [`Transmit`] requests
+//! (packets to put on the wire toward a next hop) and [`Delivered`]
+//! values (packets addressed to the local application layer). Route
+//! queries ([`OverlayNode::route`]) never perform I/O.
+//!
+//! The same state machine is driven by the discrete-event experiment
+//! runner (`mpath-core`) and by the tokio UDP driver (`mpath-live`).
+
+use crate::prober::{Prober, ProberConfig};
+use crate::table::{LinkStateTable, Policy, Route};
+use crate::wire::{MeasureKind, Packet, RouteTag};
+use netsim::{HostId, Rng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Node configuration: probing plus routing-metric parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Prober timing.
+    pub prober: ProberConfig,
+    /// Loss window size (the paper's "last 100 probes").
+    pub window: usize,
+    /// EWMA weight for latency samples.
+    pub ewma_alpha: f64,
+    /// How long a peer's metric vector stays trustworthy.
+    pub staleness: SimDuration,
+    /// Absolute loss-rate advantage an indirect path must show before
+    /// loss routing diverts (route-flap damping).
+    pub loss_hysteresis: f64,
+    /// Relative latency advantage an indirect path must show before
+    /// latency routing diverts.
+    pub lat_hysteresis: f64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            prober: ProberConfig::default(),
+            window: 100,
+            ewma_alpha: 0.1,
+            staleness: SimDuration::from_secs(90),
+            loss_hysteresis: 0.05,
+            lat_hysteresis: 0.10,
+        }
+    }
+}
+
+/// A packet the node wants transmitted to a directly reachable peer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transmit {
+    /// Next wire hop (always a direct underlay transmission).
+    pub to: HostId,
+    /// The packet to send.
+    pub packet: Packet,
+}
+
+/// A packet addressed to this node's application layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delivered {
+    /// A measurement leg arrived.
+    Measure {
+        /// Probe pair identifier.
+        id: u64,
+        /// Method registry index.
+        method: u8,
+        /// Leg index (0/1).
+        leg: u8,
+        /// Path source.
+        origin: HostId,
+        /// Route kind the leg used.
+        route: RouteTag,
+        /// One-way, request, or echo.
+        kind: MeasureKind,
+        /// Sender's local clock at transmission.
+        sent_local_us: i64,
+    },
+    /// Application data arrived.
+    Data {
+        /// Source node.
+        origin: HostId,
+        /// Stream id.
+        stream: u32,
+        /// Sequence number.
+        seq: u32,
+        /// Payload length (payload itself stays in the packet).
+        len: usize,
+    },
+}
+
+/// A RON-style overlay node.
+pub struct OverlayNode {
+    me: HostId,
+    cfg: NodeConfig,
+    table: LinkStateTable,
+    prober: Prober,
+    rng: Rng,
+    forwarded: u64,
+}
+
+impl OverlayNode {
+    /// Creates a node for a mesh of `n` nodes. `seed` controls all node
+    /// randomness (probe ids, jitter, random intermediates); `start` is
+    /// the instant probing begins.
+    pub fn new(me: HostId, n: usize, cfg: NodeConfig, seed: u64, start: SimTime) -> Self {
+        let root = Rng::new(seed);
+        let table = LinkStateTable::new(
+            me,
+            n,
+            cfg.window,
+            cfg.ewma_alpha,
+            1 + cfg.prober.fast_count,
+            cfg.staleness,
+            cfg.loss_hysteresis,
+            cfg.lat_hysteresis,
+        );
+        let prober = Prober::new(me, n, cfg.prober, root.derive(1), start);
+        OverlayNode { me, cfg, table, prober, rng: root.derive(2), forwarded: 0 }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> HostId {
+        self.me
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+
+    /// Read access to the link-state table (diagnostics, tests).
+    pub fn table(&self) -> &LinkStateTable {
+        &self.table
+    }
+
+    /// Earliest instant the node needs a timer callback.
+    pub fn poll_at(&self) -> Option<SimTime> {
+        self.prober.poll_at()
+    }
+
+    /// Runs timer work at `now`. `local_now_us` is the local wall clock
+    /// (skewed in simulation; real time in live deployments) stamped into
+    /// outgoing probes.
+    pub fn on_timer(&mut self, now: SimTime, local_now_us: i64, out: &mut Vec<Transmit>) {
+        let mut sends = Vec::new();
+        self.prober.on_timer(now, &mut self.table, &mut sends);
+        if sends.is_empty() {
+            return;
+        }
+        let metrics = self.table.snapshot();
+        for s in sends {
+            out.push(Transmit {
+                to: s.peer,
+                packet: Packet::ProbeReq {
+                    id: s.id,
+                    from: self.me,
+                    sent_local_us: local_now_us,
+                    metrics: metrics.clone(),
+                },
+            });
+        }
+    }
+
+    /// Handles a packet arriving from the network at `now`.
+    pub fn on_packet(
+        &mut self,
+        now: SimTime,
+        local_now_us: i64,
+        packet: Packet,
+        out: &mut Vec<Transmit>,
+    ) -> Option<Delivered> {
+        match packet {
+            Packet::ProbeReq { id, from, metrics, .. } => {
+                self.table.on_metrics(from, &metrics, now);
+                out.push(Transmit {
+                    to: from,
+                    packet: Packet::ProbeResp {
+                        id,
+                        from: self.me,
+                        resp_local_us: local_now_us,
+                        metrics: self.table.snapshot(),
+                    },
+                });
+                None
+            }
+            Packet::ProbeResp { id, from, metrics, .. } => {
+                self.table.on_metrics(from, &metrics, now);
+                self.prober.on_response(id, from, now, &mut self.table);
+                None
+            }
+            Packet::Forward { target, inner } => {
+                if target == self.me {
+                    // The forwarding hop was the last one; unwrap locally.
+                    self.on_packet(now, local_now_us, *inner, out)
+                } else {
+                    // One-intermediate overlay forwarding: relay the inner
+                    // packet toward its final target.
+                    self.forwarded += 1;
+                    out.push(Transmit { to: target, packet: *inner });
+                    None
+                }
+            }
+            Packet::Measure { id, method, leg, origin, target, route, kind, sent_local_us } => {
+                if target == self.me {
+                    Some(Delivered::Measure { id, method, leg, origin, route, kind, sent_local_us })
+                } else {
+                    // Mis-delivered measurement: relay it (defensive; the
+                    // runner normally wraps indirection in Forward).
+                    self.forwarded += 1;
+                    out.push(Transmit {
+                        to: target,
+                        packet: Packet::Measure {
+                            id,
+                            method,
+                            leg,
+                            origin,
+                            target,
+                            route,
+                            kind,
+                            sent_local_us,
+                        },
+                    });
+                    None
+                }
+            }
+            Packet::Data { origin, target, stream, seq, payload } => {
+                if target == self.me {
+                    Some(Delivered::Data { origin, stream, seq, len: payload.len() })
+                } else {
+                    self.forwarded += 1;
+                    out.push(Transmit {
+                        to: target,
+                        packet: Packet::Data { origin, target, stream, seq, payload },
+                    });
+                    None
+                }
+            }
+        }
+    }
+
+    /// Selects a route to `dst` under `policy`.
+    pub fn route(&mut self, dst: HostId, policy: Policy, now: SimTime) -> Route {
+        self.table.route(dst, policy, now, &mut self.rng)
+    }
+
+    /// Selects a route to `dst` distinct from `exclude` (the second copy
+    /// of a 2-redundant pair, §3.2).
+    pub fn route_diverse(
+        &mut self,
+        dst: HostId,
+        policy: Policy,
+        now: SimTime,
+        exclude: Route,
+    ) -> Route {
+        self.table.route_diverse(dst, policy, now, &mut self.rng, exclude)
+    }
+
+    /// Wraps `packet` for the chosen route: direct packets go straight to
+    /// the destination, indirect ones are encapsulated for the
+    /// intermediate hop.
+    pub fn wrap(&self, route: Route, dst: HostId, packet: Packet) -> Transmit {
+        match route {
+            Route::Direct => Transmit { to: dst, packet },
+            Route::Via(k) => Transmit {
+                to: k,
+                packet: Packet::Forward { target: dst, inner: Box::new(packet) },
+            },
+        }
+    }
+
+    /// (probes sent, probes lost, packets forwarded for others).
+    pub fn counters(&self) -> (u64, u64, u64) {
+        let (s, l) = self.prober.counters();
+        (s, l, self.forwarded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn node(me: u16, n: usize) -> OverlayNode {
+        OverlayNode::new(HostId(me), n, NodeConfig::default(), 42 + me as u64, SimTime::ZERO)
+    }
+
+    #[test]
+    fn probe_req_gets_probe_resp_with_metrics() {
+        let mut a = node(0, 3);
+        let mut out = Vec::new();
+        let req = Packet::ProbeReq {
+            id: 7,
+            from: HostId(1),
+            sent_local_us: 123,
+            metrics: vec![],
+        };
+        let delivered = a.on_packet(SimTime::from_secs(1), 1_000_000, req, &mut out);
+        assert!(delivered.is_none());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, HostId(1));
+        match &out[0].packet {
+            Packet::ProbeResp { id, from, metrics, .. } => {
+                assert_eq!(*id, 7);
+                assert_eq!(*from, HostId(0));
+                assert_eq!(metrics.len(), 2, "snapshot covers both peers");
+            }
+            p => panic!("expected ProbeResp, got {p:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_relays_inner_packet() {
+        let mut k = node(1, 3);
+        let mut out = Vec::new();
+        let inner = Packet::Measure {
+            id: 9,
+            method: 0,
+            leg: 0,
+            origin: HostId(0),
+            target: HostId(2),
+            route: RouteTag::Direct,
+            kind: MeasureKind::OneWay,
+            sent_local_us: 5,
+        };
+        let fwd = Packet::Forward { target: HostId(2), inner: Box::new(inner.clone()) };
+        let delivered = k.on_packet(SimTime::from_secs(1), 0, fwd, &mut out);
+        assert!(delivered.is_none());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, HostId(2));
+        assert_eq!(out[0].packet, inner);
+        assert_eq!(k.counters().2, 1, "forward counter");
+    }
+
+    #[test]
+    fn measure_for_me_is_delivered() {
+        let mut d = node(2, 3);
+        let mut out = Vec::new();
+        let m = Packet::Measure {
+            id: 11,
+            method: 3,
+            leg: 1,
+            origin: HostId(0),
+            target: HostId(2),
+            route: RouteTag::Direct,
+            kind: MeasureKind::OneWay,
+            sent_local_us: 77,
+        };
+        match d.on_packet(SimTime::from_secs(2), 0, m, &mut out) {
+            Some(Delivered::Measure { id, method, leg, origin, route, kind, sent_local_us }) => {
+                assert_eq!(
+                    (id, method, leg, origin, route, kind, sent_local_us),
+                    (11, 3, 1, HostId(0), RouteTag::Direct, MeasureKind::OneWay, 77)
+                );
+            }
+            other => panic!("expected Measure delivery, got {other:?}"),
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn forward_addressed_to_me_unwraps_locally() {
+        let mut d = node(2, 3);
+        let mut out = Vec::new();
+        let inner = Packet::Data {
+            origin: HostId(0),
+            target: HostId(2),
+            stream: 1,
+            seq: 4,
+            payload: Bytes::from_static(b"hi"),
+        };
+        let fwd = Packet::Forward { target: HostId(2), inner: Box::new(inner) };
+        match d.on_packet(SimTime::from_secs(1), 0, fwd, &mut out) {
+            Some(Delivered::Data { origin, stream, seq, len }) => {
+                assert_eq!((origin, stream, seq, len), (HostId(0), 1, 4, 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timer_emits_probe_requests_with_piggyback() {
+        let mut a = node(0, 4);
+        let mut out = Vec::new();
+        // Drive past the first interval; every peer gets probed at least
+        // once somewhere within it.
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(16) {
+            if let Some(at) = a.poll_at() {
+                t = at;
+                a.on_timer(t, t.as_micros() as i64, &mut out);
+            } else {
+                break;
+            }
+        }
+        let probed: std::collections::HashSet<u16> = out
+            .iter()
+            .filter_map(|tx| match &tx.packet {
+                Packet::ProbeReq { .. } => Some(tx.to.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(probed, [1u16, 2, 3].into_iter().collect());
+        for tx in &out {
+            if let Packet::ProbeReq { metrics, from, .. } = &tx.packet {
+                assert_eq!(*from, HostId(0));
+                assert_eq!(metrics.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn two_nodes_learn_each_other_via_packet_exchange() {
+        // A miniature in-memory "network" with zero loss and 10 ms delay:
+        // run A and B against each other and check the tables converge.
+        let mut a = node(0, 2);
+        let mut b = node(1, 2);
+        let mut t = SimTime::ZERO;
+        let delay = SimDuration::from_millis(10);
+        // In-flight packets: (arrival, receiver, packet).
+        let mut wire: Vec<(SimTime, u16, Packet)> = Vec::new();
+        for _ in 0..20_000 {
+            let ta = a.poll_at().unwrap_or(SimTime::MAX);
+            let tb = b.poll_at().unwrap_or(SimTime::MAX);
+            let tw = wire.iter().map(|w| w.0).min().unwrap_or(SimTime::MAX);
+            t = ta.min(tb).min(tw);
+            if t >= SimTime::from_secs(120) {
+                break;
+            }
+            let mut out = Vec::new();
+            // Deliver due wire packets.
+            let due: Vec<_> = wire.iter().filter(|w| w.0 <= t).cloned().collect();
+            wire.retain(|w| w.0 > t);
+            for (_, to, pkt) in due {
+                let n = if to == 0 { &mut a } else { &mut b };
+                n.on_packet(t, t.as_micros() as i64, pkt, &mut out);
+            }
+            if ta <= t {
+                a.on_timer(t, t.as_micros() as i64, &mut out);
+            }
+            if tb <= t {
+                b.on_timer(t, t.as_micros() as i64, &mut out);
+            }
+            for tx in out {
+                wire.push((t + delay, tx.to.0, tx.packet));
+            }
+        }
+        let ab = a.table().direct(HostId(1));
+        let ba = b.table().direct(HostId(0));
+        assert!(ab.samples() >= 4, "A probed B: {}", ab.samples());
+        assert!(ba.samples() >= 4, "B probed A: {}", ba.samples());
+        assert_eq!(ab.loss_rate(), 0.0);
+        // RTT 20 ms → one-way estimate 10 ms.
+        let lat = ab.latency_us().unwrap();
+        assert!((lat - 10_000.0).abs() < 1_000.0, "lat={lat}");
+    }
+
+    #[test]
+    fn wrap_direct_and_via() {
+        let a = node(0, 3);
+        let m = Packet::Measure {
+            id: 1,
+            method: 0,
+            leg: 0,
+            origin: HostId(0),
+            target: HostId(2),
+            route: RouteTag::Direct,
+            kind: MeasureKind::OneWay,
+            sent_local_us: 0,
+        };
+        let d = a.wrap(Route::Direct, HostId(2), m.clone());
+        assert_eq!(d.to, HostId(2));
+        assert_eq!(d.packet, m);
+        let v = a.wrap(Route::Via(HostId(1)), HostId(2), m.clone());
+        assert_eq!(v.to, HostId(1));
+        match v.packet {
+            Packet::Forward { target, inner } => {
+                assert_eq!(target, HostId(2));
+                assert_eq!(*inner, m);
+            }
+            p => panic!("expected Forward, got {p:?}"),
+        }
+    }
+}

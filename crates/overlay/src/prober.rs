@@ -1,0 +1,365 @@
+//! The active prober.
+//!
+//! §3.1 of the paper: "every node probes every other node once every 15
+//! seconds. When a probe is lost, the node sends an additional string of
+//! up to four probes spaced one second apart, to determine if the remote
+//! host is down." Probes are request/response pairs with random 64-bit
+//! identifiers; a probe with no response inside the timeout counts as a
+//! loss in the path's window.
+
+use crate::stats::PathStats;
+use crate::table::LinkStateTable;
+use netsim::{HostId, Rng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Prober timing configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProberConfig {
+    /// Steady-state interval between probes to each peer.
+    pub interval: SimDuration,
+    /// Fractional jitter applied to each interval (desynchronises nodes).
+    pub jitter_frac: f64,
+    /// How long to wait for a response before declaring the probe lost.
+    pub timeout: SimDuration,
+    /// Number of fast follow-up probes after a loss.
+    pub fast_count: u32,
+    /// Spacing of the fast probes.
+    pub fast_spacing: SimDuration,
+}
+
+impl Default for ProberConfig {
+    fn default() -> Self {
+        ProberConfig {
+            interval: SimDuration::from_secs(15),
+            jitter_frac: 0.2,
+            timeout: SimDuration::from_secs(2),
+            fast_count: 4,
+            fast_spacing: SimDuration::from_secs(1),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    id: u64,
+    peer: HostId,
+    sent: SimTime,
+    deadline: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PeerSched {
+    next_probe: SimTime,
+    chain_left: u32,
+}
+
+/// A request to send one probe packet to `peer` with identifier `id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeSend {
+    /// Probe target.
+    pub peer: HostId,
+    /// The random probe identifier to carry.
+    pub id: u64,
+}
+
+/// Drives probing for one node.
+#[derive(Debug)]
+pub struct Prober {
+    cfg: ProberConfig,
+    me: HostId,
+    peers: Vec<PeerSched>,
+    outstanding: Vec<Outstanding>,
+    rng: Rng,
+    probes_sent: u64,
+    probes_lost: u64,
+}
+
+impl Prober {
+    /// Creates a prober for a mesh of `n` nodes; initial probes are
+    /// staggered across one interval starting at `start`.
+    pub fn new(me: HostId, n: usize, cfg: ProberConfig, mut rng: Rng, start: SimTime) -> Self {
+        let peers = (0..n)
+            .map(|j| {
+                let offset = if j == me.idx() {
+                    SimDuration::MAX / 2 // never probe self
+                } else {
+                    SimDuration::from_micros(rng.below(cfg.interval.as_micros().max(1)))
+                };
+                PeerSched { next_probe: start + offset, chain_left: 0 }
+            })
+            .collect();
+        Prober { cfg, me, peers, outstanding: Vec::new(), rng, probes_sent: 0, probes_lost: 0 }
+    }
+
+    /// The earliest instant at which [`Prober::on_timer`] has work to do.
+    pub fn poll_at(&self) -> Option<SimTime> {
+        let next_send = self
+            .peers
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != self.me.idx())
+            .map(|(_, p)| p.next_probe)
+            .min();
+        let next_deadline = self.outstanding.iter().map(|o| o.deadline).min();
+        match (next_send, next_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn jittered_interval(&mut self) -> SimDuration {
+        let f = 1.0 + self.cfg.jitter_frac * (self.rng.f64() * 2.0 - 1.0);
+        self.cfg.interval.mul_f64(f.max(0.05))
+    }
+
+    /// Processes timer work at `now`: expires outstanding probes
+    /// (recording losses and starting fast chains) and emits due probes.
+    pub fn on_timer(
+        &mut self,
+        now: SimTime,
+        table: &mut LinkStateTable,
+        out: &mut Vec<ProbeSend>,
+    ) {
+        // 1. Expire unanswered probes.
+        let mut expired = Vec::new();
+        self.outstanding.retain(|o| {
+            if o.deadline <= now {
+                expired.push(*o);
+                false
+            } else {
+                true
+            }
+        });
+        for o in expired {
+            self.probes_lost += 1;
+            table.direct_mut(o.peer).record_loss();
+            let idx = o.peer.idx();
+            if self.peers[idx].chain_left > 0 {
+                self.peers[idx].chain_left -= 1;
+                if self.peers[idx].chain_left > 0 {
+                    self.peers[idx].next_probe = now + self.cfg.fast_spacing;
+                } else {
+                    // Chain exhausted; path declared dead by the stats
+                    // layer. Resume the normal schedule.
+                    let iv = self.jittered_interval();
+                    self.peers[idx].next_probe = now + iv;
+                }
+            } else if !table.direct(o.peer).is_dead() {
+                // A fresh loss on a live path triggers the fast chain.
+                self.peers[idx].chain_left = self.cfg.fast_count;
+                self.peers[idx].next_probe = now + self.cfg.fast_spacing;
+            }
+        }
+
+        // 2. Send due probes.
+        for j in 0..self.peers.len() {
+            if j == self.me.idx() {
+                continue;
+            }
+            if self.peers[j].next_probe <= now {
+                let id = self.rng.next_u64();
+                let peer = HostId(j as u16);
+                self.outstanding.push(Outstanding {
+                    id,
+                    peer,
+                    sent: now,
+                    deadline: now + self.cfg.timeout,
+                });
+                out.push(ProbeSend { peer, id });
+                self.probes_sent += 1;
+                // Chain probes reschedule on their own timeout/response;
+                // normal probes get the next steady-state slot.
+                if self.peers[j].chain_left == 0 {
+                    let iv = self.jittered_interval();
+                    self.peers[j].next_probe = now + iv;
+                } else {
+                    // Placeholder far in the future; the timeout or the
+                    // response decides what happens next.
+                    self.peers[j].next_probe = now + self.cfg.timeout + self.cfg.fast_spacing;
+                }
+            }
+        }
+    }
+
+    /// Handles a probe response arriving at `now`; returns the measured
+    /// round-trip time when the id matches an outstanding probe.
+    pub fn on_response(
+        &mut self,
+        id: u64,
+        from: HostId,
+        now: SimTime,
+        table: &mut LinkStateTable,
+    ) -> Option<SimDuration> {
+        let idx = self.outstanding.iter().position(|o| o.id == id && o.peer == from)?;
+        let o = self.outstanding.swap_remove(idx);
+        let rtt = now - o.sent;
+        // The RTT/2 heuristic for a one-way latency estimate (the overlay
+        // has no synchronised clocks of its own).
+        table.direct_mut(o.peer).record_success(now, rtt / 2);
+        let idx = o.peer.idx();
+        if self.peers[idx].chain_left > 0 {
+            // A success cancels the fast chain.
+            self.peers[idx].chain_left = 0;
+            let iv = self.jittered_interval();
+            self.peers[idx].next_probe = now + iv;
+        }
+        Some(rtt)
+    }
+
+    /// (sent, lost) probe counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.probes_sent, self.probes_lost)
+    }
+
+    /// Direct access to per-peer stats (diagnostics).
+    pub fn path<'t>(&self, table: &'t LinkStateTable, peer: HostId) -> &'t PathStats {
+        table.direct(peer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimDuration;
+
+    fn mk(n: usize) -> (Prober, LinkStateTable) {
+        let cfg = ProberConfig::default();
+        let table = LinkStateTable::new(
+            HostId(0),
+            n,
+            100,
+            0.1,
+            1 + cfg.fast_count,
+            SimDuration::from_secs(90),
+            0.01,
+            0.05,
+        );
+        let prober = Prober::new(HostId(0), n, cfg, Rng::new(42), SimTime::ZERO);
+        (prober, table)
+    }
+
+    /// Drives the prober for `secs` seconds, answering probes to peers in
+    /// `responsive` after `rtt_ms`.
+    fn drive(
+        prober: &mut Prober,
+        table: &mut LinkStateTable,
+        secs: u64,
+        responsive: &[u16],
+        rtt_ms: u64,
+    ) {
+        let mut pending_resp: Vec<(SimTime, u64, HostId)> = Vec::new();
+        let end = SimTime::from_secs(secs);
+        let mut now = SimTime::ZERO;
+        loop {
+            let next_timer = prober.poll_at().unwrap_or(end);
+            let next_resp = pending_resp.iter().map(|r| r.0).min().unwrap_or(end);
+            now = next_timer.min(next_resp);
+            if now >= end {
+                break;
+            }
+            // Deliver due responses first.
+            let mut due: Vec<(SimTime, u64, HostId)> = Vec::new();
+            pending_resp.retain(|r| {
+                if r.0 <= now {
+                    due.push(*r);
+                    false
+                } else {
+                    true
+                }
+            });
+            for (_, id, peer) in due {
+                prober.on_response(id, peer, now, table);
+            }
+            let mut sends = Vec::new();
+            prober.on_timer(now, table, &mut sends);
+            for s in sends {
+                if responsive.contains(&s.peer.0) {
+                    pending_resp.push((now + SimDuration::from_millis(rtt_ms), s.id, s.peer));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn responsive_peers_build_clean_windows() {
+        let (mut prober, mut table) = mk(3);
+        drive(&mut prober, &mut table, 300, &[1, 2], 40);
+        for peer in [1u16, 2] {
+            let s = table.direct(HostId(peer));
+            assert!(s.samples() >= 15, "peer {peer} samples {}", s.samples());
+            assert_eq!(s.loss_rate(), 0.0);
+            let lat = s.latency_us().unwrap();
+            assert!((lat - 20_000.0).abs() < 500.0, "lat={lat} (rtt/2 of 40ms)");
+            assert!(!s.is_dead());
+        }
+    }
+
+    #[test]
+    fn silent_peer_is_declared_dead_quickly() {
+        let (mut prober, mut table) = mk(3);
+        drive(&mut prober, &mut table, 60, &[1], 40);
+        assert!(table.direct(HostId(2)).is_dead(), "unresponsive peer must die");
+        assert!(!table.direct(HostId(1)).is_dead());
+    }
+
+    #[test]
+    fn fast_chain_sends_extra_probes_after_loss() {
+        // Peer 1 responsive, peer 2 silent: within the first ~25 s the
+        // chain (1 + 4 probes) should already have fired at 1 s spacing,
+        // i.e. many more probes than the steady 15 s schedule would send.
+        let (mut prober, mut table) = mk(3);
+        drive(&mut prober, &mut table, 45, &[1], 40);
+        let dead_path = table.direct(HostId(2));
+        assert!(
+            dead_path.samples() >= 5,
+            "chain must add probes: {} recorded",
+            dead_path.samples()
+        );
+    }
+
+    #[test]
+    fn probe_rate_matches_configuration() {
+        let (mut prober, mut table) = mk(2);
+        drive(&mut prober, &mut table, 1500, &[1], 40);
+        let (sent, lost) = prober.counters();
+        assert_eq!(lost, 0);
+        // 1500 s / 15 s ≈ 100 probes (jitter ±20%).
+        assert!((80..=125).contains(&(sent as i64)), "sent={sent}");
+    }
+
+    #[test]
+    fn unknown_response_id_is_ignored() {
+        let (mut prober, mut table) = mk(3);
+        assert_eq!(
+            prober.on_response(0xBAD, HostId(1), SimTime::from_secs(1), &mut table),
+            None
+        );
+    }
+
+    #[test]
+    fn recovery_after_outage() {
+        let (mut prober, mut table) = mk(2);
+        // Phase 1: silence → dead.
+        drive(&mut prober, &mut table, 60, &[], 40);
+        assert!(table.direct(HostId(1)).is_dead());
+        // Phase 2: keep driving with the peer answering; the path must
+        // come back to life. (drive() restarts time, so run the prober
+        // manually from a later instant.)
+        let mut pending: Vec<(SimTime, u64)> = Vec::new();
+        let mut now = SimTime::from_secs(60);
+        for _ in 0..200 {
+            let mut sends = Vec::new();
+            prober.on_timer(now, &mut table, &mut sends);
+            for s in sends {
+                pending.push((now + SimDuration::from_millis(30), s.id));
+            }
+            let due: Vec<_> = pending.iter().filter(|p| p.0 <= now).cloned().collect();
+            pending.retain(|p| p.0 > now);
+            for (_, id) in due {
+                prober.on_response(id, HostId(1), now, &mut table);
+            }
+            now += SimDuration::from_millis(500);
+        }
+        assert!(!table.direct(HostId(1)).is_dead(), "path must revive");
+    }
+}

@@ -1,0 +1,647 @@
+//! The link-state table and route selection.
+//!
+//! Each node measures its *direct* paths with the prober and learns every
+//! peer's direct-path metrics from the vectors piggybacked on probe
+//! traffic. Routing considers the direct path and all two-hop paths
+//! through a single intermediate (§3.1):
+//!
+//! * **min-loss**: minimise `1 - (1-p₁)(1-p₂)`, the composed loss of the
+//!   two overlay hops, against the direct path's windowed loss rate;
+//! * **min-latency**: minimise the sum of hop latency estimates while
+//!   avoiding paths declared failed;
+//! * **random**: a uniformly random intermediate — the mesh-routing
+//!   building block, requiring no probe data at all.
+//!
+//! A small hysteresis keeps routes from flapping between statistically
+//! indistinguishable alternatives (the RON implementation does the same).
+
+use crate::stats::PathStats;
+use crate::wire::MetricEntry;
+use netsim::{HostId, Rng, SimDuration, SimTime};
+
+/// Route selection policy (§3, Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Always the direct Internet path.
+    Direct,
+    /// A uniformly random single intermediate.
+    Random,
+    /// Probe-based loss minimisation.
+    MinLoss,
+    /// Probe-based latency minimisation (avoiding failed links).
+    MinLat,
+}
+
+/// A routing decision: the overlay uses at most one intermediate node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Route {
+    /// Send on the direct Internet path.
+    Direct,
+    /// Forward through this intermediate node.
+    Via(HostId),
+}
+
+/// A peer's claimed metric toward some destination.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteMetric {
+    /// Claimed loss rate (0..1).
+    pub loss: f64,
+    /// Claimed one-way latency, microseconds.
+    pub lat_us: f64,
+    /// Claimed liveness.
+    pub alive: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PeerVector {
+    at: SimTime,
+    entries: Vec<Option<RemoteMetric>>,
+}
+
+/// Everything one node knows about the mesh.
+#[derive(Debug)]
+pub struct LinkStateTable {
+    me: HostId,
+    n: usize,
+    direct: Vec<PathStats>,
+    vectors: Vec<Option<PeerVector>>,
+    staleness: SimDuration,
+    /// Absolute loss-rate advantage an indirect path must show.
+    loss_hysteresis: f64,
+    /// Relative latency advantage an indirect path must show.
+    lat_hysteresis: f64,
+}
+
+impl LinkStateTable {
+    /// Creates a table for a mesh of `n` nodes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        me: HostId,
+        n: usize,
+        window: usize,
+        ewma_alpha: f64,
+        dead_threshold: u32,
+        staleness: SimDuration,
+        loss_hysteresis: f64,
+        lat_hysteresis: f64,
+    ) -> Self {
+        LinkStateTable {
+            me,
+            n,
+            direct: (0..n).map(|_| PathStats::new(window, ewma_alpha, dead_threshold)).collect(),
+            vectors: vec![None; n],
+            staleness,
+            loss_hysteresis,
+            lat_hysteresis,
+        }
+    }
+
+    /// Mesh size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Mutable access to the direct-path stats toward `peer` (the prober
+    /// records outcomes through this).
+    pub fn direct_mut(&mut self, peer: HostId) -> &mut PathStats {
+        &mut self.direct[peer.idx()]
+    }
+
+    /// Direct-path stats toward `peer`.
+    pub fn direct(&self, peer: HostId) -> &PathStats {
+        &self.direct[peer.idx()]
+    }
+
+    /// Ingests a peer's piggybacked metric vector.
+    pub fn on_metrics(&mut self, from: HostId, entries: &[MetricEntry], now: SimTime) {
+        if from == self.me || from.idx() >= self.n {
+            return;
+        }
+        let mut v = vec![None; self.n];
+        for e in entries {
+            if e.peer.idx() < self.n {
+                v[e.peer.idx()] = Some(RemoteMetric {
+                    loss: e.loss_e4 as f64 / 10_000.0,
+                    lat_us: e.lat_us as f64,
+                    alive: e.alive,
+                });
+            }
+        }
+        self.vectors[from.idx()] = Some(PeerVector { at: now, entries: v });
+    }
+
+    /// Snapshot of my direct metrics for piggybacking on probe packets.
+    pub fn snapshot(&self) -> Vec<MetricEntry> {
+        (0..self.n)
+            .filter(|&j| j != self.me.idx())
+            .map(|j| {
+                let s = &self.direct[j];
+                MetricEntry {
+                    peer: HostId(j as u16),
+                    // Advertise the smoothed routing estimate, not the raw
+                    // window: peers compose it into two-hop predictions.
+                    loss_e4: (s.loss_estimate() * 10_000.0).round().min(10_000.0) as u16,
+                    lat_us: s.latency_us().unwrap_or(0.0).min(u32::MAX as f64) as u32,
+                    alive: !s.is_dead() && s.samples() > 0,
+                }
+            })
+            .collect()
+    }
+
+    fn remote(&self, k: HostId, dst: HostId, now: SimTime) -> Option<RemoteMetric> {
+        let v = self.vectors[k.idx()].as_ref()?;
+        if now.since(v.at) > self.staleness {
+            return None;
+        }
+        v.entries[dst.idx()]
+    }
+
+    /// Selects a route toward `dst` under `policy`. `rng` supplies the
+    /// randomness for [`Policy::Random`].
+    pub fn route(&self, dst: HostId, policy: Policy, now: SimTime, rng: &mut Rng) -> Route {
+        debug_assert_ne!(dst, self.me);
+        match policy {
+            Policy::Direct => Route::Direct,
+            Policy::Random => self.random_via(dst, rng),
+            Policy::MinLoss => self.min_loss(dst, now),
+            Policy::MinLat => self.min_lat(dst, now),
+        }
+    }
+
+    /// Selects a route toward `dst` that is *distinct* from `exclude` —
+    /// the second copy of a 2-redundant pair must travel "on each
+    /// distinct paths" (§3.2). When the policy's best route collides
+    /// with `exclude`, the best allowed alternative is taken, even if it
+    /// is worse than the excluded one; with no information at all the
+    /// fallback is a random intermediate.
+    pub fn route_diverse(
+        &self,
+        dst: HostId,
+        policy: Policy,
+        now: SimTime,
+        rng: &mut Rng,
+        exclude: Route,
+    ) -> Route {
+        debug_assert_ne!(dst, self.me);
+        let candidate = match policy {
+            Policy::Direct => Route::Direct,
+            Policy::Random => self.random_excluding(dst, rng, exclude),
+            Policy::MinLoss => self.argmin_excluding(dst, now, exclude, |mine, rm| {
+                1.0 - (1.0 - mine.loss_estimate()) * (1.0 - rm.loss)
+            }),
+            Policy::MinLat => self.argmin_excluding(dst, now, exclude, |mine, rm| {
+                mine.latency_us().unwrap_or(f64::INFINITY) + rm.lat_us
+            }),
+        };
+        if candidate == exclude {
+            // Direct policy with direct excluded, or a degenerate mesh:
+            // force a random detour (any diversity beats none).
+            self.random_excluding(dst, rng, exclude)
+        } else {
+            candidate
+        }
+    }
+
+    fn random_excluding(&self, dst: HostId, rng: &mut Rng, exclude: Route) -> Route {
+        for _ in 0..8 {
+            let r = self.random_via(dst, rng);
+            if r != exclude {
+                return r;
+            }
+        }
+        // Tiny meshes may have no alternative.
+        self.random_via(dst, rng)
+    }
+
+    /// Best route by `score` (lower is better) among direct and one-hop
+    /// candidates, skipping `exclude`. No hysteresis: when a route is
+    /// excluded the question is "what is the best *other* path", not
+    /// "is a detour worth the risk".
+    fn argmin_excluding<F>(&self, dst: HostId, now: SimTime, exclude: Route, score: F) -> Route
+    where
+        F: Fn(&PathStats, &RemoteMetric) -> f64,
+    {
+        let mut best = None;
+        let mut best_score = f64::INFINITY;
+        if exclude != Route::Direct {
+            let d = &self.direct[dst.idx()];
+            if !d.is_dead() {
+                // Score direct as a one-hop with a perfect second hop.
+                let s = score(d, &RemoteMetric { loss: 0.0, lat_us: 0.0, alive: true });
+                if s < best_score {
+                    best_score = s;
+                    best = Some(Route::Direct);
+                }
+            }
+        }
+        for k in 0..self.n {
+            if k == self.me.idx() || k == dst.idx() {
+                continue;
+            }
+            let kh = HostId(k as u16);
+            if exclude == Route::Via(kh) {
+                continue;
+            }
+            let mine = &self.direct[k];
+            if mine.is_dead() || mine.samples() == 0 {
+                continue;
+            }
+            let Some(rm) = self.remote(kh, dst, now) else { continue };
+            if !rm.alive {
+                continue;
+            }
+            let s = score(mine, &rm);
+            if s < best_score {
+                best_score = s;
+                best = Some(Route::Via(kh));
+            }
+        }
+        best.unwrap_or(exclude) // caller resolves the collision
+    }
+
+    fn random_via(&self, dst: HostId, rng: &mut Rng) -> Route {
+        if self.n <= 2 {
+            return Route::Direct;
+        }
+        // Uniform over nodes other than me and dst.
+        let mut k = rng.below((self.n - 2) as u64) as usize;
+        let (a, b) = if self.me.idx() < dst.idx() {
+            (self.me.idx(), dst.idx())
+        } else {
+            (dst.idx(), self.me.idx())
+        };
+        if k >= a {
+            k += 1;
+        }
+        if k >= b {
+            k += 1;
+        }
+        Route::Via(HostId(k as u16))
+    }
+
+    fn min_loss(&self, dst: HostId, now: SimTime) -> Route {
+        let direct_loss = self.direct[dst.idx()].loss_estimate();
+        let mut best = Route::Direct;
+        // Hysteresis: an indirect path must beat direct by a margin.
+        let mut best_score = (direct_loss - self.loss_hysteresis).max(0.0);
+        for k in 0..self.n {
+            if k == self.me.idx() || k == dst.idx() {
+                continue;
+            }
+            let kh = HostId(k as u16);
+            let mine = &self.direct[k];
+            if mine.is_dead() || mine.samples() == 0 {
+                continue;
+            }
+            let Some(rm) = self.remote(kh, dst, now) else { continue };
+            if !rm.alive {
+                continue;
+            }
+            let p = 1.0 - (1.0 - mine.loss_estimate()) * (1.0 - rm.loss);
+            if p < best_score {
+                best_score = p;
+                best = Route::Via(kh);
+            }
+        }
+        best
+    }
+
+    fn min_lat(&self, dst: HostId, now: SimTime) -> Route {
+        let d = &self.direct[dst.idx()];
+        let direct_lat = if d.is_dead() { f64::INFINITY } else { d.latency_us().unwrap_or(f64::INFINITY) };
+        let mut best = Route::Direct;
+        let mut best_score = direct_lat * (1.0 - self.lat_hysteresis);
+        for k in 0..self.n {
+            if k == self.me.idx() || k == dst.idx() {
+                continue;
+            }
+            let kh = HostId(k as u16);
+            let mine = &self.direct[k];
+            if mine.is_dead() {
+                continue;
+            }
+            let Some(lat1) = mine.latency_us() else { continue };
+            let Some(rm) = self.remote(kh, dst, now) else { continue };
+            if !rm.alive || rm.lat_us <= 0.0 {
+                continue;
+            }
+            let lat = lat1 + rm.lat_us;
+            if lat < best_score {
+                best_score = lat;
+                best = Route::Via(kh);
+            }
+        }
+        // An unusable direct path with no alternative still routes direct
+        // (there is nothing better to try).
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize) -> LinkStateTable {
+        LinkStateTable::new(
+            HostId(0),
+            n,
+            100,
+            0.1,
+            5,
+            SimDuration::from_secs(90),
+            0.01,
+            0.05,
+        )
+    }
+
+    fn feed_direct(t: &mut LinkStateTable, peer: u16, losses: usize, successes: usize, lat_ms: u64) {
+        for _ in 0..losses {
+            t.direct_mut(HostId(peer)).record_loss();
+        }
+        for _ in 0..successes {
+            t.direct_mut(HostId(peer))
+                .record_success(SimTime::from_secs(1), SimDuration::from_millis(lat_ms));
+        }
+    }
+
+    fn vector_from(t: &mut LinkStateTable, from: u16, toward: u16, loss: f64, lat_ms: u32, at: SimTime) {
+        t.on_metrics(
+            HostId(from),
+            &[MetricEntry {
+                peer: HostId(toward),
+                loss_e4: (loss * 10_000.0) as u16,
+                lat_us: lat_ms * 1000,
+                alive: true,
+            }],
+            at,
+        );
+    }
+
+    #[test]
+    fn fresh_table_routes_direct() {
+        let t = table(5);
+        let mut rng = Rng::new(1);
+        let now = SimTime::from_secs(10);
+        assert_eq!(t.route(HostId(3), Policy::MinLoss, now, &mut rng), Route::Direct);
+        assert_eq!(t.route(HostId(3), Policy::MinLat, now, &mut rng), Route::Direct);
+        assert_eq!(t.route(HostId(3), Policy::Direct, now, &mut rng), Route::Direct);
+    }
+
+    #[test]
+    fn min_loss_takes_clean_detour() {
+        let mut t = table(4);
+        let now = SimTime::from_secs(100);
+        // Direct 0→3 is 30% lossy; 0→1 clean and 1 reports 1→3 clean.
+        feed_direct(&mut t, 3, 30, 70, 50);
+        feed_direct(&mut t, 1, 0, 100, 10);
+        vector_from(&mut t, 1, 3, 0.0, 10, now);
+        let mut rng = Rng::new(2);
+        assert_eq!(t.route(HostId(3), Policy::MinLoss, now, &mut rng), Route::Via(HostId(1)));
+    }
+
+    #[test]
+    fn min_loss_stays_direct_when_detour_is_worse() {
+        let mut t = table(4);
+        let now = SimTime::from_secs(100);
+        feed_direct(&mut t, 3, 2, 98, 50); // 2% direct
+        feed_direct(&mut t, 1, 10, 90, 10); // 10% to the candidate hop
+        vector_from(&mut t, 1, 3, 0.0, 10, now);
+        let mut rng = Rng::new(3);
+        assert_eq!(t.route(HostId(3), Policy::MinLoss, now, &mut rng), Route::Direct);
+    }
+
+    #[test]
+    fn hysteresis_keeps_marginal_detours_out() {
+        let mut t = table(4);
+        let now = SimTime::from_secs(100);
+        // Direct 1% lossy; detour 0.8% — inside the 0.5% hysteresis band.
+        feed_direct(&mut t, 3, 1, 99, 50);
+        feed_direct(&mut t, 1, 0, 100, 10);
+        vector_from(&mut t, 1, 3, 0.008, 10, now);
+        let mut rng = Rng::new(4);
+        assert_eq!(t.route(HostId(3), Policy::MinLoss, now, &mut rng), Route::Direct);
+    }
+
+    #[test]
+    fn stale_vectors_are_ignored() {
+        let mut t = table(4);
+        feed_direct(&mut t, 3, 30, 70, 50);
+        feed_direct(&mut t, 1, 0, 100, 10);
+        vector_from(&mut t, 1, 3, 0.0, 10, SimTime::from_secs(100));
+        let much_later = SimTime::from_secs(100 + 600);
+        let mut rng = Rng::new(5);
+        assert_eq!(
+            t.route(HostId(3), Policy::MinLoss, much_later, &mut rng),
+            Route::Direct,
+            "a ten-minute-old vector must not be trusted"
+        );
+    }
+
+    #[test]
+    fn min_lat_picks_faster_two_hop() {
+        let mut t = table(4);
+        let now = SimTime::from_secs(50);
+        feed_direct(&mut t, 3, 0, 50, 100); // direct: 100 ms
+        feed_direct(&mut t, 1, 0, 50, 20); // to hop: 20 ms
+        vector_from(&mut t, 1, 3, 0.0, 30, now); // hop to dst: 30 ms
+        let mut rng = Rng::new(6);
+        assert_eq!(t.route(HostId(3), Policy::MinLat, now, &mut rng), Route::Via(HostId(1)));
+    }
+
+    #[test]
+    fn min_lat_avoids_dead_direct() {
+        let mut t = table(4);
+        let now = SimTime::from_secs(50);
+        feed_direct(&mut t, 3, 0, 10, 10); // fast direct...
+        for _ in 0..5 {
+            t.direct_mut(HostId(3)).record_loss(); // ...then it dies
+        }
+        feed_direct(&mut t, 1, 0, 50, 40);
+        vector_from(&mut t, 1, 3, 0.0, 40, now);
+        let mut rng = Rng::new(7);
+        assert_eq!(
+            t.route(HostId(3), Policy::MinLat, now, &mut rng),
+            Route::Via(HostId(1)),
+            "lat policy must avoid completely failed links"
+        );
+    }
+
+    #[test]
+    fn random_never_picks_endpoints_and_is_uniform() {
+        let t = table(6);
+        let mut rng = Rng::new(8);
+        let mut counts = [0u32; 6];
+        for _ in 0..8_000 {
+            match t.route(HostId(3), Policy::Random, SimTime::ZERO, &mut rng) {
+                Route::Via(k) => counts[k.idx()] += 1,
+                Route::Direct => panic!("random with n>2 must pick an intermediate"),
+            }
+        }
+        assert_eq!(counts[0], 0, "never via self");
+        assert_eq!(counts[3], 0, "never via destination");
+        for k in [1usize, 2, 4, 5] {
+            assert!(
+                (1_600..2_400).contains(&counts[k]),
+                "intermediate {k} count {} not uniform",
+                counts[k]
+            );
+        }
+    }
+
+    #[test]
+    fn random_on_two_nodes_degrades_to_direct() {
+        let t = table(2);
+        let mut rng = Rng::new(9);
+        assert_eq!(t.route(HostId(1), Policy::Random, SimTime::ZERO, &mut rng), Route::Direct);
+    }
+
+    #[test]
+    fn dead_intermediate_excluded_from_min_loss() {
+        let mut t = table(4);
+        let now = SimTime::from_secs(100);
+        feed_direct(&mut t, 3, 30, 70, 50);
+        feed_direct(&mut t, 1, 0, 100, 10);
+        vector_from(&mut t, 1, 3, 0.0, 10, now);
+        for _ in 0..5 {
+            t.direct_mut(HostId(1)).record_loss(); // hop 1 dies
+        }
+        let mut rng = Rng::new(10);
+        assert_eq!(t.route(HostId(3), Policy::MinLoss, now, &mut rng), Route::Direct);
+    }
+
+    #[test]
+    fn snapshot_reflects_direct_state() {
+        let mut t = table(3);
+        feed_direct(&mut t, 1, 1, 9, 25);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        let e1 = snap.iter().find(|e| e.peer == HostId(1)).unwrap();
+        // The advertised metric is the Laplace-smoothed routing estimate:
+        // (1 + 0.5) / (10 + 1) ≈ 13.64%.
+        assert_eq!(e1.loss_e4, 1364);
+        assert!(e1.alive);
+        assert!(e1.lat_us > 0);
+        let e2 = snap.iter().find(|e| e.peer == HostId(2)).unwrap();
+        assert!(!e2.alive, "no samples yet → not claimed alive");
+    }
+}
+
+#[cfg(test)]
+mod diverse_tests {
+    use super::*;
+
+    fn table(n: usize) -> LinkStateTable {
+        LinkStateTable::new(
+            HostId(0),
+            n,
+            100,
+            0.1,
+            5,
+            SimDuration::from_secs(90),
+            0.01,
+            0.05,
+        )
+    }
+
+    fn feed_direct(t: &mut LinkStateTable, peer: u16, losses: usize, successes: usize, lat_ms: u64) {
+        for _ in 0..losses {
+            t.direct_mut(HostId(peer)).record_loss();
+        }
+        for _ in 0..successes {
+            t.direct_mut(HostId(peer))
+                .record_success(SimTime::from_secs(1), SimDuration::from_millis(lat_ms));
+        }
+    }
+
+    fn vector_from(t: &mut LinkStateTable, from: u16, toward: u16, loss: f64, lat_ms: u32, at: SimTime) {
+        t.on_metrics(
+            HostId(from),
+            &[MetricEntry {
+                peer: HostId(toward),
+                loss_e4: (loss * 10_000.0) as u16,
+                lat_us: lat_ms * 1000,
+                alive: true,
+            }],
+            at,
+        );
+    }
+
+    #[test]
+    fn excluding_direct_forces_an_intermediate() {
+        let mut t = table(5);
+        let now = SimTime::from_secs(50);
+        // A perfectly clean direct path — normally unbeatable.
+        feed_direct(&mut t, 4, 0, 100, 20);
+        feed_direct(&mut t, 1, 0, 100, 10);
+        feed_direct(&mut t, 2, 5, 95, 10);
+        vector_from(&mut t, 1, 4, 0.0, 10, now);
+        vector_from(&mut t, 2, 4, 0.0, 10, now);
+        let mut rng = Rng::new(1);
+        let r = t.route_diverse(HostId(4), Policy::MinLoss, now, &mut rng, Route::Direct);
+        // Must pick the cleanest intermediate, never direct.
+        assert_eq!(r, Route::Via(HostId(1)));
+    }
+
+    #[test]
+    fn excluding_a_via_allows_direct() {
+        let mut t = table(4);
+        let now = SimTime::from_secs(50);
+        feed_direct(&mut t, 3, 0, 100, 20);
+        feed_direct(&mut t, 1, 0, 100, 10);
+        vector_from(&mut t, 1, 3, 0.0, 10, now);
+        let mut rng = Rng::new(2);
+        let r = t.route_diverse(HostId(3), Policy::MinLoss, now, &mut rng, Route::Via(HostId(1)));
+        assert_eq!(r, Route::Direct, "clean direct beats the remaining detours");
+    }
+
+    #[test]
+    fn random_diverse_avoids_the_excluded_intermediate() {
+        let t = table(5);
+        let mut rng = Rng::new(3);
+        for _ in 0..500 {
+            let r = t.route_diverse(HostId(4), Policy::Random, SimTime::ZERO, &mut rng, Route::Via(HostId(1)));
+            assert_ne!(r, Route::Via(HostId(1)), "excluded intermediate reused");
+            assert_ne!(r, Route::Via(HostId(0)), "via self");
+            assert_ne!(r, Route::Via(HostId(4)), "via destination");
+        }
+    }
+
+    #[test]
+    fn no_information_falls_back_to_random_detour() {
+        let t = table(6);
+        let mut rng = Rng::new(4);
+        let r = t.route_diverse(HostId(3), Policy::MinLoss, SimTime::from_secs(9), &mut rng, Route::Direct);
+        assert!(matches!(r, Route::Via(_)), "diversity demands *some* other path: {r:?}");
+    }
+
+    #[test]
+    fn min_lat_diverse_picks_fastest_alternative() {
+        let mut t = table(5);
+        let now = SimTime::from_secs(50);
+        feed_direct(&mut t, 4, 0, 100, 10); // direct: fast, but excluded
+        feed_direct(&mut t, 1, 0, 100, 30);
+        feed_direct(&mut t, 2, 0, 100, 15);
+        vector_from(&mut t, 1, 4, 0.0, 30, now);
+        vector_from(&mut t, 2, 4, 0.0, 20, now);
+        let mut rng = Rng::new(5);
+        let r = t.route_diverse(HostId(4), Policy::MinLat, now, &mut rng, Route::Direct);
+        assert_eq!(r, Route::Via(HostId(2)), "15+20 beats 30+30");
+    }
+
+    #[test]
+    fn dead_paths_excluded_from_diverse_argmin() {
+        let mut t = table(4);
+        let now = SimTime::from_secs(50);
+        feed_direct(&mut t, 3, 0, 100, 10);
+        feed_direct(&mut t, 1, 0, 100, 5);
+        vector_from(&mut t, 1, 3, 0.0, 5, now);
+        for _ in 0..5 {
+            t.direct_mut(HostId(1)).record_loss(); // hop 1 dies
+        }
+        feed_direct(&mut t, 2, 0, 100, 40);
+        vector_from(&mut t, 2, 3, 0.0, 40, now);
+        let mut rng = Rng::new(6);
+        let r = t.route_diverse(HostId(3), Policy::MinLoss, now, &mut rng, Route::Direct);
+        assert_eq!(r, Route::Via(HostId(2)), "dead hop 1 must be skipped");
+    }
+}

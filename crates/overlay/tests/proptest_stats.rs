@@ -1,0 +1,76 @@
+//! Property tests: the loss window agrees with a naive reference model
+//! for any probe sequence, and the routing estimate stays sane.
+
+use overlay::{LossWindow, PathStats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn window_matches_reference_model(
+        outcomes in proptest::collection::vec(any::<bool>(), 0..400),
+        cap in 1usize..150,
+    ) {
+        let mut w = LossWindow::new(cap);
+        for &lost in &outcomes {
+            w.push(lost);
+        }
+        let tail: Vec<bool> = outcomes.iter().rev().take(cap).copied().collect();
+        let expect_len = tail.len();
+        let expect_lost = tail.iter().filter(|&&l| l).count();
+        prop_assert_eq!(w.len(), expect_len);
+        prop_assert_eq!(w.losses(), expect_lost);
+        if expect_len > 0 {
+            let rate = expect_lost as f64 / expect_len as f64;
+            prop_assert!((w.loss_rate() - rate).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn estimates_are_probabilities(
+        events in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut p = PathStats::new(100, 0.1, 5);
+        for (i, &lost) in events.iter().enumerate() {
+            if lost {
+                p.record_loss();
+            } else {
+                p.record_success(
+                    netsim::SimTime::from_secs(i as u64),
+                    netsim::SimDuration::from_millis(25),
+                );
+            }
+            let est = p.loss_estimate();
+            let raw = p.loss_rate();
+            prop_assert!((0.0..=1.0).contains(&est), "estimate {est}");
+            prop_assert!((0.0..=1.0).contains(&raw), "raw {raw}");
+            if !p.is_dead() {
+                // The prior pulls small samples toward the middle but can
+                // never invent more than half a probe of loss.
+                prop_assert!(est <= raw + 0.5, "est {est} raw {raw}");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_is_exactly_threshold_consecutive_losses(
+        threshold in 1u32..8,
+        pre_successes in 0usize..5,
+    ) {
+        let mut p = PathStats::new(100, 0.1, threshold);
+        for i in 0..pre_successes {
+            p.record_success(
+                netsim::SimTime::from_secs(i as u64),
+                netsim::SimDuration::from_millis(10),
+            );
+        }
+        for i in 0..threshold {
+            prop_assert!(!p.is_dead(), "dead after only {i} losses (threshold {threshold})");
+            p.record_loss();
+        }
+        prop_assert!(p.is_dead());
+        p.record_success(netsim::SimTime::from_secs(999), netsim::SimDuration::from_millis(10));
+        prop_assert!(!p.is_dead(), "success must revive");
+    }
+}

@@ -1,0 +1,386 @@
+//! The central measurement collector (§4.1, streaming form).
+//!
+//! Hosts feed send and receive events in (true-)time order. The collector
+//! pairs receives with sends by probe id, resolves each probe pair once
+//! its receive window expires, and applies the paper's host-failure rule:
+//! a host that stops sending probes for more than `fail_gap` (90 s) is
+//! considered crashed, and samples toward it during the gap are discarded
+//! rather than counted as network loss.
+
+use crate::record::{LegOutcome, PairOutcome, RecvEvent, SendEvent};
+use netsim::{HostId, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Collector policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectorConfig {
+    /// How long after the first send a pair stays open for receives. The
+    /// paper used one hour; simulated paths bound delay at a few seconds,
+    /// so experiments typically shrink this to keep memory flat (the
+    /// semantics are identical as long as it exceeds the maximum delay).
+    pub receive_window: SimDuration,
+    /// Send-gap beyond which a host counts as crashed (§4.1: 90 s).
+    pub fail_gap: SimDuration,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            receive_window: SimDuration::from_secs(60),
+            fail_gap: SimDuration::from_secs(90),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingLeg {
+    route: u8,
+    sent_local_us: i64,
+    recv: Option<RecvEvent>,
+}
+
+#[derive(Debug)]
+struct PendingPair {
+    method: u8,
+    src: HostId,
+    dst: HostId,
+    first_sent: SimTime,
+    legs: [Option<PendingLeg>; 2],
+}
+
+#[derive(Debug, Clone, Default)]
+struct HostActivity {
+    last_send: Option<SimTime>,
+    /// Closed intervals during which the host was silent beyond the gap.
+    down: Vec<(SimTime, SimTime)>,
+}
+
+impl HostActivity {
+    fn on_send(&mut self, at: SimTime, fail_gap: SimDuration) {
+        if let Some(prev) = self.last_send {
+            if at.since(prev) > fail_gap {
+                self.down.push((prev, at));
+            }
+        }
+        self.last_send = Some(at);
+    }
+
+    /// Was the host silent around `t` (either inside a recorded gap, or
+    /// silent ever since more than `fail_gap` before `now`)?
+    fn was_down(&self, t: SimTime, now: SimTime, fail_gap: SimDuration) -> bool {
+        match self.last_send {
+            None => true, // never heard from this host at all
+            Some(last) => {
+                if t > last && now.since(last) > fail_gap {
+                    return true; // open-ended silence
+                }
+                // Binary search over closed gaps (sorted by construction).
+                let idx = self.down.partition_point(|&(_, end)| end <= t);
+                idx < self.down.len() && self.down[idx].0 <= t
+            }
+        }
+    }
+}
+
+/// Streaming collector; see module docs.
+pub struct Collector {
+    cfg: CollectorConfig,
+    pending: HashMap<u64, PendingPair>,
+    deadlines: BinaryHeap<Reverse<(SimTime, u64)>>,
+    activity: Vec<HostActivity>,
+    finalized: Vec<PairOutcome>,
+    discarded: u64,
+    resolved: u64,
+    late_receives: u64,
+}
+
+impl Collector {
+    /// Creates a collector for a mesh of `n` hosts.
+    pub fn new(n: usize, cfg: CollectorConfig) -> Self {
+        Collector {
+            cfg,
+            pending: HashMap::new(),
+            deadlines: BinaryHeap::new(),
+            activity: vec![HostActivity::default(); n],
+            finalized: Vec::new(),
+            discarded: 0,
+            resolved: 0,
+            late_receives: 0,
+        }
+    }
+
+    /// Ingests a send event. Events must arrive in nondecreasing time
+    /// order per host (the natural order of a simulation or a merged log).
+    pub fn on_send(&mut self, e: SendEvent) {
+        self.activity[e.src.idx()].on_send(e.sent, self.cfg.fail_gap);
+        let leg = PendingLeg { route: e.route, sent_local_us: e.sent_local_us, recv: None };
+        let entry = self.pending.entry(e.id).or_insert_with(|| {
+            self.deadlines.push(Reverse((e.sent + self.cfg.receive_window, e.id)));
+            PendingPair {
+                method: e.method,
+                src: e.src,
+                dst: e.dst,
+                first_sent: e.sent,
+                legs: [None, None],
+            }
+        });
+        if (e.leg as usize) < 2 {
+            entry.legs[e.leg as usize] = Some(leg);
+        }
+    }
+
+    /// Ingests a receive event.
+    pub fn on_recv(&mut self, e: RecvEvent) {
+        let Some(p) = self.pending.get_mut(&e.id) else {
+            self.late_receives += 1;
+            return;
+        };
+        if let Some(Some(leg)) = p.legs.get_mut(e.leg as usize) {
+            leg.recv = Some(e);
+        }
+    }
+
+    /// Resolves every pair whose receive window has expired by `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        while let Some(&Reverse((deadline, id))) = self.deadlines.peek() {
+            if deadline > now {
+                break;
+            }
+            self.deadlines.pop();
+            let Some(p) = self.pending.remove(&id) else { continue };
+            let outcome = self.resolve(id, p, now);
+            self.finalized.push(outcome);
+        }
+    }
+
+    fn resolve(&mut self, id: u64, p: PendingPair, now: SimTime) -> PairOutcome {
+        self.resolved += 1;
+        let mk = |leg: &Option<PendingLeg>| {
+            leg.map(|l| LegOutcome {
+                route: l.route,
+                lost: l.recv.is_none(),
+                one_way_us: l.recv.map(|r| r.recv_local_us - l.sent_local_us),
+            })
+        };
+        // §4.1 host-failure filter: if the destination host's measurement
+        // process was silent around the send instant, the sample tells us
+        // about the host, not the network — discard it.
+        let discarded = self.activity[p.dst.idx()].was_down(p.first_sent, now, self.cfg.fail_gap);
+        if discarded {
+            self.discarded += 1;
+        }
+        PairOutcome {
+            id,
+            method: p.method,
+            src: p.src,
+            dst: p.dst,
+            sent: p.first_sent,
+            legs: [mk(&p.legs[0]), mk(&p.legs[1])],
+            discarded,
+        }
+    }
+
+    /// Takes all outcomes finalized so far.
+    pub fn drain(&mut self) -> Vec<PairOutcome> {
+        std::mem::take(&mut self.finalized)
+    }
+
+    /// Flushes every pending pair regardless of window (end of run).
+    pub fn finish(&mut self, now: SimTime) {
+        let ids: Vec<u64> = self.pending.keys().copied().collect();
+        for id in ids {
+            if let Some(p) = self.pending.remove(&id) {
+                let o = self.resolve(id, p, now);
+                self.finalized.push(o);
+            }
+        }
+        self.deadlines.clear();
+    }
+
+    /// (resolved, discarded-by-host-filter, receives-after-window).
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.resolved, self.discarded, self.late_receives)
+    }
+
+    /// Number of still-open pairs (memory watermark).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CollectorConfig {
+        CollectorConfig {
+            receive_window: SimDuration::from_secs(10),
+            fail_gap: SimDuration::from_secs(90),
+        }
+    }
+
+    fn send(id: u64, leg: u8, src: u16, dst: u16, t: u64) -> SendEvent {
+        SendEvent {
+            id,
+            method: 1,
+            leg,
+            src: HostId(src),
+            dst: HostId(dst),
+            route: 0,
+            sent: SimTime::from_secs(t),
+            sent_local_us: (t * 1_000_000) as i64,
+        }
+    }
+
+    fn recv(id: u64, leg: u8, t_us: u64) -> RecvEvent {
+        RecvEvent {
+            id,
+            leg,
+            recv: SimTime::from_micros(t_us),
+            recv_local_us: t_us as i64,
+        }
+    }
+
+    /// Keeps both endpoints "alive" by having them send their own probes.
+    fn heartbeat(c: &mut Collector, hosts: &[u16], t: u64) {
+        for (i, &h) in hosts.iter().enumerate() {
+            c.on_send(send(1_000_000 + t * 100 + i as u64, 0, h, hosts[(i + 1) % hosts.len()], t));
+        }
+    }
+
+    #[test]
+    fn received_pair_resolves_with_latency() {
+        let mut c = Collector::new(4, cfg());
+        for t in 0..40 {
+            heartbeat(&mut c, &[0, 1], t);
+        }
+        c.on_send(send(42, 0, 0, 1, 5));
+        c.on_recv(recv(42, 0, 5_030_000)); // 30 ms later
+        c.advance(SimTime::from_secs(120));
+        let outs = c.drain();
+        let o = outs.iter().find(|o| o.id == 42).unwrap();
+        assert!(!o.discarded);
+        let leg = o.legs[0].unwrap();
+        assert!(!leg.lost);
+        assert_eq!(leg.one_way_us, Some(30_000));
+        assert!(!o.all_lost());
+    }
+
+    #[test]
+    fn unanswered_pair_resolves_lost() {
+        let mut c = Collector::new(4, cfg());
+        for t in 0..40 {
+            heartbeat(&mut c, &[0, 1], t);
+        }
+        c.on_send(send(43, 0, 0, 1, 5));
+        c.advance(SimTime::from_secs(120));
+        let outs = c.drain();
+        let o = outs.iter().find(|o| o.id == 43).unwrap();
+        assert!(o.legs[0].unwrap().lost);
+        assert!(o.all_lost());
+        assert!(!o.discarded, "dst was alive; this is real network loss");
+    }
+
+    #[test]
+    fn two_leg_pairs_pair_up() {
+        let mut c = Collector::new(4, cfg());
+        for t in 0..40 {
+            heartbeat(&mut c, &[0, 1], t);
+        }
+        c.on_send(send(44, 0, 0, 1, 5));
+        c.on_send(send(44, 1, 0, 1, 5));
+        c.on_recv(recv(44, 1, 5_045_000));
+        c.advance(SimTime::from_secs(120));
+        let outs = c.drain();
+        let o = outs.iter().find(|o| o.id == 44).unwrap();
+        assert_eq!(o.leg_count(), 2);
+        assert!(o.legs[0].unwrap().lost);
+        assert!(!o.legs[1].unwrap().lost);
+        assert!(!o.all_lost(), "one copy arrived — mesh routing saved the pair");
+        assert_eq!(o.best_one_way_us(), Some(45_000));
+    }
+
+    #[test]
+    fn receive_after_window_is_too_late() {
+        let mut c = Collector::new(4, cfg());
+        for t in 0..40 {
+            heartbeat(&mut c, &[0, 1], t);
+        }
+        c.on_send(send(45, 0, 0, 1, 5));
+        c.advance(SimTime::from_secs(30)); // window (10 s) long expired
+        c.on_recv(recv(45, 0, 16_000_000));
+        let outs = c.drain();
+        let o = outs.iter().find(|o| o.id == 45).unwrap();
+        assert!(o.legs[0].unwrap().lost, "late receive must not resurrect the pair");
+        assert_eq!(c.counters().2, 1, "late receive counted");
+    }
+
+    #[test]
+    fn host_failure_gap_discards_samples() {
+        let mut c = Collector::new(4, cfg());
+        // Host 1 is chatty until t=100, silent until t=400, then resumes.
+        for t in 0..100 {
+            c.on_send(send(2_000 + t, 0, 1, 2, t));
+        }
+        for t in 400..420 {
+            c.on_send(send(3_000 + t, 0, 1, 2, t));
+        }
+        // Host 0 sends to host 1 during the silence: that loss is a host
+        // failure, not a network failure.
+        c.on_send(send(77, 0, 0, 1, 200));
+        // And a control probe while 1 was alive:
+        c.on_send(send(78, 0, 0, 1, 50));
+        c.on_recv(recv(78, 0, 50_020_000));
+        c.advance(SimTime::from_secs(1_000));
+        let outs = c.drain();
+        assert!(outs.iter().find(|o| o.id == 77).unwrap().discarded);
+        assert!(!outs.iter().find(|o| o.id == 78).unwrap().discarded);
+    }
+
+    #[test]
+    fn open_ended_silence_discards() {
+        let mut c = Collector::new(4, cfg());
+        for t in 0..50 {
+            c.on_send(send(5_000 + t, 0, 1, 2, t));
+        }
+        // Host 1 dies at t=50 and never comes back; probe at t=200.
+        c.on_send(send(99, 0, 0, 1, 200));
+        c.advance(SimTime::from_secs(500));
+        let outs = c.drain();
+        assert!(outs.iter().find(|o| o.id == 99).unwrap().discarded);
+    }
+
+    #[test]
+    fn finish_flushes_pending() {
+        let mut c = Collector::new(4, cfg());
+        heartbeat(&mut c, &[0, 1], 0);
+        c.on_send(send(46, 0, 0, 1, 5));
+        assert!(c.pending_len() > 0);
+        c.finish(SimTime::from_secs(6));
+        assert_eq!(c.pending_len(), 0);
+        assert!(c.drain().iter().any(|o| o.id == 46));
+    }
+
+    #[test]
+    fn negative_one_way_survives_clock_skew() {
+        let mut c = Collector::new(4, cfg());
+        for t in 0..40 {
+            heartbeat(&mut c, &[0, 1], t);
+        }
+        let mut e = send(47, 0, 0, 1, 5);
+        e.sent_local_us = 5_000_000;
+        c.on_send(e);
+        // Receiver clock is behind: local receive stamp earlier than send.
+        c.on_recv(RecvEvent {
+            id: 47,
+            leg: 0,
+            recv: SimTime::from_micros(5_030_000),
+            recv_local_us: 4_990_000,
+        });
+        c.advance(SimTime::from_secs(120));
+        let outs = c.drain();
+        let leg = outs.iter().find(|o| o.id == 47).unwrap().legs[0].unwrap();
+        assert_eq!(leg.one_way_us, Some(-10_000));
+    }
+}

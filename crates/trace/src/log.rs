@@ -1,0 +1,138 @@
+//! Per-host measurement logs with a portable on-disk codec.
+//!
+//! In the paper, "each probing host periodically pushes its logs to a
+//! central monitoring machine" (§4.1). [`HostLog`] is that per-host
+//! buffer: events append locally and `push` drains them toward the
+//! collector. The JSON-lines codec makes experiment artifacts inspectable
+//! with standard tooling.
+
+use crate::record::LogEvent;
+use std::io::{self, BufRead, Write};
+
+/// A host's local measurement log.
+#[derive(Debug, Default)]
+pub struct HostLog {
+    events: Vec<LogEvent>,
+    pushed: u64,
+}
+
+impl HostLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn append(&mut self, e: LogEvent) {
+        self.events.push(e);
+    }
+
+    /// Drains buffered events (the periodic push to the collector).
+    pub fn push(&mut self) -> Vec<LogEvent> {
+        self.pushed += self.events.len() as u64;
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of events currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total events ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Writes events as JSON lines.
+    pub fn write_jsonl<W: Write>(events: &[LogEvent], mut w: W) -> io::Result<()> {
+        for e in events {
+            let line = serde_json::to_string(e)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Reads events from JSON lines, skipping blank lines.
+    pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<Vec<LogEvent>> {
+        let mut out = Vec::new();
+        for line in r.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let e: LogEvent = serde_json::from_str(&line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            out.push(e);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecvEvent, SendEvent};
+    use netsim::{HostId, SimTime};
+
+    fn sample_events() -> Vec<LogEvent> {
+        vec![
+            LogEvent::Send(SendEvent {
+                id: 1,
+                method: 2,
+                leg: 0,
+                src: HostId(3),
+                dst: HostId(4),
+                route: 1,
+                sent: SimTime::from_secs(10),
+                sent_local_us: 10_000_123,
+            }),
+            LogEvent::Recv(RecvEvent {
+                id: 1,
+                leg: 0,
+                recv: SimTime::from_secs(11),
+                recv_local_us: 11_000_456,
+            }),
+        ]
+    }
+
+    #[test]
+    fn append_and_push_drain() {
+        let mut log = HostLog::new();
+        for e in sample_events() {
+            log.append(e);
+        }
+        assert_eq!(log.buffered(), 2);
+        let drained = log.push();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(log.buffered(), 0);
+        assert_eq!(log.total_pushed(), 2);
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        HostLog::write_jsonl(&events, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let back = HostLog::read_jsonl(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        HostLog::write_jsonl(&events, &mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = HostLog::read_jsonl(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        let r = HostLog::read_jsonl(io::BufReader::new(&b"not json\n"[..]));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Measurement event and outcome records.
+
+use netsim::{HostId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A measurement packet leaving its origin host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SendEvent {
+    /// Random 64-bit probe identifier, shared by both legs of a pair.
+    pub id: u64,
+    /// Method registry index.
+    pub method: u8,
+    /// Leg within the pair (0 or 1).
+    pub leg: u8,
+    /// Measured path source.
+    pub src: HostId,
+    /// Measured path destination.
+    pub dst: HostId,
+    /// Route kind tag (see `overlay::RouteTag`).
+    pub route: u8,
+    /// True (simulator) send instant.
+    pub sent: SimTime,
+    /// The origin host's local clock at transmission, microseconds.
+    pub sent_local_us: i64,
+}
+
+/// A measurement packet arriving at its destination (or, for round-trip
+/// datasets, its echo arriving back at the origin).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecvEvent {
+    /// Echoed probe identifier.
+    pub id: u64,
+    /// Leg within the pair.
+    pub leg: u8,
+    /// True (simulator) receive instant.
+    pub recv: SimTime,
+    /// The receiving host's local clock, microseconds.
+    pub recv_local_us: i64,
+}
+
+/// One host-log line (what hosts push to the central machine).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LogEvent {
+    /// A send record.
+    Send(SendEvent),
+    /// A receive record.
+    Recv(RecvEvent),
+}
+
+/// The resolved fate of one measurement leg.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LegOutcome {
+    /// Route kind tag.
+    pub route: u8,
+    /// True when no matching receive arrived inside the window.
+    pub lost: bool,
+    /// `recv_local − sent_local` in microseconds when received. May be
+    /// negative under clock skew; the analysis layer corrects it by
+    /// averaging with the reverse path (§4.1).
+    pub one_way_us: Option<i64>,
+}
+
+/// A fully resolved probe pair (or single-packet probe).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairOutcome {
+    /// Probe identifier.
+    pub id: u64,
+    /// Method registry index.
+    pub method: u8,
+    /// Path source.
+    pub src: HostId,
+    /// Path destination.
+    pub dst: HostId,
+    /// True send instant of the first leg.
+    pub sent: SimTime,
+    /// Outcome per leg; single-packet methods use only slot 0.
+    pub legs: [Option<LegOutcome>; 2],
+    /// True when the §4.1 host-failure filter discards this sample.
+    pub discarded: bool,
+}
+
+impl PairOutcome {
+    /// True when every present leg was lost (the pair failed end-to-end).
+    pub fn all_lost(&self) -> bool {
+        let mut any = false;
+        for l in self.legs.iter().flatten() {
+            any = true;
+            if !l.lost {
+                return false;
+            }
+        }
+        any
+    }
+
+    /// The smallest observed one-way time across received legs (the copy
+    /// the application would have used first), microseconds.
+    pub fn best_one_way_us(&self) -> Option<i64> {
+        self.legs
+            .iter()
+            .flatten()
+            .filter_map(|l| l.one_way_us)
+            .min()
+    }
+
+    /// Number of legs present (1 or 2).
+    pub fn leg_count(&self) -> usize {
+        self.legs.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leg(lost: bool, one_way: Option<i64>) -> Option<LegOutcome> {
+        Some(LegOutcome { route: 0, lost, one_way_us: one_way })
+    }
+
+    fn pair(legs: [Option<LegOutcome>; 2]) -> PairOutcome {
+        PairOutcome {
+            id: 1,
+            method: 0,
+            src: HostId(0),
+            dst: HostId(1),
+            sent: SimTime::ZERO,
+            legs,
+            discarded: false,
+        }
+    }
+
+    #[test]
+    fn all_lost_requires_every_leg_lost() {
+        assert!(pair([leg(true, None), leg(true, None)]).all_lost());
+        assert!(!pair([leg(true, None), leg(false, Some(10))]).all_lost());
+        assert!(!pair([leg(false, Some(10)), None]).all_lost());
+        assert!(pair([leg(true, None), None]).all_lost());
+    }
+
+    #[test]
+    fn empty_pair_is_not_lost() {
+        assert!(!pair([None, None]).all_lost());
+    }
+
+    #[test]
+    fn best_one_way_picks_minimum() {
+        let p = pair([leg(false, Some(500)), leg(false, Some(300))]);
+        assert_eq!(p.best_one_way_us(), Some(300));
+        let q = pair([leg(true, None), leg(false, Some(300))]);
+        assert_eq!(q.best_one_way_us(), Some(300));
+        let r = pair([leg(true, None), leg(true, None)]);
+        assert_eq!(r.best_one_way_us(), None);
+    }
+
+    #[test]
+    fn leg_count_counts_present() {
+        assert_eq!(pair([leg(false, Some(1)), None]).leg_count(), 1);
+        assert_eq!(pair([leg(false, Some(1)), leg(true, None)]).leg_count(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = pair([leg(false, Some(-250)), leg(true, None)]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PairOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

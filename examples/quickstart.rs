@@ -1,0 +1,52 @@
+//! Quickstart: run a scaled-down version of the paper's RON2003
+//! measurement campaign and print the headline comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mpath::core::Dataset;
+use mpath::netsim::SimDuration;
+
+fn main() {
+    // Two simulated hours of the 30-host 2003 testbed. Paper scale is 14
+    // days; see the `repro` binary in mpath-bench for the full runs.
+    let dataset = Dataset::Ron2003;
+    let duration = SimDuration::from_hours(2);
+    println!(
+        "running {} ({} hosts) for {duration} of simulated time...",
+        dataset.name(),
+        dataset.topology(42).n()
+    );
+    let out = dataset.run(42, Some(duration));
+
+    println!(
+        "\n{:<16} {:>8} {:>8} {:>8} {:>10}",
+        "method", "1lp%", "totlp%", "clp%", "lat(ms)"
+    );
+    for name in ["direct*", "loss", "direct rand", "lat loss", "direct direct"] {
+        let s = out.summary(name).expect("method exists");
+        println!(
+            "{:<16} {:>8.2} {:>8.2} {:>8} {:>10.2}",
+            name,
+            s.lp1,
+            s.totlp,
+            s.clp.map(|c| format!("{c:.1}")).unwrap_or_else(|| "-".into()),
+            s.lat_ms
+        );
+    }
+
+    let direct = out.summary("direct*").unwrap();
+    let mesh = out.summary("direct rand").unwrap();
+    let reactive = out.summary("loss").unwrap();
+    println!(
+        "\nmesh routing removed {:.0}% of end-to-end losses; reactive routing {:.0}%",
+        100.0 * (1.0 - mesh.totlp / direct.lp1),
+        100.0 * (1.0 - reactive.totlp / direct.lp1),
+    );
+    println!(
+        "overhead: {} overlay probes vs {} measurement legs ({} hosts, O(N²) probing)",
+        out.overlay_probes, out.measure_legs, out.n
+    );
+    println!("\n(the paper's full numbers: ./target/release/repro all --days 14)");
+}

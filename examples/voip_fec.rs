@@ -1,0 +1,82 @@
+//! §5.2 live: protecting an interactive stream with FEC on a bursty path.
+//!
+//! A 50-packet/s voice-like stream crosses a path with 2% bursty loss
+//! (the same Gilbert–Elliott process the testbed segments use). A (5,1)
+//! Reed–Solomon code — the paper's "1 redundant packet for every 5 data
+//! packets" — is swept across interleaving depths. The table shows the
+//! §5.2 dilemma: the redundancy only works once a group's packets are
+//! spread ~half a second apart, and that delay is exactly what an
+//! interactive stream cannot spend.
+//!
+//! ```sh
+//! cargo run --release --example voip_fec
+//! ```
+
+use mpath::fec::{BlockInterleaver, FecReceiver, FecSender};
+use mpath::netsim::{GeParams, GilbertElliott, Rng, SimDuration, SimTime};
+
+fn main() {
+    let k = 5;
+    let r = 1;
+    let pkt_interval = SimDuration::from_millis(20); // 50 pps
+    let loss = GeParams::from_stationary_loss(0.02);
+    let packets = 150_000;
+
+    println!("stream: 50 pkt/s, FEC({k},{r}), path loss 2% (bursty)");
+    println!(
+        "\n{:>6} {:>12} {:>10} {:>10} {:>12} {:>14}",
+        "depth", "spread(ms)", "raw", "residual", "removed", "added delay"
+    );
+
+    for depth in [1usize, 2, 4, 8, 16, 25, 32] {
+        let il = BlockInterleaver::new(k + r, depth);
+        let block = il.len();
+        let mut ge = GilbertElliott::new(loss);
+        let mut rng = Rng::new(2003 ^ depth as u64);
+        let mut tx = FecSender::new(k, r).unwrap();
+        let mut rx = FecReceiver::new(k, r, depth as u32 + 4).unwrap();
+
+        let mut logical: Vec<Option<mpath::fec::FecPacket>> = Vec::new();
+        let mut slot = 0u64;
+        let (mut sent, mut dropped) = (0u64, 0u64);
+        for i in 0..packets {
+            for pkt in tx.push(vec![(i % 256) as u8; 40]).unwrap() {
+                logical.push(Some(pkt));
+                if logical.len() == block {
+                    let mut wire: Vec<Option<mpath::fec::FecPacket>> = vec![None; block];
+                    for (idx, p) in logical.drain(..).enumerate() {
+                        wire[il.permute(idx)] = p;
+                    }
+                    for p in wire {
+                        let t = SimTime::from_micros(slot * pkt_interval.as_micros());
+                        slot += 1;
+                        sent += 1;
+                        let (_, lost) = ge.observe(t, 1.0, &mut rng);
+                        if lost {
+                            dropped += 1;
+                            rx.on_slot(None);
+                        } else {
+                            rx.on_slot(p);
+                        }
+                    }
+                }
+            }
+        }
+        let stats = rx.finish();
+        let raw = dropped as f64 / sent as f64;
+        println!(
+            "{:>6} {:>12.0} {:>9.3}% {:>9.3}% {:>11.0}% {:>12.0}ms",
+            depth,
+            depth as f64 * pkt_interval.as_millis_f64(),
+            raw * 100.0,
+            stats.residual_loss() * 100.0,
+            100.0 * (1.0 - stats.residual_loss() / raw),
+            il.max_delay_slots() as f64 * pkt_interval.as_millis_f64(),
+        );
+    }
+
+    println!("\npaper §5.2: \"the FEC information must be spread out by nearly half a");
+    println!("second if sending packets down the same path\" — at 50 pps that is depth");
+    println!("~25, which also buffers ~3 s of audio. Multi-path diversity (the mesh of");
+    println!("the main experiments) decorrelates without the delay.");
+}

@@ -1,0 +1,32 @@
+//! Whole-system determinism: the same seed must reproduce every table
+//! byte for byte — the property that makes experiments debuggable and
+//! the repro binary trustworthy.
+
+use mpath::core::{report, Dataset};
+use mpath::netsim::SimDuration;
+
+fn table5_text(seed: u64) -> String {
+    let out = Dataset::Ron2003.run(seed, Some(SimDuration::from_mins(90)));
+    let rows = report::table5(&out);
+    analysis::render_table5("t", &rows)
+}
+
+#[test]
+fn same_seed_same_table() {
+    assert_eq!(table5_text(7), table5_text(7));
+}
+
+#[test]
+fn different_seed_different_table() {
+    assert_ne!(table5_text(7), table5_text(8));
+}
+
+#[test]
+fn round_trip_dataset_is_deterministic_too() {
+    let run = |seed| {
+        let out = Dataset::RonWide.run(seed, Some(SimDuration::from_mins(60)));
+        let rows = report::table7(&out);
+        analysis::render_table7(&rows)
+    };
+    assert_eq!(run(3), run(3));
+}

@@ -1,0 +1,246 @@
+//! Cross-crate property tests: invariants that must hold for *any*
+//! input, not just the scripted scenarios.
+
+use mpath::fec::{BlockInterleaver, ErasureCode};
+use mpath::netsim::{HostId, Rng, SimTime, Topology};
+use mpath::overlay::{MeasureKind, MetricEntry, Packet, RouteTag};
+use proptest::prelude::*;
+
+fn arb_route_tag() -> impl Strategy<Value = RouteTag> {
+    prop_oneof![
+        Just(RouteTag::Direct),
+        Just(RouteTag::Rand),
+        Just(RouteTag::Lat),
+        Just(RouteTag::Loss),
+    ]
+}
+
+fn arb_metrics() -> impl Strategy<Value = Vec<MetricEntry>> {
+    proptest::collection::vec(
+        (any::<u16>(), any::<u16>(), any::<u32>(), any::<bool>()).prop_map(
+            |(peer, loss_e4, lat_us, alive)| MetricEntry {
+                peer: HostId(peer),
+                loss_e4,
+                lat_us,
+                alive,
+            },
+        ),
+        0..40,
+    )
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    let leaf = prop_oneof![
+        (any::<u64>(), any::<u16>(), any::<i64>(), arb_metrics()).prop_map(
+            |(id, from, t, metrics)| Packet::ProbeReq {
+                id,
+                from: HostId(from),
+                sent_local_us: t,
+                metrics,
+            }
+        ),
+        (any::<u64>(), any::<u16>(), any::<i64>(), arb_metrics()).prop_map(
+            |(id, from, t, metrics)| Packet::ProbeResp {
+                id,
+                from: HostId(from),
+                resp_local_us: t,
+                metrics,
+            }
+        ),
+        (
+            any::<u64>(),
+            any::<u8>(),
+            0u8..2,
+            any::<u16>(),
+            any::<u16>(),
+            arb_route_tag(),
+            any::<i64>()
+        )
+            .prop_map(|(id, method, leg, o, t, route, sent)| Packet::Measure {
+                id,
+                method,
+                leg,
+                origin: HostId(o),
+                target: HostId(t),
+                route,
+                kind: MeasureKind::OneWay,
+                sent_local_us: sent,
+            }),
+        (any::<u16>(), any::<u16>(), any::<u32>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(o, t, stream, seq, payload)| Packet::Data {
+                origin: HostId(o),
+                target: HostId(t),
+                stream,
+                seq,
+                payload: bytes::Bytes::from(payload),
+            }),
+    ];
+    // Optionally wrap in one Forward layer (the overlay uses at most one
+    // intermediate).
+    (leaf, any::<Option<u16>>()).prop_map(|(inner, fwd)| match fwd {
+        Some(target) => Packet::Forward { target: HostId(target), inner: Box::new(inner) },
+        None => inner,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_round_trips_any_packet(pkt in arb_packet()) {
+        let encoded = pkt.encode();
+        let decoded = Packet::decode(&encoded).expect("own encoding must decode");
+        prop_assert_eq!(decoded, pkt);
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Packet::decode(&data);
+    }
+
+    #[test]
+    fn rs_recovers_any_pattern_within_budget(
+        k in 1usize..12,
+        r in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let code = ErasureCode::new(k, r).unwrap();
+        let mut rng = Rng::new(seed);
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|_| (0..24).map(|_| rng.next_u64() as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter().cloned().map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        // Erase up to r shards at random positions.
+        let erasures = (rng.next_u64() % (r as u64 + 1)) as usize;
+        let mut positions: Vec<usize> = (0..k + r).collect();
+        rng.shuffle(&mut positions);
+        for &p in positions.iter().take(erasures) {
+            shards[p] = None;
+        }
+        code.decode(&mut shards).unwrap();
+        for i in 0..k {
+            prop_assert_eq!(shards[i].as_ref().unwrap(), &data[i]);
+        }
+    }
+
+    #[test]
+    fn interleaver_is_bijective(rows in 1usize..12, cols in 1usize..12, blocks in 1usize..4) {
+        let il = BlockInterleaver::new(rows, cols);
+        let n = il.len() * blocks;
+        let mut seen = vec![false; n];
+        for i in 0..n {
+            let j = il.permute(i);
+            prop_assert!(j < n);
+            prop_assert!(!seen[j]);
+            seen[j] = true;
+            prop_assert_eq!(il.inverse(j), i);
+        }
+    }
+
+    #[test]
+    fn fec_stream_survives_any_loss_pattern(
+        k in 2usize..6,
+        r in 1usize..3,
+        seed in any::<u64>(),
+        loss_pct in 0u32..60,
+    ) {
+        // Residual *data* loss can never exceed the raw data-packet loss,
+        // whatever the pattern (parity slots have their own fate, so the
+        // comparison must count data slots only).
+        let mut tx = mpath::fec::FecSender::new(k, r).unwrap();
+        let mut rx = mpath::fec::FecReceiver::new(k, r, 8).unwrap();
+        let mut rng = Rng::new(seed);
+        let mut data_sent = 0u64;
+        let mut data_dropped = 0u64;
+        let mut deliver = |pkt: mpath::fec::FecPacket,
+                           rng: &mut Rng,
+                           data_sent: &mut u64,
+                           data_dropped: &mut u64,
+                           rx: &mut mpath::fec::FecReceiver| {
+            let is_data = pkt.is_data(k);
+            if is_data {
+                *data_sent += 1;
+            }
+            if rng.chance(loss_pct as f64 / 100.0) {
+                if is_data {
+                    *data_dropped += 1;
+                }
+                rx.on_slot(None);
+            } else {
+                rx.on_slot(Some(pkt));
+            }
+        };
+        for i in 0..400 {
+            for pkt in tx.push(vec![i as u8; 8]).unwrap() {
+                deliver(pkt, &mut rng, &mut data_sent, &mut data_dropped, &mut rx);
+            }
+        }
+        for pkt in tx.flush().unwrap() {
+            deliver(pkt, &mut rng, &mut data_sent, &mut data_dropped, &mut rx);
+        }
+        let stats = rx.finish();
+        let raw_data = data_dropped as f64 / data_sent.max(1) as f64;
+        prop_assert!(stats.residual_loss() <= raw_data + 1e-9,
+            "residual {} > raw data loss {}", stats.residual_loss(), raw_data);
+    }
+
+    #[test]
+    fn network_transmission_is_deterministic(seed in any::<u64>(), n in 3u16..7) {
+        let run = || {
+            let topo = Topology::synthetic(n as usize, 0.05, seed);
+            let mut net = mpath::netsim::Network::new(topo, seed);
+            let mut outcomes = Vec::new();
+            for i in 0..200u64 {
+                let a = HostId((i % n as u64) as u16);
+                let b = HostId(((i + 1) % n as u64) as u16);
+                outcomes.push(net.transmit(SimTime::from_millis(i * 97), a, b).is_delivered());
+            }
+            outcomes
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cdf_fraction_is_monotone_and_bounded(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = analysis::Cdf::from_values(values.clone());
+        let mut prev = 0.0;
+        for q in [-1e7, -10.0, 0.0, 1.0, 1e3, 1e7] {
+            let f = cdf.fraction_at_or_below(q);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+        prop_assert_eq!(cdf.fraction_at_or_below(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn collector_conserves_probes(
+        n_probes in 1u64..200,
+        seed in any::<u64>(),
+    ) {
+        use trace::{Collector, CollectorConfig, SendEvent};
+        let mut col = Collector::new(4, CollectorConfig::default());
+        let mut rng = Rng::new(seed);
+        for id in 0..n_probes {
+            let t = SimTime::from_millis(id * 100);
+            col.on_send(SendEvent {
+                id,
+                method: 0,
+                leg: 0,
+                src: HostId((rng.next_u64() % 4) as u16),
+                dst: HostId(((rng.next_u64() % 3) as u16 + 1) % 4),
+                route: 0,
+                sent: t,
+                sent_local_us: t.as_micros() as i64,
+            });
+        }
+        col.finish(SimTime::from_secs(10_000));
+        let outcomes = col.drain();
+        prop_assert_eq!(outcomes.len() as u64, n_probes, "every probe resolves exactly once");
+    }
+}

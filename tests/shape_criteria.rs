@@ -1,0 +1,146 @@
+//! End-to-end shape criteria (DESIGN.md §5): scaled-down dataset runs
+//! must reproduce the paper's orderings — who wins, by roughly what
+//! factor — even when the absolute numbers carry scaled-run noise.
+
+use mpath::core::Dataset;
+use mpath::netsim::SimDuration;
+
+#[test]
+fn ron2003_shape_holds_at_quarter_day() {
+    let out = Dataset::Ron2003.run(2003, Some(SimDuration::from_hours(6)));
+
+    let direct = out.summary("direct*").unwrap();
+    let loss = out.summary("loss").unwrap();
+    let mesh = out.summary("direct rand").unwrap();
+    let both = out.summary("lat loss").unwrap();
+    let dd = out.summary("direct direct").unwrap();
+    let lat = out.summary("lat*").unwrap();
+
+    // §4.2: overall loss is "a low 0.42%" — right magnitude.
+    assert!(
+        (0.2..0.9).contains(&direct.lp1),
+        "direct loss {}% out of the paper's magnitude",
+        direct.lp1
+    );
+
+    // Table 5 totlp ordering: mesh and combined routing beat direct
+    // substantially; loss routing must not be worse than direct.
+    assert!(mesh.totlp < direct.lp1 * 0.85, "mesh {} vs direct {}", mesh.totlp, direct.lp1);
+    assert!(both.totlp < direct.lp1 * 0.85, "lat loss {} vs direct {}", both.totlp, direct.lp1);
+    assert!(loss.totlp < direct.lp1 * 1.05, "loss {} vs direct {}", loss.totlp, direct.lp1);
+
+    // §4.4: the same-path pair is the most correlated thing measured.
+    let clp_dd = dd.clp.expect("dd clp");
+    let clp_mesh = mesh.clp.expect("mesh clp");
+    let clp_both = both.clp.expect("lat loss clp");
+    assert!(clp_dd > 55.0, "back-to-back CLP {clp_dd} too low for bursty loss");
+    assert!(clp_dd > clp_mesh, "CLP: dd {clp_dd} must exceed direct rand {clp_mesh}");
+    assert!(clp_mesh > clp_both, "CLP: direct rand {clp_mesh} must exceed lat loss {clp_both}");
+
+    // §4.5: latency routing actually reduces latency; mesh helps a little.
+    assert!(lat.lat_ms < direct.lat_ms, "lat {} vs direct {}", lat.lat_ms, direct.lat_ms);
+    assert!(mesh.lat_ms <= direct.lat_ms + 0.5, "mesh latency must not exceed direct's");
+
+    // The second copy through a random intermediate is several times
+    // lossier than the direct copy (2lp column of Table 5).
+    let mesh_lp2 = mesh.lp2.expect("mesh 2lp");
+    assert!(
+        mesh_lp2 > 2.0 * mesh.lp1,
+        "rand-leg loss {mesh_lp2} should be well above direct {}",
+        mesh.lp1
+    );
+}
+
+#[test]
+fn ron2002_runs_hotter_than_2003() {
+    let out03 = Dataset::Ron2003.run(11, Some(SimDuration::from_hours(5)));
+    let out02 = Dataset::RonNarrow.run(11, Some(SimDuration::from_hours(5)));
+    let d03 = out03.summary("direct*").unwrap();
+    let d02 = out02.summary("direct*").unwrap();
+    // Paper: 0.74% (2002) vs 0.42% (2003).
+    assert!(
+        d02.lp1 > d03.lp1 * 1.15,
+        "2002 ({}) must be lossier than 2003 ({})",
+        d02.lp1,
+        d03.lp1
+    );
+}
+
+#[test]
+fn ron_wide_round_trip_shape() {
+    let out = Dataset::RonWide.run(17, Some(SimDuration::from_hours(6)));
+    let direct = out.summary("direct").unwrap();
+    let rand = out.summary("rand").unwrap();
+    let rr = out.summary("rand rand").unwrap();
+    let dd = out.summary("direct direct").unwrap();
+
+    // Table 7: the random-intermediate path is several times lossier
+    // than direct, and its RTT is much higher.
+    assert!(rand.lp1 > 1.5 * direct.lp1, "rand {} vs direct {}", rand.lp1, direct.lp1);
+    assert!(rand.lat_ms > direct.lat_ms * 1.3, "rand RTT {} vs direct {}", rand.lat_ms, direct.lat_ms);
+
+    // Two *different* random intermediates are nearly independent: the
+    // paper's rand rand CLP is 11.2% against direct direct's 72.7%.
+    let clp_rr = rr.clp.expect("rr clp");
+    let clp_dd = dd.clp.expect("dd clp");
+    assert!(
+        clp_rr < clp_dd * 0.6,
+        "distinct random paths must be far less correlated: rr {clp_rr} dd {clp_dd}"
+    );
+
+    // Every two-copy method's totlp improves on its first leg.
+    for name in ["direct rand", "direct lat", "direct loss", "rand lat", "rand loss", "lat loss"] {
+        let s = out.summary(name).unwrap();
+        assert!(
+            s.totlp <= s.lp1,
+            "{name}: totlp {} cannot exceed first-leg loss {}",
+            s.totlp,
+            s.lp1
+        );
+    }
+}
+
+#[test]
+fn hour_windows_concentrate_losses() {
+    let out = Dataset::Ron2003.run(5, Some(SimDuration::from_hours(8)));
+    let direct = out.index_of("direct*").unwrap();
+    let counts = out.win60.threshold_counts(direct);
+    let total = out.win60.window_count(direct);
+    assert!(total > 1_000, "need a meaningful number of path-hours, got {total}");
+    // Most path-hours see no loss at all (§4.2: ">95% of samples had a
+    // 0% loss rate" for 20-minute windows; hours are similar).
+    assert!(
+        (counts[0] as f64) < 0.5 * total as f64,
+        "loss must be concentrated: {} of {} hours saw loss",
+        counts[0],
+        total
+    );
+    // Threshold counts decrease monotonically.
+    for w in counts.windows(2) {
+        assert!(w[1] <= w[0]);
+    }
+}
+
+/// Paper-scale validation: 14 simulated days, 30 hosts, ~33M probe
+/// pairs — the full RON2003 campaign. Takes several minutes; run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "paper-scale run (~10 min); the scaled test above covers CI"]
+fn ron2003_paper_scale_14_days() {
+    let out = Dataset::Ron2003.run(2003, None);
+    let direct = out.summary("direct*").unwrap();
+    let loss = out.summary("loss").unwrap();
+    let mesh = out.summary("direct rand").unwrap();
+    let dd = out.summary("direct direct").unwrap();
+    let dd10 = out.summary("dd 10 ms").unwrap();
+
+    assert!((0.30..0.60).contains(&direct.lp1), "direct {}", direct.lp1);
+    assert!(loss.totlp < direct.lp1, "reactive must win at scale");
+    assert!(mesh.totlp < direct.lp1 * 0.8, "mesh must win at scale");
+    let clp_dd = dd.clp.unwrap();
+    assert!((62.0..80.0).contains(&clp_dd), "dd clp {clp_dd}");
+    assert!(dd10.clp.unwrap() < clp_dd);
+    // The deep Table 6 tail exists at this scale.
+    let didx = out.index_of("direct*").unwrap();
+    assert!(out.win60.threshold_counts(didx)[5] > 0, ">50% hour-windows appear");
+}
