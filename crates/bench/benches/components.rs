@@ -57,7 +57,7 @@ fn bench_wire(c: &mut Criterion) {
         metrics: (0..29)
             .map(|i| MetricEntry {
                 peer: netsim::HostId(i),
-                loss_e4: (i as u16) * 13,
+                loss_e4: i * 13,
                 lat_us: 54_000 + i as u32,
                 alive: true,
             })

@@ -10,7 +10,7 @@ use netsim::HostId;
 
 /// Resolves a method name, falling back to its inferred (`*`) variant —
 /// in RON2003 `direct` exists only as `direct*`.
-pub fn resolve<'a>(out: &ExperimentOutput, name: &'a str) -> Option<(u8, String)> {
+pub fn resolve(out: &ExperimentOutput, name: &str) -> Option<(u8, String)> {
     if let Some(i) = out.index_of(name) {
         return Some((i, name.to_string()));
     }

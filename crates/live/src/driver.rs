@@ -17,6 +17,10 @@ use tokio::net::UdpSocket;
 use tokio::sync::{mpsc, oneshot, Notify};
 use tokio::time::{Duration, Instant};
 
+/// One row of [`LiveNode::snapshot`]: peer, loss estimate, smoothed
+/// one-way latency in microseconds (if measured), and the dead flag.
+pub type SnapshotRow = (HostId, f64, Option<f64>, bool);
+
 /// Configuration of one live node.
 #[derive(Debug, Clone)]
 pub struct LiveConfig {
@@ -58,7 +62,7 @@ pub enum LiveEvent {
 enum Command {
     SendData { dst: HostId, stream: u32, seq: u32, payload: Bytes, policy: Policy },
     QueryRoute { dst: HostId, policy: Policy, resp: oneshot::Sender<overlay::Route> },
-    Snapshot { resp: oneshot::Sender<Vec<(HostId, f64, Option<f64>, bool)>> },
+    Snapshot { resp: oneshot::Sender<Vec<SnapshotRow>> },
 }
 
 /// Handle to a running live overlay node.
@@ -130,7 +134,7 @@ impl LiveNode {
     }
 
     /// Per-peer (loss estimate, latency µs, dead) snapshot.
-    pub async fn snapshot(&self) -> Option<Vec<(HostId, f64, Option<f64>, bool)>> {
+    pub async fn snapshot(&self) -> Option<Vec<SnapshotRow>> {
         let (tx, rx) = oneshot::channel();
         self.cmd_tx.send(Command::Snapshot { resp: tx }).await.ok()?;
         rx.await.ok()

@@ -4,7 +4,7 @@
 //! proves it *deploys*. The exact same [`overlay::OverlayNode`] state
 //! machine is driven here by a tokio event loop over UDP sockets:
 //! packets are encoded with the wire codec, timers map to
-//! `tokio::time::sleep_until`, and the node's emitted [`Transmit`]s go
+//! `tokio::time::sleep_until`, and the node's emitted [`overlay::Transmit`]s go
 //! out through an optional impairment layer (random loss + delay) so
 //! localhost demos exhibit testbed-like behaviour.
 //!
@@ -20,5 +20,5 @@ pub mod driver;
 pub mod impair;
 
 pub use cluster::{run_mesh_demo, Cluster, DemoReport};
-pub use driver::{LiveConfig, LiveEvent, LiveNode};
+pub use driver::{LiveConfig, LiveEvent, LiveNode, SnapshotRow};
 pub use impair::Impairment;

@@ -165,7 +165,7 @@ impl GilbertElliott {
         while self.until <= now {
             self.bad = !self.bad;
             let sojourn = self.draw_sojourn(self.bad, intensity, rng);
-            self.until = self.until + sojourn;
+            self.until += sojourn;
         }
         self.bad
     }

@@ -113,7 +113,7 @@ impl OutageProcess {
             SimDuration::from_micros(us as u64)
         } else {
             let mean = self.params.mean_up.as_micros() as f64;
-            SimDuration::from_micros(rng.exp(mean).min(1.0e18).max(1.0) as u64)
+            SimDuration::from_micros(rng.exp(mean).clamp(1.0, 1.0e18) as u64)
         }
     }
 
@@ -137,7 +137,7 @@ impl OutageProcess {
         }
         while self.until <= now {
             self.down = !self.down;
-            self.until = self.until + self.draw_sojourn(self.down, rng);
+            self.until += self.draw_sojourn(self.down, rng);
         }
         self.down
     }

@@ -416,7 +416,7 @@ mod tests {
         // run A and B against each other and check the tables converge.
         let mut a = node(0, 2);
         let mut b = node(1, 2);
-        let mut t = SimTime::ZERO;
+        let mut t;
         let delay = SimDuration::from_millis(10);
         // In-flight packets: (arrival, receiver, packet).
         let mut wire: Vec<(SimTime, u16, Packet)> = Vec::new();

@@ -249,7 +249,7 @@ mod tests {
     ) {
         let mut pending_resp: Vec<(SimTime, u64, HostId)> = Vec::new();
         let end = SimTime::from_secs(secs);
-        let mut now = SimTime::ZERO;
+        let mut now;
         loop {
             let next_timer = prober.poll_at().unwrap_or(end);
             let next_resp = pending_resp.iter().map(|r| r.0).min().unwrap_or(end);

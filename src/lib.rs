@@ -5,12 +5,12 @@
 //!
 //! * [`netsim`] — deterministic discrete-event Internet simulator;
 //! * [`overlay`] — RON-style overlay node (probing, link state, routing);
-//! * [`core`](mpath_core) — routing strategies, the measurement-study
+//! * [`core`] — routing strategies, the measurement-study
 //!   experiment driver, and the §5 analytic model;
 //! * [`fec`] — packet-level Reed–Solomon erasure coding;
 //! * [`trace`] — probe records and the central collector;
 //! * [`analysis`] — loss/latency statistics, CDFs and table renderers;
-//! * [`live`](mpath_live) — tokio UDP driver for real deployments.
+//! * [`live`] — tokio UDP driver for real deployments.
 
 pub use analysis;
 pub use fec;

@@ -157,7 +157,7 @@ proptest! {
         let mut rng = Rng::new(seed);
         let mut data_sent = 0u64;
         let mut data_dropped = 0u64;
-        let mut deliver = |pkt: mpath::fec::FecPacket,
+        let deliver = |pkt: mpath::fec::FecPacket,
                            rng: &mut Rng,
                            data_sent: &mut u64,
                            data_dropped: &mut u64,

@@ -1,0 +1,65 @@
+//! Tier-1 smoke test: one tiny, deterministic `run_experiment` pushed
+//! end to end through the sim → overlay → trace → analysis pipeline.
+//!
+//! This is deliberately the cheapest full-pipeline run that still
+//! produces a non-degenerate report (a few simulated minutes on a
+//! five-host synthetic topology), so `cargo test -q` always exercises
+//! the whole stack even when the longer integration suites are what
+//! catch behavioural regressions.
+
+use mpath::core::{report, run_experiment, ExperimentConfig, MethodSet};
+use mpath::netsim::{SimDuration, Topology};
+
+fn tiny_run(seed: u64) -> mpath::core::ExperimentOutput {
+    let topo = Topology::synthetic(5, 0.02, seed);
+    let mut cfg = ExperimentConfig::new(MethodSet::ron_narrow());
+    cfg.duration = SimDuration::from_mins(10);
+    cfg.seed = seed;
+    cfg.flat_load = true;
+    run_experiment(topo, cfg)
+}
+
+#[test]
+fn tiny_experiment_produces_nonempty_report() {
+    let out = tiny_run(7);
+
+    // The pipeline moved real traffic...
+    assert!(out.measure_legs > 0, "no measurement legs were sent");
+    assert!(out.overlay_probes > 0, "the overlay never probed");
+
+    // ...and the analysis layer turned it into the paper's tables.
+    let rows = report::table5(&out);
+    assert!(!rows.is_empty(), "table 5 must have method rows");
+    assert!(
+        rows.iter().any(|r| r.summary.pairs > 0),
+        "table 5 rows must carry samples"
+    );
+    let fig = report::fig2(&[("smoke", &out)]);
+    assert!(!fig.series.is_empty(), "figure 2 must have series");
+
+    // Every method the config declares resolves in the report.
+    for name in ["direct", "loss", "direct rand"] {
+        assert!(
+            report::resolve(&out, name).is_some(),
+            "method `{name}` missing from output"
+        );
+    }
+}
+
+#[test]
+fn tiny_experiment_is_deterministic() {
+    let a = tiny_run(11);
+    let b = tiny_run(11);
+    assert_eq!(a.measure_legs, b.measure_legs);
+    assert_eq!(a.overlay_probes, b.overlay_probes);
+    assert_eq!(a.discarded, b.discarded);
+    let (ra, rb) = (report::table5(&a), report::table5(&b));
+    assert_eq!(ra.len(), rb.len());
+    for (x, y) in ra.iter().zip(&rb) {
+        assert_eq!(
+            x.summary.pairs, y.summary.pairs,
+            "row {} diverged between identical runs",
+            x.name
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Strategy generating `Vec`s whose length is drawn from `size` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+/// See [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

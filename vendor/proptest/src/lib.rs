@@ -1,0 +1,493 @@
+//! Vendored mini-proptest.
+//!
+//! Implements the property-testing surface the workspace's test suites
+//! use: the [`Strategy`] trait with `prop_map`/`boxed`, [`any`] for
+//! primitive types, integer/float range strategies, tuple strategies,
+//! `collection::vec`, [`prop_oneof!`], and the [`proptest!`] macro with
+//! `#![proptest_config(...)]` support.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with its sampled inputs via
+//!   the normal assertion message; cases are deterministic per test name,
+//!   so failures reproduce exactly.
+//! * **Deterministic seeding.** The RNG seed is derived from the test
+//!   function's name (override with `PROPTEST_SEED`), so CI runs are
+//!   stable.
+//! * `prop_assert*` map to the std `assert*` macros.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Items typically imported by property tests.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+// ------------------------------------------------------------------- rng
+
+/// Deterministic split-mix RNG used to sample strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG seeded from `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Seeds deterministically from a test name. When `PROPTEST_SEED` is
+    /// set (CI sets it to the run id so each run explores fresh cases),
+    /// it is mixed with the name hash — still distinct per test — and
+    /// announced on stderr so a failure log names the seed to replay.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(n) = seed.parse::<u64>() {
+                eprintln!("proptest: {name} using PROPTEST_SEED={n}");
+                return TestRng::new(n ^ h);
+            }
+        }
+        TestRng::new(h)
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // 128-bit multiply method (Lemire); bias is negligible for tests.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// -------------------------------------------------------------- strategy
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Strategy always yielding a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between boxed alternatives (backs [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+// ------------------------------------------------------------- arbitrary
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Samples an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (`any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = (rng.unit_f64() * 600.0) - 300.0;
+        let v = 10f64.powf(mag / 10.0);
+        if rng.next_u64() & 1 == 1 {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.next_u64() & 1 == 1 {
+            Some(T::arbitrary(rng))
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------- ranges
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i64, *self.end() as i64);
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9)
+}
+
+// ---------------------------------------------------------------- config
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Chooses uniformly among the listed strategies (all must generate the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Property assertion (maps to `assert!`; no shrinking in mini-proptest).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(128))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b: u32) {
+///         prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // Entry with inner config attribute.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+
+    // One test function, then recurse on the remainder.
+    (@funcs ($config:expr) $(#[$attr:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $crate::proptest!(@bind __rng ($($args)*) $body);
+            }
+        }
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (@funcs ($config:expr)) => {};
+
+    // Bind one `pat in strategy` argument, then the rest.
+    (@bind $rng:ident ($pat:pat in $strategy:expr $(, $($rest:tt)*)?) $body:block) => {{
+        let $pat = $crate::Strategy::sample(&($strategy), &mut $rng);
+        $crate::proptest!(@bind $rng ($($($rest)*)?) $body);
+    }};
+    // Bind one `name: Type` argument (implicit `any::<Type>()`).
+    (@bind $rng:ident ($name:ident : $ty:ty $(, $($rest:tt)*)?) $body:block) => {{
+        let $name: $ty = $crate::Strategy::sample(&$crate::any::<$ty>(), &mut $rng);
+        $crate::proptest!(@bind $rng ($($($rest)*)?) $body);
+    }};
+    // All arguments bound: run the property body.
+    (@bind $rng:ident () $body:block) => { $body };
+
+    // Entry without a config attribute.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..2000 {
+            let v = Strategy::sample(&(3u16..7), &mut rng);
+            assert!((3..7).contains(&v));
+            let w = Strategy::sample(&(1u8..=255), &mut rng);
+            assert!(w >= 1);
+            let x = Strategy::sample(&(-1e6f64..1e6), &mut rng);
+            assert!((-1e6..1e6).contains(&x));
+            let s = Strategy::sample(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let strat = prop_oneof![Just(1u32), (10u32..20).prop_map(|x| x * 2)];
+        let mut rng = TestRng::new(42);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!(v == 1 || (20..40).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_full_surface(
+            xs in crate::collection::vec(any::<u8>(), 0..10),
+            n in 1usize..4,
+            flag: bool,
+        ) {
+            prop_assert!(xs.len() < 10);
+            prop_assert_ne!(n, 0);
+            let _ = flag;
+        }
+    }
+}

@@ -1,0 +1,30 @@
+use std::time::{Duration, Instant};
+
+fn main() {
+    tokio::runtime::block_on(async {
+        let a = tokio::net::UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let b = tokio::net::UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let addr_b = b.local_addr().unwrap();
+        let start = Instant::now();
+        let recv_task = tokio::spawn(async move {
+            let mut buf = [0u8; 64];
+            // select-style wait like the node loop: long timer + recv
+            loop {
+                tokio::select! {
+                    _ = tokio::time::sleep(Duration::from_millis(200)) => { println!("B timer at {:?}", start.elapsed()); }
+                    r = b.recv_from(&mut buf) => {
+                        let (n, _) = r.unwrap();
+                        println!("B recv {n}B at {:?}", start.elapsed());
+                        break;
+                    }
+                }
+            }
+        });
+        // sender task: sleep 70ms then send (mimics probe timer)
+        tokio::time::sleep(Duration::from_millis(70)).await;
+        println!("A sending at {:?}", start.elapsed());
+        a.send_to(b"hello", addr_b).await.unwrap();
+        let _ = recv_task.await;
+        println!("done at {:?}", start.elapsed());
+    });
+}

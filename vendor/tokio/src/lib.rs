@@ -1,0 +1,38 @@
+//! Vendored mini-tokio.
+//!
+//! A small, dependency-free async runtime exposing the subset of the
+//! tokio API the workspace's live driver uses: [`net::UdpSocket`],
+//! [`sync::mpsc`] / [`sync::oneshot`] / [`sync::Notify`], [`time`]
+//! (sleep / sleep_until / timeout), [`spawn`], [`task::JoinHandle`], the
+//! [`select!`] macro, and the `#[tokio::main]` / `#[tokio::test]`
+//! attribute macros.
+//!
+//! ## Design
+//!
+//! The executor is a cooperative **single-threaded** scheduler (the
+//! `worker_threads` attribute argument is accepted and ignored). Tasks
+//! run on the thread that called [`runtime::block_on`]; wakers push
+//! tasks onto a ready queue and unpark that thread. Timers live in a
+//! binary heap keyed by deadline. UDP sockets are nonblocking
+//! `std::net` sockets: a pending I/O future registers itself with the
+//! reactor and is re-polled on a short tick (bounded by the next timer
+//! deadline), which trades a sub-millisecond wakeup granularity for
+//! having no OS-specific poller — ample for the overlay's
+//! hundreds-of-milliseconds probe cadence.
+//!
+//! Single-threadedness is also what makes the workspace's
+//! `Notify::notify_waiters`-based shutdown race-free here: a task can
+//! only observe the notification while parked at its `select!`, and the
+//! notifying task cannot run concurrently with it.
+
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+#[doc(hidden)]
+pub mod select;
+
+pub use task::spawn;
+pub use tokio_macros::{main, test};

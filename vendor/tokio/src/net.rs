@@ -1,0 +1,65 @@
+//! Async UDP sockets over nonblocking `std::net`.
+
+use crate::runtime::with_shared;
+use std::future::poll_fn;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::task::{Context, Poll};
+
+/// An async UDP socket.
+///
+/// Backed by a nonblocking [`std::net::UdpSocket`]; pending operations
+/// register with the runtime's I/O tick and are re-polled until the
+/// socket is ready. `recv_from` and `send_to` are cancel-safe: dropping
+/// the returned future (as `select!` does) never consumes a datagram.
+#[derive(Debug)]
+pub struct UdpSocket {
+    inner: std::net::UdpSocket,
+}
+
+impl UdpSocket {
+    /// Binds a socket to `addr`.
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+        let inner = std::net::UdpSocket::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(UdpSocket { inner })
+    }
+
+    /// The socket's locally bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    fn pend_on_io<T>(&self, cx: &mut Context<'_>) -> Poll<T> {
+        let waker = cx.waker().clone();
+        with_shared(|shared| shared.register_io(waker));
+        Poll::Pending
+    }
+
+    /// Sends `buf` to `target`.
+    pub async fn send_to<A: ToSocketAddrs>(&self, buf: &[u8], target: A) -> io::Result<usize> {
+        let target = target
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        poll_fn(|cx| match self.inner.send_to(buf, target) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => self.pend_on_io(cx),
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+
+    /// Receives one datagram into `buf`, returning its length and origin.
+    pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        poll_fn(|cx| match self.inner.recv_from(buf) {
+            Ok(out) => Poll::Ready(Ok(out)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => self.pend_on_io(cx),
+            // Linux surfaces ICMP errors from previous sends on unconnected
+            // UDP sockets; treat them as transient like tokio users do.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => self.pend_on_io(cx),
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+}

@@ -1,0 +1,245 @@
+//! The executor: ready queue, timer wheel, and I/O tick.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+/// Granularity of the I/O re-poll tick while sockets are pending.
+///
+/// The tick is *time-gated*: I/O-parked futures are re-woken at most once
+/// per `IO_TICK`, however often the executor loop itself spins. Without
+/// the gate, each io wake leaves an unpark token that makes the next
+/// `park_timeout` return immediately, and the loop degenerates into a
+/// busy spin (which additionally melts under cgroup CPU throttling).
+const IO_TICK: Duration = Duration::from_micros(500);
+/// Heartbeat when nothing at all is scheduled (guards against lost
+/// unparks; purely a safety net).
+const IDLE_HEARTBEAT: Duration = Duration::from_millis(50);
+
+pub(crate) struct Shared {
+    /// Tasks ready to be polled.
+    ready: Mutex<VecDeque<Arc<Task>>>,
+    /// Pending timers (min-heap by deadline).
+    timers: Mutex<BinaryHeap<TimerEntry>>,
+    /// Wakers parked on socket readiness, re-woken every I/O tick.
+    io_wakers: Mutex<Vec<Waker>>,
+    /// Set when the root future's waker fired.
+    root_woken: AtomicBool,
+    /// The executor thread, unparked by wakers.
+    thread: std::thread::Thread,
+}
+
+struct TimerEntry {
+    deadline: Instant,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline.
+        other.deadline.cmp(&self.deadline)
+    }
+}
+
+pub(crate) struct Task {
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    shared: Weak<Shared>,
+    /// Dedup flag: true while the task sits in the ready queue, so N wakes
+    /// before the next poll enqueue it once, not N times.
+    queued: AtomicBool,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if let Some(shared) = self.shared.upgrade() {
+            if !self.queued.swap(true, Ordering::SeqCst) {
+                shared.ready.lock().unwrap().push_back(self.clone());
+            }
+            shared.thread.unpark();
+        }
+    }
+}
+
+struct RootWaker {
+    shared: Weak<Shared>,
+}
+
+impl Wake for RootWaker {
+    fn wake(self: Arc<Self>) {
+        if let Some(shared) = self.shared.upgrade() {
+            shared.root_woken.store(true, Ordering::SeqCst);
+            shared.thread.unpark();
+        }
+    }
+}
+
+std::thread_local! {
+    static CONTEXT: std::cell::RefCell<Option<Arc<Shared>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn with_shared<R>(f: impl FnOnce(&Arc<Shared>) -> R) -> R {
+    CONTEXT.with(|ctx| {
+        let ctx = ctx.borrow();
+        let shared = ctx
+            .as_ref()
+            .expect("no mini-tokio runtime running on this thread (use #[tokio::main]/#[tokio::test] or runtime::block_on)");
+        f(shared)
+    })
+}
+
+impl Shared {
+    pub(crate) fn spawn_task(
+        self: &Arc<Self>,
+        future: Pin<Box<dyn Future<Output = ()> + Send>>,
+    ) {
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(future)),
+            shared: Arc::downgrade(self),
+            queued: AtomicBool::new(true),
+        });
+        self.ready.lock().unwrap().push_back(task);
+        self.thread.unpark();
+    }
+
+    pub(crate) fn register_timer(&self, deadline: Instant, waker: Waker) {
+        self.timers.lock().unwrap().push(TimerEntry { deadline, waker });
+        // No unpark needed: only the executor thread registers timers, and
+        // it re-computes its park timeout after every poll round.
+    }
+
+    pub(crate) fn register_io(&self, waker: Waker) {
+        self.io_wakers.lock().unwrap().push(waker);
+    }
+}
+
+/// Runs `root` to completion on the current thread, driving spawned
+/// tasks, timers, and socket I/O.
+pub fn block_on<F: Future>(root: F) -> F::Output {
+    let shared = Arc::new(Shared {
+        ready: Mutex::new(VecDeque::new()),
+        timers: Mutex::new(BinaryHeap::new()),
+        io_wakers: Mutex::new(Vec::new()),
+        root_woken: AtomicBool::new(true),
+        thread: std::thread::current(),
+    });
+    let previous = CONTEXT.with(|ctx| ctx.borrow_mut().replace(shared.clone()));
+
+    struct ContextGuard(Option<Arc<Shared>>);
+    impl Drop for ContextGuard {
+        fn drop(&mut self) {
+            let previous = self.0.take();
+            CONTEXT.with(|ctx| *ctx.borrow_mut() = previous);
+        }
+    }
+    let _guard = ContextGuard(previous);
+
+    let root_waker = Waker::from(Arc::new(RootWaker { shared: Arc::downgrade(&shared) }));
+    let mut root = std::pin::pin!(root);
+    let mut next_io_tick = Instant::now();
+
+    loop {
+        // 1. Poll the root future when its waker fired.
+        if shared.root_woken.swap(false, Ordering::SeqCst) {
+            let mut cx = Context::from_waker(&root_waker);
+            if let Poll::Ready(out) = root.as_mut().poll(&mut cx) {
+                return out;
+            }
+        }
+
+        // 2. Drain the ready queue.
+        loop {
+            let next = shared.ready.lock().unwrap().pop_front();
+            let Some(task) = next else { break };
+            task.queued.store(false, Ordering::SeqCst);
+            // Take the future out so a reentrant wake can't deadlock.
+            let fut = task.future.lock().unwrap().take();
+            if let Some(mut fut) = fut {
+                let waker = Waker::from(task.clone());
+                let mut cx = Context::from_waker(&waker);
+                if fut.as_mut().poll(&mut cx).is_pending() {
+                    *task.future.lock().unwrap() = Some(fut);
+                }
+            }
+        }
+
+        // 3. Fire expired timers.
+        let now = Instant::now();
+        let mut next_deadline = None;
+        {
+            let mut timers = shared.timers.lock().unwrap();
+            while let Some(entry) = timers.peek() {
+                if entry.deadline <= now {
+                    timers.pop().unwrap().waker.wake();
+                } else {
+                    next_deadline = Some(entry.deadline);
+                    break;
+                }
+            }
+        }
+
+        // 4. Anything became ready? Go again without parking.
+        if shared.root_woken.load(Ordering::SeqCst)
+            || !shared.ready.lock().unwrap().is_empty()
+        {
+            continue;
+        }
+
+        // 5. Re-wake I/O-parked futures, at most once per IO_TICK.
+        let io_pending = !shared.io_wakers.lock().unwrap().is_empty();
+        if io_pending && now >= next_io_tick {
+            next_io_tick = now + IO_TICK;
+            let io = std::mem::take(&mut *shared.io_wakers.lock().unwrap());
+            for waker in io {
+                waker.wake();
+            }
+            continue;
+        }
+
+        // 6. Park until the next event source can make progress. A stale
+        // unpark token makes this return early at most once; the io-tick
+        // gate in step 5 keeps that from turning into a spin.
+        let mut timeout = if io_pending {
+            next_io_tick.saturating_duration_since(now).min(IO_TICK)
+        } else {
+            IDLE_HEARTBEAT
+        };
+        if let Some(deadline) = next_deadline {
+            timeout = timeout.min(deadline.saturating_duration_since(now));
+        }
+        std::thread::park_timeout(timeout);
+    }
+}
+
+/// Handle mirroring `tokio::runtime::Runtime` for explicit construction.
+#[derive(Debug)]
+pub struct Runtime {
+    _private: (),
+}
+
+impl Runtime {
+    /// Creates a runtime handle.
+    pub fn new() -> std::io::Result<Runtime> {
+        Ok(Runtime { _private: () })
+    }
+
+    /// Runs `future` to completion on the current thread.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        block_on(future)
+    }
+}

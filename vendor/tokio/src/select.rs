@@ -1,0 +1,115 @@
+//! The `select!` macro: races futures, running the branch of whichever
+//! completes first.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Result of racing two futures (nested per additional branch).
+#[derive(Debug)]
+pub enum Either<A, B> {
+    /// The left future completed first.
+    Left(A),
+    /// The right future completed first.
+    Right(B),
+}
+
+/// Future racing `a` against `b`, polled left-to-right (so earlier
+/// `select!` branches take priority, like `tokio::select!` with
+/// `biased`).
+#[derive(Debug)]
+pub struct Or<A, B> {
+    /// Left (boxed leaf) future.
+    pub a: A,
+    /// Right future (an `Or` chain or boxed leaf).
+    pub b: B,
+}
+
+impl<A, B> Future for Or<A, B>
+where
+    A: Future + Unpin,
+    B: Future + Unpin,
+{
+    type Output = Either<A::Output, B::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if let Poll::Ready(out) = Pin::new(&mut this.a).poll(cx) {
+            return Poll::Ready(Either::Left(out));
+        }
+        if let Poll::Ready(out) = Pin::new(&mut this.b).poll(cx) {
+            return Poll::Ready(Either::Right(out));
+        }
+        Poll::Pending
+    }
+}
+
+/// Races the given branches, evaluating the body of the first future to
+/// complete. Branches are polled in order (biased). Bodies run in the
+/// caller's scope, so `break`/`continue`/`return`/`?` work as expected.
+///
+/// Supported grammar (the tokio core form):
+///
+/// ```ignore
+/// select! {
+///     pat = future => body,
+///     pat = future => { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! select {
+    // --- normalize branches into [{pat} {future} {body}] triples ------
+    (@norm [$($done:tt)*] , $($rest:tt)*) => {
+        $crate::select!(@norm [$($done)*] $($rest)*)
+    };
+    (@norm [$($done:tt)*] $pat:pat = $fut:expr => $body:block $($rest:tt)*) => {
+        $crate::select!(@norm [$($done)* {$pat} {$fut} {$body}] $($rest)*)
+    };
+    (@norm [$($done:tt)*] $pat:pat = $fut:expr => $body:expr, $($rest:tt)*) => {
+        $crate::select!(@norm [$($done)* {$pat} {$fut} {$body}] $($rest)*)
+    };
+    (@norm [$($done:tt)*] $pat:pat = $fut:expr => $body:expr) => {
+        $crate::select!(@norm [$($done)* {$pat} {$fut} {$body}])
+    };
+    (@norm [$($done:tt)*]) => {
+        $crate::select!(@emit [$($done)*])
+    };
+
+    // --- emit: build the Or chain, await it, match the Either chain ---
+    (@emit [$({$pat:pat} {$fut:expr} {$body:expr})+]) => {{
+        let __result = $crate::select!(@chain $({$fut})+).await;
+        $crate::select!(@arms __result; $({$pat} {$body})+)
+    }};
+
+    (@chain {$fut:expr}) => {
+        ::std::boxed::Box::pin($fut)
+    };
+    (@chain {$fut:expr} $($rest:tt)+) => {
+        $crate::select::Or {
+            a: ::std::boxed::Box::pin($fut),
+            b: $crate::select!(@chain $($rest)+),
+        }
+    };
+
+    (@arms $result:ident; {$pat:pat} {$body:expr}) => {{
+        let $pat = $result;
+        $body
+    }};
+    (@arms $result:ident; {$pat:pat} {$body:expr} $($rest:tt)+) => {
+        match $result {
+            $crate::select::Either::Left(__value) => {
+                let $pat = __value;
+                $body
+            }
+            $crate::select::Either::Right(__rest) => {
+                $crate::select!(@arms __rest; $($rest)+)
+            }
+        }
+    };
+
+    // --- entry point (must come after the internal @rules) ------------
+    ($($tokens:tt)+) => {
+        $crate::select!(@norm [] $($tokens)+)
+    };
+}

@@ -1,0 +1,325 @@
+//! Synchronization: bounded mpsc channels, oneshot channels, and
+//! [`Notify`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::{poll_fn, Future};
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Bounded multi-producer single-consumer channels.
+pub mod mpsc {
+    use super::*;
+
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        capacity: usize,
+        senders: usize,
+        receiver_alive: bool,
+        recv_waker: Option<Waker>,
+        send_wakers: Vec<Waker>,
+    }
+
+    struct Chan<T>(Mutex<ChanState<T>>);
+
+    /// Creates a bounded channel with room for `capacity` messages.
+    pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "mpsc capacity must be > 0");
+        let chan = Arc::new(Chan(Mutex::new(ChanState {
+            queue: VecDeque::new(),
+            capacity,
+            senders: 1,
+            receiver_alive: true,
+            recv_waker: None,
+            send_wakers: Vec::new(),
+        })));
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("channel closed")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// The receiver was dropped.
+        Closed(T),
+    }
+
+    /// The sending half; clonable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.0.lock().unwrap().senders += 1;
+            Sender { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.chan.0.lock().unwrap();
+            s.senders -= 1;
+            if s.senders == 0 {
+                if let Some(w) = s.recv_waker.take() {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, waiting for space if the channel is full.
+        pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut value = Some(value);
+            poll_fn(move |cx| {
+                let mut s = self.chan.0.lock().unwrap();
+                if !s.receiver_alive {
+                    return Poll::Ready(Err(SendError(value.take().expect("polled after ready"))));
+                }
+                if s.queue.len() < s.capacity {
+                    s.queue.push_back(value.take().expect("polled after ready"));
+                    if let Some(w) = s.recv_waker.take() {
+                        w.wake();
+                    }
+                    Poll::Ready(Ok(()))
+                } else {
+                    s.send_wakers.push(cx.waker().clone());
+                    Poll::Pending
+                }
+            })
+            .await
+        }
+
+        /// Sends without waiting; fails if full or closed.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut s = self.chan.0.lock().unwrap();
+            if !s.receiver_alive {
+                return Err(TrySendError::Closed(value));
+            }
+            if s.queue.len() >= s.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            s.queue.push_back(value);
+            if let Some(w) = s.recv_waker.take() {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut s = self.chan.0.lock().unwrap();
+            s.receiver_alive = false;
+            for w in s.send_wakers.drain(..) {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next message; `None` once all senders dropped and
+        /// the queue drained. Cancel-safe.
+        pub async fn recv(&mut self) -> Option<T> {
+            poll_fn(|cx| {
+                let mut s = self.chan.0.lock().unwrap();
+                if let Some(value) = s.queue.pop_front() {
+                    for w in s.send_wakers.drain(..) {
+                        w.wake();
+                    }
+                    return Poll::Ready(Some(value));
+                }
+                if s.senders == 0 {
+                    return Poll::Ready(None);
+                }
+                s.recv_waker = Some(cx.waker().clone());
+                Poll::Pending
+            })
+            .await
+        }
+
+        /// Receives without waiting.
+        pub fn try_recv(&mut self) -> Option<T> {
+            let mut s = self.chan.0.lock().unwrap();
+            let out = s.queue.pop_front();
+            if out.is_some() {
+                for w in s.send_wakers.drain(..) {
+                    w.wake();
+                }
+            }
+            out
+        }
+    }
+}
+
+/// One-shot value channels.
+pub mod oneshot {
+    use super::*;
+
+    struct OnceState<T> {
+        value: Option<T>,
+        sender_alive: bool,
+        waker: Option<Waker>,
+    }
+
+    /// Creates a channel carrying a single value.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let state = Arc::new(Mutex::new(OnceState {
+            value: None,
+            sender_alive: true,
+            waker: None,
+        }));
+        (Sender { state: state.clone() }, Receiver { state })
+    }
+
+    /// Error returned when awaiting a dropped sender.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError(());
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("oneshot sender dropped")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half; consumed by [`Sender::send`].
+    pub struct Sender<T> {
+        state: Arc<Mutex<OnceState<T>>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `value`; fails (returning it) if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut s = self.state.lock().unwrap();
+            // Two handles exist (this sender and the receiver); if we hold
+            // one of the last two, the receiver may still be alive only if
+            // the refcount is 2.
+            if Arc::strong_count(&self.state) < 2 {
+                return Err(value);
+            }
+            s.value = Some(value);
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.state.lock().unwrap();
+            s.sender_alive = false;
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        }
+    }
+
+    /// The receiving half; a future resolving to the sent value.
+    pub struct Receiver<T> {
+        state: Arc<Mutex<OnceState<T>>>,
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut s = self.state.lock().unwrap();
+            if let Some(value) = s.value.take() {
+                return Poll::Ready(Ok(value));
+            }
+            if !s.sender_alive {
+                return Poll::Ready(Err(RecvError(())));
+            }
+            s.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Notifies waiting tasks (subset: `notified` + `notify_waiters`).
+///
+/// Matching tokio semantics, [`Notify::notify_waiters`] wakes only
+/// [`Notified`] futures that have already been polled; it does not store
+/// a permit for future waiters. On this single-threaded runtime that is
+/// race-free for the select-loop shutdown pattern, because a waiter is
+/// always parked at its `select!` (and therefore enlisted) whenever
+/// another task runs.
+#[derive(Debug, Default)]
+pub struct Notify {
+    state: Mutex<NotifyState>,
+}
+
+#[derive(Debug, Default)]
+struct NotifyState {
+    generation: u64,
+    waiters: Vec<Waker>,
+}
+
+impl Notify {
+    /// Creates a new `Notify`.
+    pub fn new() -> Self {
+        Notify::default()
+    }
+
+    /// Returns a future completing at the next `notify_waiters` call
+    /// issued after this future's first poll.
+    pub fn notified(&self) -> Notified<'_> {
+        Notified { notify: self, enlisted_at: None }
+    }
+
+    /// Wakes every currently enlisted waiter.
+    pub fn notify_waiters(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.generation += 1;
+        for w in s.waiters.drain(..) {
+            w.wake();
+        }
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+#[derive(Debug)]
+pub struct Notified<'a> {
+    notify: &'a Notify,
+    enlisted_at: Option<u64>,
+}
+
+impl Future for Notified<'_> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut s = self.notify.state.lock().unwrap();
+        match self.enlisted_at {
+            Some(gen) if s.generation > gen => Poll::Ready(()),
+            // Already enlisted: the waker stays in `waiters` until the next
+            // notify_waiters drains it, so don't push a duplicate per poll.
+            Some(_) => Poll::Pending,
+            None => {
+                self.enlisted_at = Some(s.generation);
+                s.waiters.push(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}

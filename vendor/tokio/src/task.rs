@@ -1,0 +1,68 @@
+//! Task spawning and join handles.
+
+use crate::runtime::with_shared;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+struct JoinState<T> {
+    output: Option<T>,
+    finished: bool,
+    waker: Option<Waker>,
+}
+
+/// Owned handle awaiting a spawned task's completion.
+pub struct JoinHandle<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+}
+
+/// Error returned when a task's output was already consumed. (Mini-tokio
+/// tasks cannot be cancelled and panics propagate on the executor
+/// thread, so in practice this is unobservable.)
+#[derive(Debug)]
+pub struct JoinError(());
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("task output already taken")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.state.lock().unwrap();
+        if state.finished {
+            return Poll::Ready(state.output.take().ok_or(JoinError(())));
+        }
+        state.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Spawns `future` onto the current runtime, returning a handle to its
+/// output.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let state = Arc::new(Mutex::new(JoinState { output: None, finished: false, waker: None }));
+    let state2 = state.clone();
+    let wrapped: Pin<Box<dyn Future<Output = ()> + Send>> = Box::pin(async move {
+        let output = future.await;
+        let mut s = state2.lock().unwrap();
+        s.output = Some(output);
+        s.finished = true;
+        if let Some(w) = s.waker.take() {
+            w.wake();
+        }
+    });
+    with_shared(|shared| shared.spawn_task(wrapped));
+    JoinHandle { state }
+}

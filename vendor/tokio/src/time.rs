@@ -1,0 +1,84 @@
+//! Timers: `sleep`, `sleep_until`, and `timeout`.
+
+pub use std::time::{Duration, Instant};
+
+use crate::runtime::with_shared;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Future returned by [`sleep`] / [`sleep_until`].
+#[derive(Debug)]
+pub struct Sleep {
+    deadline: Instant,
+    /// A timer-heap entry lives until it expires, so one registration per
+    /// `Sleep` suffices; re-registering on every poll would grow the heap
+    /// by one duplicate entry per I/O tick.
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            if !self.registered {
+                self.registered = true;
+                let waker = cx.waker().clone();
+                with_shared(|shared| shared.register_timer(self.deadline, waker));
+            }
+            Poll::Pending
+        }
+    }
+}
+
+/// Completes after `duration` has elapsed.
+pub fn sleep(duration: Duration) -> Sleep {
+    sleep_until(Instant::now() + duration)
+}
+
+/// Completes at `deadline`.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline, registered: false }
+}
+
+/// Error returned by [`timeout`] when the deadline passes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Future returned by [`timeout`].
+#[derive(Debug)]
+pub struct Timeout<F> {
+    future: Pin<Box<F>>,
+    sleep: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Poll::Ready(out) = self.future.as_mut().poll(cx) {
+            return Poll::Ready(Ok(out));
+        }
+        match Pin::new(&mut self.sleep).poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(Elapsed(()))),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Limits `future` to complete within `duration`.
+pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+    Timeout { future: Box::pin(future), sleep: sleep(duration) }
+}

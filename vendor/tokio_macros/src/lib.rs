@@ -1,0 +1,65 @@
+//! Vendored `#[tokio::main]` and `#[tokio::test]`.
+//!
+//! Rewrites an `async fn` into a synchronous one whose body runs on the
+//! mini-tokio executor via `tokio::runtime::block_on`. Attribute
+//! arguments (`flavor`, `worker_threads`, ...) are accepted and ignored:
+//! the vendored runtime is always single-threaded.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Turns `async fn main()` into a sync `main` that drives the runtime.
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+/// Turns `async fn case()` into a `#[test]` driving the runtime.
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}
+
+fn rewrite(item: TokenStream, is_test: bool) -> TokenStream {
+    let toks: Vec<TokenTree> = item.into_iter().collect();
+
+    // The function body is the final brace group; everything before it is
+    // the signature (attributes, visibility, `async fn name(...) -> T`).
+    let Some((TokenTree::Group(body), signature)) = toks.split_last() else {
+        return error("expected a function item");
+    };
+    if body.delimiter() != Delimiter::Brace {
+        return error("expected a function body");
+    }
+    let mut saw_async = false;
+    let sig_tokens: TokenStream = signature
+        .iter()
+        .filter(|t| {
+            if let TokenTree::Ident(id) = t {
+                if id.to_string() == "async" {
+                    saw_async = true;
+                    return false;
+                }
+            }
+            true
+        })
+        .cloned()
+        .collect();
+    // Stringify the whole stream (not token-by-token) so joint punctuation
+    // like `->` survives.
+    let sig = sig_tokens.to_string();
+    if !saw_async {
+        return error("the function must be `async`");
+    }
+
+    let test_attr = if is_test { "#[test]\n" } else { "" };
+    let out = format!(
+        "{test_attr}{sig} {{ ::tokio::runtime::block_on(async move {body}) }}",
+        body = body
+    );
+    out.parse()
+        .unwrap_or_else(|_| error("mini tokio_macros produced invalid Rust"))
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
