@@ -114,6 +114,28 @@ impl Histogram {
         self.bins[idx] += 1;
     }
 
+    /// Folds another histogram into this one (sharded-run merge).
+    ///
+    /// Panics if the bin counts differ; since every value lands in
+    /// exactly one bucket, merging is an exact bucket-wise sum.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "histogram shapes must match");
+        self.zeros += other.zeros;
+        self.count += other.count;
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+    }
+
+    /// Feeds the histogram's exact state into a fingerprint fold.
+    pub fn digest(&self, fnv: &mut crate::fingerprint::Fnv) {
+        fnv.write_u64(self.zeros);
+        fnv.write_u64(self.count);
+        for &b in &self.bins {
+            fnv.write_u64(b);
+        }
+    }
+
     /// Total recorded values.
     pub fn count(&self) -> u64 {
         self.count

@@ -1,0 +1,92 @@
+//! A stable 64-bit fold over accumulator state.
+//!
+//! The sharding equivalence harness needs to assert that two experiment
+//! runs produced **byte-identical** statistics, including the exact bit
+//! patterns of floating-point sums (f64 addition is non-associative, so
+//! merge order matters and must be proven fixed). `std::hash` offers no
+//! cross-run stability guarantee, so this module carries a tiny FNV-1a
+//! implementation whose output depends only on the bytes fed to it —
+//! same state, same fingerprint, on every platform and in every process.
+
+/// Incremental FNV-1a 64-bit fold.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a fresh fold.
+    pub fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by exact bit pattern — `1.0 + 2.0` and
+    /// `2.0 + 1.0` fold equal, but `(a + b) + c` and `a + (b + c)`
+    /// generally do not, which is precisely what the equivalence
+    /// harness must detect.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// The folded value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c — the published test vector.
+        let mut f = Fnv::new();
+        f.write(b"a");
+        assert_eq!(f.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let mut a = Fnv::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_bit_exact() {
+        let mut a = Fnv::new();
+        a.write_f64(0.1 + 0.2);
+        let mut b = Fnv::new();
+        b.write_f64(0.3);
+        // 0.1 + 0.2 != 0.3 in IEEE 754; the fold must see that.
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv::new();
+        c.write_f64(0.1 + 0.2);
+        assert_eq!(a.finish(), c.finish());
+    }
+}

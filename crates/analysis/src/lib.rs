@@ -21,12 +21,14 @@
 
 pub mod cdf;
 pub mod figures;
+pub mod fingerprint;
 pub mod latency;
 pub mod loss;
 pub mod tables;
 pub mod windows;
 
 pub use cdf::{Cdf, Histogram};
+pub use fingerprint::Fnv;
 pub use figures::{Figure, Series};
 pub use loss::{LossAccum, MethodSummary};
 pub use tables::{render_table5, render_table6, render_table7, Table5Row, Table6, Table7Row};

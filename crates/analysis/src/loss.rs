@@ -115,6 +115,52 @@ impl LossAccum {
         }
     }
 
+    /// Folds another accumulator into this one, cell by cell.
+    ///
+    /// This is the sharded-run merge: each workload slice streams its
+    /// outcomes into a private `LossAccum`, and the slices are merged in
+    /// slice order. Counter sums are exact; the latency sums are f64, so
+    /// the *order* of merging is part of the result's byte identity —
+    /// callers must merge in a fixed order (the shard runner always
+    /// merges ascending by slice index).
+    ///
+    /// Panics if the shapes (host count, method count) differ.
+    pub fn merge(&mut self, other: &LossAccum) {
+        assert_eq!(self.n, other.n, "host counts must match");
+        assert_eq!(self.methods, other.methods, "method counts must match");
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.pairs += b.pairs;
+            a.pairs_lost += b.pairs_lost;
+            a.l1_sent += b.l1_sent;
+            a.l1_lost += b.l1_lost;
+            a.l2_sent += b.l2_sent;
+            a.l2_lost += b.l2_lost;
+            a.both_lost += b.both_lost;
+            a.first_lost_with_second += b.first_lost_with_second;
+            a.lat_sum_us += b.lat_sum_us;
+            a.lat_cnt += b.lat_cnt;
+        }
+    }
+
+    /// Feeds the accumulator's exact state (every counter and the bit
+    /// patterns of every latency sum) into a fingerprint fold.
+    pub fn digest(&self, fnv: &mut crate::fingerprint::Fnv) {
+        fnv.write_u64(self.n as u64);
+        fnv.write_u64(self.methods as u64);
+        for c in &self.cells {
+            fnv.write_u64(c.pairs);
+            fnv.write_u64(c.pairs_lost);
+            fnv.write_u64(c.l1_sent);
+            fnv.write_u64(c.l1_lost);
+            fnv.write_u64(c.l2_sent);
+            fnv.write_u64(c.l2_lost);
+            fnv.write_u64(c.both_lost);
+            fnv.write_u64(c.first_lost_with_second);
+            fnv.write_f64(c.lat_sum_us);
+            fnv.write_u64(c.lat_cnt);
+        }
+    }
+
     /// Read access to one cell.
     pub fn cell(&self, method: u8, src: HostId, dst: HostId) -> &Cell {
         &self.cells[self.idx(method, src, dst)]
@@ -354,6 +400,63 @@ mod tests {
         a.on_outcome(&outcome(0, 0, 2, [Some((false, Some(1))), Some((false, Some(1)))], false));
         let v = a.per_path_clp(0, 1);
         assert_eq!(v, vec![50.0]);
+    }
+
+    #[test]
+    fn merge_equals_sequential_feed() {
+        // Outcomes split across two accumulators and merged must equal
+        // one accumulator fed everything in the same order.
+        let outcomes: Vec<PairOutcome> = (0..40)
+            .map(|i| {
+                outcome(
+                    (i % 2) as u8,
+                    (i % 3) as u16,
+                    ((i + 1) % 3) as u16,
+                    [
+                        Some((i % 5 == 0, if i % 5 == 0 { None } else { Some(1_000 + i) })),
+                        if i % 2 == 0 { Some((i % 7 == 0, Some(2_000 + i))) } else { None },
+                    ],
+                    i % 11 == 0,
+                )
+            })
+            .collect();
+        let mut whole = LossAccum::new(3, 2);
+        for o in &outcomes {
+            whole.on_outcome(o);
+        }
+        let mut first = LossAccum::new(3, 2);
+        let mut second = LossAccum::new(3, 2);
+        for (i, o) in outcomes.iter().enumerate() {
+            if i < 20 {
+                first.on_outcome(o);
+            } else {
+                second.on_outcome(o);
+            }
+        }
+        first.merge(&second);
+        let (mut fa, mut fb) = (crate::Fnv::new(), crate::Fnv::new());
+        whole.digest(&mut fa);
+        first.digest(&mut fb);
+        assert_eq!(fa.finish(), fb.finish(), "merge must be exact");
+    }
+
+    #[test]
+    fn digest_sees_every_counter() {
+        let mut a = LossAccum::new(2, 1);
+        let b = LossAccum::new(2, 1);
+        a.on_outcome(&outcome(0, 0, 1, [Some((true, None)), None], false));
+        let (mut fa, mut fb) = (crate::Fnv::new(), crate::Fnv::new());
+        a.digest(&mut fa);
+        b.digest(&mut fb);
+        assert_ne!(fa.finish(), fb.finish());
+    }
+
+    #[test]
+    #[should_panic(expected = "host counts must match")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = LossAccum::new(2, 1);
+        let b = LossAccum::new(3, 1);
+        a.merge(&b);
     }
 
     #[test]

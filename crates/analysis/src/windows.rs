@@ -99,6 +99,58 @@ impl WindowAccum {
         }
     }
 
+    /// True when no window is open (i.e. [`finish`](Self::finish) ran
+    /// after the last outcome).
+    pub fn is_finished(&self) -> bool {
+        self.open.iter().all(|w| !w.used)
+    }
+
+    /// Folds another *finished* accumulator into this one.
+    ///
+    /// Sharded runs close every window at their slice boundary (slices
+    /// are independent sub-experiments), so merging is a plain sum of
+    /// the per-method histograms, threshold counters and window counts.
+    /// Panics if either side still has open windows or the shapes
+    /// (width, host count, method count) differ.
+    pub fn merge(&mut self, other: &WindowAccum) {
+        assert_eq!(self.width_us, other.width_us, "window widths must match");
+        assert_eq!(self.n, other.n, "host counts must match");
+        assert_eq!(self.hist.len(), other.hist.len(), "method counts must match");
+        assert!(
+            self.is_finished() && other.is_finished(),
+            "merge requires finished accumulators (no open windows)"
+        );
+        for (a, b) in self.hist.iter_mut().zip(&other.hist) {
+            a.merge(b);
+        }
+        for (a, b) in self.thresholds.iter_mut().zip(&other.thresholds) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        for (a, b) in self.windows.iter_mut().zip(&other.windows) {
+            *a += b;
+        }
+    }
+
+    /// Feeds the accumulator's exact closed-window state into a
+    /// fingerprint fold.
+    pub fn digest(&self, fnv: &mut crate::fingerprint::Fnv) {
+        fnv.write_u64(self.width_us);
+        fnv.write_u64(self.n as u64);
+        for h in &self.hist {
+            h.digest(fnv);
+        }
+        for t in &self.thresholds {
+            for &v in t {
+                fnv.write_u64(v);
+            }
+        }
+        for &w in &self.windows {
+            fnv.write_u64(w);
+        }
+    }
+
     /// The per-method loss-rate histogram (Figure 3's raw material).
     pub fn histogram(&self, method: u8) -> &Histogram {
         &self.hist[method as usize]
@@ -192,6 +244,45 @@ mod tests {
         let h = w.histogram(0);
         assert_eq!(h.count(), 2);
         assert!((h.fraction_at_or_below(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_closed_windows() {
+        // Two disjoint time ranges accumulated separately and merged
+        // must equal one accumulator that saw both ranges.
+        let mk = |range: std::ops::Range<u64>| {
+            let mut w = WindowAccum::new(2, 1, SimDuration::from_mins(20));
+            for t in range {
+                w.on_outcome(&outcome(0, 0, 1, t * 700, t % 3 == 0));
+            }
+            w.finish();
+            w
+        };
+        let mut whole = WindowAccum::new(2, 1, SimDuration::from_mins(20));
+        for t in 0..12 {
+            whole.on_outcome(&outcome(0, 0, 1, t * 700, t % 3 == 0));
+        }
+        whole.finish();
+        let mut a = mk(0..6);
+        let b = mk(6..12);
+        a.merge(&b);
+        // Window boundaries at 1200 s: samples at 0..4200 s in steps of
+        // 700 s. The split at t=6 (4200 s) coincides with a window edge,
+        // so the merged statistics are identical.
+        let (mut fa, mut fb) = (crate::Fnv::new(), crate::Fnv::new());
+        whole.digest(&mut fa);
+        a.digest(&mut fb);
+        assert_eq!(fa.finish(), fb.finish());
+    }
+
+    #[test]
+    #[should_panic(expected = "finished accumulators")]
+    fn merge_rejects_open_windows() {
+        let mut a = WindowAccum::new(2, 1, SimDuration::from_mins(20));
+        let mut b = WindowAccum::new(2, 1, SimDuration::from_mins(20));
+        b.on_outcome(&outcome(0, 0, 1, 10, false));
+        // b not finished: must panic.
+        a.merge(&b);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Sharded-runner throughput: the RON2003 campaign cut into workload
+//! slices, executed with 1 vs. 4 worker shards.
+//!
+//! The outputs of the two configurations are byte-identical (the
+//! equivalence suite proves it); this bench measures the only thing
+//! `shards` may change — wall-clock time. On a multi-core machine the
+//! 4-shard run should approach a 4× speedup (slices are embarrassingly
+//! parallel); on a single-core machine it degrades gracefully to ~1×.
+//! The final line prints the measured speedup explicitly so CI logs and
+//! `BENCH_BASELINE.json` deltas capture it.
+
+use criterion::{criterion_group, Criterion};
+use mpath_core::{run_experiment, Dataset};
+use netsim::SimDuration;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// RON2003, 40 simulated minutes cut into four 10-minute slices.
+fn ron2003_sliced(shards: usize) -> mpath_core::ExperimentOutput {
+    let mut cfg = Dataset::Ron2003.config(2003, Some(SimDuration::from_mins(40)));
+    cfg.slice_width = SimDuration::from_mins(10);
+    cfg.shards = shards;
+    run_experiment(Dataset::Ron2003.topology(2003), cfg)
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharding");
+    g.sample_size(5);
+    g.bench_function("ron2003_40min_shards_1", |b| {
+        b.iter(|| black_box(ron2003_sliced(1).measure_legs))
+    });
+    g.bench_function("ron2003_40min_shards_4", |b| {
+        b.iter(|| black_box(ron2003_sliced(4).measure_legs))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharding);
+
+fn main() {
+    benches();
+    // One timed head-to-head so the speedup is a single greppable line.
+    let t = Instant::now();
+    let seq = ron2003_sliced(1);
+    let t_seq = t.elapsed();
+    let t = Instant::now();
+    let par = ron2003_sliced(4);
+    let t_par = t.elapsed();
+    assert_eq!(
+        seq.fingerprint(),
+        par.fingerprint(),
+        "sharded and sequential runs must stay byte-identical"
+    );
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "\nsharding speedup: {:.2}x at 4 shards ({} core(s) available; seq {:?}, 4-shard {:?})",
+        t_seq.as_secs_f64() / t_par.as_secs_f64(),
+        cores,
+        t_seq,
+        t_par
+    );
+}

@@ -1,0 +1,169 @@
+//! `bench_delta` — record and compare criterion baselines.
+//!
+//! The vendored criterion harness appends one JSON line per benchmark
+//! to `$CRITERION_JSON`. This tool turns such a run log into the
+//! checked-in `BENCH_BASELINE.json`, or prints the delta of a fresh run
+//! against it:
+//!
+//! ```text
+//! CRITERION_JSON=target/bench.jsonl cargo bench
+//! bench_delta write   BENCH_BASELINE.json target/bench.jsonl
+//! bench_delta compare BENCH_BASELINE.json target/bench.jsonl
+//! ```
+//!
+//! `compare` is informational (exit code 0): benchmark machines differ,
+//! so deltas are a trend signal for reviewers, not a gate. Entries only
+//! present on one side are listed so added/removed targets are visible.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(x) => Some(*x),
+        Value::Int(x) => Some(*x as f64),
+        Value::UInt(x) => Some(*x as f64),
+        _ => None,
+    }
+}
+
+/// Parses one record (an object with id/mean_ns/min_ns/max_ns).
+fn record(v: &Value) -> Option<(String, Stats)> {
+    let Value::Str(id) = v.field("id").ok()? else { return None };
+    Some((
+        id.clone(),
+        Stats {
+            mean_ns: num(v.field("mean_ns").ok()?)?,
+            min_ns: num(v.field("min_ns").ok()?)?,
+            max_ns: num(v.field("max_ns").ok()?)?,
+        },
+    ))
+}
+
+/// Reads either a JSONL run log or a JSON-array baseline. Later
+/// duplicates win (a re-run bench overwrites its earlier line).
+fn load(path: &str) -> Result<BTreeMap<String, Stats>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    let trimmed = text.trim_start();
+    if trimmed.starts_with('[') {
+        let v = serde_json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let Value::Seq(items) = v else { return Err(format!("{path}: expected a JSON array")) };
+        for item in &items {
+            let (id, s) = record(item).ok_or_else(|| format!("{path}: malformed record"))?;
+            out.insert(id, s);
+        }
+    } else {
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let v = serde_json::parse(line).map_err(|e| format!("{path}: {e}"))?;
+            let (id, s) = record(&v).ok_or_else(|| format!("{path}: malformed record"))?;
+            out.insert(id, s);
+        }
+    }
+    Ok(out)
+}
+
+/// Rounds to one decimal so the checked-in baseline stays compact.
+fn ns(v: f64) -> Value {
+    Value::Float((v * 10.0).round() / 10.0)
+}
+
+fn write_baseline(path: &str, benches: &BTreeMap<String, Stats>) -> Result<(), String> {
+    // One record per line so baseline re-records produce reviewable
+    // diffs; each record is serialized by serde_json (single source of
+    // truth for escaping).
+    let mut out = String::from("[\n");
+    for (i, (id, s)) in benches.iter().enumerate() {
+        let rec = Value::Map(vec![
+            ("id".into(), Value::Str(id.clone())),
+            ("mean_ns".into(), ns(s.mean_ns)),
+            ("min_ns".into(), ns(s.min_ns)),
+            ("max_ns".into(), ns(s.max_ns)),
+        ]);
+        let line = serde_json::to_string(&rec).map_err(|e| e.to_string())?;
+        out.push_str("  ");
+        out.push_str(&line);
+        out.push_str(if i + 1 < benches.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn compare(base: &BTreeMap<String, Stats>, cur: &BTreeMap<String, Stats>) {
+    println!(
+        "{:<48} {:>12} {:>12} {:>9}",
+        "benchmark", "baseline", "current", "delta"
+    );
+    for (id, c) in cur {
+        match base.get(id) {
+            Some(b) => {
+                let delta = 100.0 * (c.mean_ns / b.mean_ns - 1.0);
+                let flag = if delta.abs() >= 20.0 { "  <<" } else { "" };
+                println!(
+                    "{:<48} {:>12} {:>12} {:>+8.1}%{flag}",
+                    id,
+                    human_ns(b.mean_ns),
+                    human_ns(c.mean_ns),
+                    delta
+                );
+            }
+            None => println!("{:<48} {:>12} {:>12}      new", id, "-", human_ns(c.mean_ns)),
+        }
+    }
+    for id in base.keys().filter(|id| !cur.contains_key(*id)) {
+        println!("{id:<48} {:>12} {:>12}  missing", human_ns(base[id].mean_ns), "-");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: bench_delta <write|compare> <baseline.json> <run.jsonl>";
+    let (cmd, baseline, run) = match args.as_slice() {
+        [c, b, r] => (c.as_str(), b.as_str(), r.as_str()),
+        _ => {
+            eprintln!("{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "write" => load(run).and_then(|benches| {
+            write_baseline(baseline, &benches).map(|()| {
+                println!("wrote {} benchmark(s) to {baseline}", benches.len());
+            })
+        }),
+        "compare" => load(baseline).and_then(|base| {
+            load(run).map(|cur| compare(&base, &cur))
+        }),
+        _ => {
+            eprintln!("{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_delta: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,13 +1,16 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [ARTIFACT] [--days F] [--seed N] [--out DIR]
+//! repro [ARTIFACT] [--days F] [--seed N] [--shards N] [--out DIR]
 //!
 //! ARTIFACT: all | headline | table5 | table6 | table7
 //!         | fig2 | fig3 | fig4 | fig5 | fig6 | fec
-//! --days F   simulated days per dataset (default 1.0; paper scale: 14)
-//! --seed N   master seed (default 2003)
-//! --out DIR  directory for figure CSVs (default target/repro_out)
+//! --days F    simulated days per dataset (default 1.0; paper scale: 14)
+//! --seed N    master seed (default 2003)
+//! --shards N  worker threads for the sliced campaign (default: the
+//!             MPATH_SHARDS environment variable, else 1). Results are
+//!             byte-identical for every value — only wall-clock changes.
+//! --out DIR   directory for figure CSVs (default target/repro_out)
 //! ```
 //!
 //! Output shows measured values next to the published ones. Absolute
@@ -27,6 +30,7 @@ struct Args {
     artifact: String,
     days: f64,
     seed: u64,
+    shards: usize,
     out: PathBuf,
 }
 
@@ -34,6 +38,7 @@ fn parse_args() -> Args {
     let mut artifact = "all".to_string();
     let mut days = 1.0f64;
     let mut seed = 2003u64;
+    let mut shards = 0usize; // auto: MPATH_SHARDS or 1
     let mut out = PathBuf::from("target/repro_out");
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -47,6 +52,10 @@ fn parse_args() -> Args {
                 i += 1;
                 seed = argv[i].parse().expect("--seed takes an integer");
             }
+            "--shards" => {
+                i += 1;
+                shards = argv[i].parse().expect("--shards takes an integer");
+            }
             "--out" => {
                 i += 1;
                 out = PathBuf::from(&argv[i]);
@@ -59,13 +68,14 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    Args { artifact, days, seed, out }
+    Args { artifact, days, seed, shards, out }
 }
 
 /// Lazily-run datasets so `repro table5` does not pay for RONwide.
 struct Lab {
     days: f64,
     seed: u64,
+    shards: usize,
     ron2003: Option<ExperimentOutput>,
     narrow: Option<ExperimentOutput>,
     wide: Option<ExperimentOutput>,
@@ -84,7 +94,7 @@ impl Lab {
         if self.ron2003.is_none() {
             let d = self.duration(Dataset::Ron2003);
             eprintln!("[repro] running RON2003 for {d} simulated...");
-            self.ron2003 = Some(Dataset::Ron2003.run(self.seed, Some(d)));
+            self.ron2003 = Some(Dataset::Ron2003.run_sharded(self.seed, Some(d), self.shards));
         }
         self.ron2003.as_ref().unwrap()
     }
@@ -93,7 +103,8 @@ impl Lab {
         if self.narrow.is_none() {
             let d = self.duration(Dataset::RonNarrow);
             eprintln!("[repro] running RONnarrow for {d} simulated...");
-            self.narrow = Some(Dataset::RonNarrow.run(self.seed ^ 0x2002, Some(d)));
+            self.narrow =
+                Some(Dataset::RonNarrow.run_sharded(self.seed ^ 0x2002, Some(d), self.shards));
         }
         self.narrow.as_ref().unwrap()
     }
@@ -102,7 +113,8 @@ impl Lab {
         if self.wide.is_none() {
             let d = self.duration(Dataset::RonWide);
             eprintln!("[repro] running RONwide for {d} simulated...");
-            self.wide = Some(Dataset::RonWide.run(self.seed ^ 0x2002_2002, Some(d)));
+            self.wide =
+                Some(Dataset::RonWide.run_sharded(self.seed ^ 0x2002_2002, Some(d), self.shards));
         }
         self.wide.as_ref().unwrap()
     }
@@ -286,7 +298,7 @@ fn do_headline(lab: &mut Lab) {
     );
     println!(
         "probe traffic: {} overlay probes, {} measurement legs, {} discarded pairs",
-        r3.overlay_probes, r3.measure_legs, r3.discarded
+        r3.overlay_probes, r3.measure_legs, r3.discarded()
     );
     for (tag, name) in ["direct", "rand", "lat", "loss"].iter().enumerate() {
         let (total, via) = r3.route_usage[tag];
@@ -302,7 +314,14 @@ fn do_headline(lab: &mut Lab) {
 
 fn main() {
     let args = parse_args();
-    let mut lab = Lab { days: args.days, seed: args.seed, ron2003: None, narrow: None, wide: None };
+    let mut lab = Lab {
+        days: args.days,
+        seed: args.seed,
+        shards: args.shards,
+        ron2003: None,
+        narrow: None,
+        wide: None,
+    };
     println!(
         "mpath repro — datasets scaled to {} day(s) of the paper's 14 (seed {})\n",
         args.days, args.seed

@@ -76,6 +76,22 @@ impl Dataset {
         let topo = self.topology(seed);
         run_experiment(topo, self.config(seed, duration))
     }
+
+    /// Runs the dataset end to end on `shards` worker threads.
+    ///
+    /// The report is byte-identical for every `shards` value (see
+    /// [`crate::shard`]); the thread count only changes wall-clock time.
+    pub fn run_sharded(
+        &self,
+        seed: u64,
+        duration: Option<SimDuration>,
+        shards: usize,
+    ) -> ExperimentOutput {
+        let topo = self.topology(seed);
+        let mut cfg = self.config(seed, duration);
+        cfg.shards = shards;
+        run_experiment(topo, cfg)
+    }
 }
 
 #[cfg(test)]

@@ -19,14 +19,14 @@
 //!    outcomes into the loss and window statistics.
 
 use crate::method::MethodSet;
-use analysis::{LossAccum, WindowAccum};
+use analysis::{Fnv, LossAccum, WindowAccum};
 use netsim::{
     Delivery, EventQueue, HostId, LoadProfile, NetCounters, Rng, SimDuration, SimTime, Topology,
 };
 use overlay::{
     Delivered, MeasureKind, NodeConfig, OverlayNode, Packet, Policy, Route, RouteTag, Transmit,
 };
-use trace::{Collector, CollectorConfig, PairOutcome, RecvEvent, SendEvent};
+use trace::{Collector, CollectorConfig, CollectorStats, PairOutcome, RecvEvent, SendEvent};
 
 /// Experiment parameters.
 #[derive(Debug, Clone)]
@@ -54,6 +54,27 @@ pub struct ExperimentConfig {
     pub forward_drop: f64,
     /// Disable the diurnal load swing (unit tests).
     pub flat_load: bool,
+    /// Worker threads executing workload slices. `0` means *auto*: read
+    /// the `MPATH_SHARDS` environment variable, defaulting to 1. The
+    /// value **never affects results** — only how slices are scheduled
+    /// onto threads (see [`crate::shard`]).
+    pub shards: usize,
+    /// Width of one independent workload slice. A campaign longer than
+    /// this is partitioned into `ceil(duration / slice_width)` slices,
+    /// each simulated as an independent sub-experiment (own RNG
+    /// universe, event queue and collector) at its absolute time offset,
+    /// then merged in slice order. Runs no longer than one slice are
+    /// executed exactly as a classic sequential run with the master
+    /// seed. Results depend on `(seed, duration, slice_width)` but never
+    /// on [`shards`](Self::shards).
+    ///
+    /// Slice boundaries close the windowed statistics: a 20-minute or
+    /// 1-hour window straddling a boundary is counted as two partial
+    /// windows. For window-faithful Table 6 / Figure 3 numbers keep
+    /// `slice_width` a multiple of one hour (the 6-hour default is);
+    /// short non-aligned widths are fine for equivalence tests, which
+    /// compare runs under the *same* slice plan.
+    pub slice_width: SimDuration,
 }
 
 impl ExperimentConfig {
@@ -70,6 +91,8 @@ impl ExperimentConfig {
             sweep_interval: SimDuration::from_secs(10),
             forward_drop: 0.008,
             flat_load: false,
+            shards: 0,
+            slice_width: SimDuration::from_hours(6),
         }
     }
 }
@@ -90,8 +113,9 @@ pub struct ExperimentOutput {
     pub overlay_probes: u64,
     /// Measurement legs transmitted.
     pub measure_legs: u64,
-    /// Pairs discarded by the host-failure filter.
-    pub discarded: u64,
+    /// Collector counters (mergeable across slices): resolved pairs,
+    /// host-failure discards, late receives.
+    pub collector: CollectorStats,
     /// Per route tag (direct/rand/lat/loss): (legs sent, legs that used
     /// an intermediate). Shows how often each policy diverts.
     pub route_usage: [(u64, u64); 4],
@@ -110,6 +134,45 @@ impl ExperimentOutput {
     /// Summary row for a named method.
     pub fn summary(&self, name: &str) -> Option<analysis::MethodSummary> {
         self.index_of(name).map(|m| self.loss.summary(m))
+    }
+
+    /// Pairs discarded by the §4.1 host-failure filter.
+    pub fn discarded(&self) -> u64 {
+        self.collector.discarded
+    }
+
+    /// A stable 64-bit fingerprint over the *entire* output state —
+    /// every accumulator cell, histogram bucket, counter and the exact
+    /// bit patterns of all floating-point sums.
+    ///
+    /// Two outputs with equal fingerprints render byte-identical tables
+    /// and figures; the sharding equivalence harness uses this to prove
+    /// that `shards = N` reproduces `shards = 1` exactly.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fnv::new();
+        for name in &self.names {
+            f.write(name.as_bytes());
+            f.write(&[0]);
+        }
+        self.loss.digest(&mut f);
+        self.win20.digest(&mut f);
+        self.win60.digest(&mut f);
+        f.write_u64(self.net.sent);
+        f.write_u64(self.net.delivered);
+        f.write_u64(self.net.dropped_outage);
+        f.write_u64(self.net.dropped_congestion);
+        f.write_u64(self.overlay_probes);
+        f.write_u64(self.measure_legs);
+        f.write_u64(self.collector.resolved);
+        f.write_u64(self.collector.discarded);
+        f.write_u64(self.collector.late_receives);
+        for (total, via) in self.route_usage {
+            f.write_u64(total);
+            f.write_u64(via);
+        }
+        f.write_u64(self.n as u64);
+        f.write_u64(self.duration.as_micros());
+        f.finish()
     }
 }
 
@@ -137,6 +200,8 @@ fn policy_for(tag: RouteTag) -> Policy {
 
 struct Runner {
     cfg: ExperimentConfig,
+    /// Absolute start of this run's (or slice's) measurement period.
+    start: SimTime,
     net: netsim::Network,
     nodes: Vec<OverlayNode>,
     q: EventQueue<Ev>,
@@ -151,7 +216,7 @@ struct Runner {
 }
 
 impl Runner {
-    fn new(topo: Topology, cfg: ExperimentConfig) -> Self {
+    fn new(topo: Topology, cfg: ExperimentConfig, start: SimTime) -> Self {
         let n = topo.n();
         let total_methods = cfg.methods.total();
         let root = Rng::new(cfg.seed ^ 0x00E0_77E5_7A11_BEEF);
@@ -166,7 +231,7 @@ impl Runner {
                     n,
                     cfg.node,
                     cfg.seed ^ (0x1000 + i as u64),
-                    SimTime::ZERO,
+                    start,
                 )
             })
             .collect();
@@ -178,6 +243,7 @@ impl Runner {
         Runner {
             rng: root.derive(7),
             cfg,
+            start,
             net,
             nodes,
             q: EventQueue::new(),
@@ -402,18 +468,18 @@ impl Runner {
 
     fn run(mut self) -> ExperimentOutput {
         let n = self.nodes.len();
-        let end = SimTime::ZERO + self.cfg.duration;
+        let end = self.start + self.cfg.duration;
         // Tail time for in-flight pairs to resolve.
         let hard_end = end + self.cfg.collector.receive_window + SimDuration::from_secs(10);
         // Stagger initial wakes and arm node timers.
         for h in 0..n as u16 {
             let stagger = SimDuration::from_secs_f64(self.rng.uniform(0.0, 1.2));
-            self.q.push(SimTime::ZERO + stagger, Ev::Wake(h));
+            self.q.push(self.start + stagger, Ev::Wake(h));
             if let Some(t) = self.nodes[h as usize].poll_at() {
                 self.q.push(t, Ev::NodeTimer(h));
             }
         }
-        self.q.push(SimTime::ZERO + self.cfg.sweep_interval, Ev::Sweep);
+        self.q.push(self.start + self.cfg.sweep_interval, Ev::Sweep);
 
         while let Some((now, ev)) = self.q.pop() {
             if now > hard_end {
@@ -445,7 +511,7 @@ impl Runner {
         self.win60.finish();
 
         let overlay_probes = self.nodes.iter().map(|nd| nd.counters().0).sum();
-        let (_, discarded, _) = self.collector.counters();
+        let stats = self.collector.stats();
         ExperimentOutput {
             names: self.cfg.methods.names(),
             loss: self.loss,
@@ -454,7 +520,7 @@ impl Runner {
             net: *self.net.counters(),
             overlay_probes,
             measure_legs: self.measure_legs,
-            discarded,
+            collector: stats,
             route_usage: self.route_usage,
             n,
             duration: self.cfg.duration,
@@ -462,9 +528,24 @@ impl Runner {
     }
 }
 
+/// Runs one workload slice: a self-contained sub-experiment whose
+/// measurement period starts at the absolute instant `start`. The slice
+/// inherits the topology (same testbed) but animates it with `cfg.seed`
+/// (the caller derives per-slice seeds); diurnal load, host clocks and
+/// window statistics all see the true campaign timeline because the
+/// network processes are functions of absolute time and initialise
+/// lazily at first observation.
+pub(crate) fn run_slice(topo: Topology, cfg: ExperimentConfig, start: SimTime) -> ExperimentOutput {
+    Runner::new(topo, cfg, start).run()
+}
+
 /// Runs the paper's measurement experiment on `topo` under `cfg`.
+///
+/// The campaign is partitioned into independent workload slices and
+/// executed on [`ExperimentConfig::shards`] worker threads; results are
+/// byte-identical for every shard count (see [`crate::shard`]).
 pub fn run_experiment(topo: Topology, cfg: ExperimentConfig) -> ExperimentOutput {
-    Runner::new(topo, cfg).run()
+    crate::shard::run_sharded(topo, cfg)
 }
 
 #[cfg(test)]

@@ -13,6 +13,10 @@
 //!   64-bit identifiers and local clocks, and push logs to the central
 //!   collector, while the RON overlay (probing + link-state + one-hop
 //!   routing) runs underneath;
+//! * [`shard`] — deterministic sharded execution: the campaign is
+//!   partitioned into independent workload slices executed on N worker
+//!   threads, with a merge that is byte-identical to the sequential
+//!   run for every shard count;
 //! * [`datasets`] — the RONnarrow / RONwide / RON2003 configurations;
 //! * [`report`] — assembling accumulator state into the paper's tables
 //!   and figures;
@@ -26,8 +30,10 @@ pub mod experiment;
 pub mod method;
 pub mod model;
 pub mod report;
+pub mod shard;
 
 pub use datasets::Dataset;
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentOutput};
 pub use method::{Method, MethodSet, View};
 pub use model::{DesignModel, Recommendation};
+pub use shard::{SlicePlan, Slice};

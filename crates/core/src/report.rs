@@ -8,6 +8,38 @@ use crate::experiment::ExperimentOutput;
 use analysis::{Cdf, Figure, Series, Table5Row, Table6, Table7Row};
 use netsim::HostId;
 
+/// Merges per-slice experiment outputs, in the order given, into one
+/// campaign report.
+///
+/// Every counter is an exact sum; the f64 latency sums fold in the
+/// caller's order, so a fixed input order (ascending slice index — see
+/// [`crate::shard`]) gives a bit-stable result. The merged duration is
+/// the sum of slice durations, i.e. the configured campaign duration.
+///
+/// Panics when `outputs` is empty or the outputs disagree on shape
+/// (host count, method names).
+pub fn merge_outputs(outputs: Vec<ExperimentOutput>) -> ExperimentOutput {
+    let mut it = outputs.into_iter();
+    let mut acc = it.next().expect("merge_outputs needs at least one slice");
+    for o in it {
+        assert_eq!(acc.names, o.names, "slices must share the method registry");
+        assert_eq!(acc.n, o.n, "slices must share the testbed");
+        acc.loss.merge(&o.loss);
+        acc.win20.merge(&o.win20);
+        acc.win60.merge(&o.win60);
+        acc.net.merge(&o.net);
+        acc.overlay_probes += o.overlay_probes;
+        acc.measure_legs += o.measure_legs;
+        acc.collector.merge(&o.collector);
+        for (a, b) in acc.route_usage.iter_mut().zip(o.route_usage) {
+            a.0 += b.0;
+            a.1 += b.1;
+        }
+        acc.duration += o.duration;
+    }
+    acc
+}
+
 /// Resolves a method name, falling back to its inferred (`*`) variant —
 /// in RON2003 `direct` exists only as `direct*`.
 pub fn resolve(out: &ExperimentOutput, name: &str) -> Option<(u8, String)> {

@@ -1,0 +1,254 @@
+//! Deterministic sharded execution of the measurement campaign.
+//!
+//! The paper's headline tables replay *weeks* of probe traffic —
+//! millions of (src, dst) probe pairs that a single thread simulates
+//! sequentially. This module splits that workload so it can run on many
+//! cores **without changing a single output bit**.
+//!
+//! # The slice plan
+//!
+//! A campaign of duration `D` with slice width `W`
+//! ([`ExperimentConfig::slice_width`]) is partitioned into
+//! `M = ceil(D / W)` consecutive **slices**. Slice `k` covers the
+//! absolute interval `[k·W, min((k+1)·W, D))` and is simulated as a
+//! fully independent sub-experiment:
+//!
+//! * its own RNG universe, seeded with
+//!   `Rng::new(seed).stream_seed(k)` (the splittable-stream API of
+//!   [`netsim::rng`]) so no slice can replay the master stream or a
+//!   sibling;
+//! * its own [`netsim::EventQueue`], [`netsim::Network`] segment state,
+//!   overlay nodes and [`trace::Collector`];
+//! * the *true* campaign clock: events run at the slice's absolute time
+//!   offset, so the diurnal load profile, host clock skews and the
+//!   window accumulators all see the real timeline (the lazily
+//!   initialised loss/outage chains start from their stationary
+//!   distribution at first observation, so an offset start costs
+//!   nothing).
+//!
+//! Per-slice accumulators are then merged **in ascending slice order**
+//! ([`crate::report::merge_outputs`]): u64 counters sum exactly, and
+//! the f64 latency sums always fold in the same order, so the merged
+//! report is bit-stable.
+//!
+//! # The determinism invariant
+//!
+//! **Results depend on `(seed, duration, slice_width)` and never on
+//! [`ExperimentConfig::shards`].** Shards are worker threads pulling
+//! slice indices from a shared counter; each result lands in its
+//! slice's slot and the merge walks the slots in order, so thread
+//! scheduling is invisible. `shards = 8` on a laptop, `shards = 1` in
+//! CI and `shards = 96` on a build server all produce byte-identical
+//! reports — `tests/sharding_equivalence.rs` and a property test
+//! enforce this for every dataset configuration.
+//!
+//! A campaign no longer than one slice (`M = 1` — every unit test and
+//! any classic short run) is executed exactly as the historical
+//! sequential runner with the master seed itself, so pre-sharding
+//! results are preserved bit for bit.
+
+use crate::experiment::{run_slice, ExperimentConfig, ExperimentOutput};
+use crate::report;
+use netsim::{Rng, SimDuration, SimTime, Topology};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One independently simulated slice of the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slice {
+    /// Position in the campaign (and in the merge order).
+    pub index: usize,
+    /// Absolute start of the slice's measurement period.
+    pub start: SimTime,
+    /// Length of the slice's measurement period.
+    pub duration: SimDuration,
+    /// The slice's RNG-universe seed.
+    pub seed: u64,
+}
+
+/// The deterministic decomposition of one campaign into slices.
+///
+/// The plan is a pure function of the experiment configuration — it
+/// does not know how many worker threads will execute it.
+#[derive(Debug, Clone)]
+pub struct SlicePlan {
+    slices: Vec<Slice>,
+}
+
+impl SlicePlan {
+    /// Computes the slice plan for `cfg`.
+    pub fn new(cfg: &ExperimentConfig) -> SlicePlan {
+        let width = cfg.slice_width.as_micros().max(1);
+        let total = cfg.duration.as_micros();
+        let m = total.div_ceil(width).max(1);
+        if m == 1 {
+            // Classic sequential run: master seed, epoch start. Keeping
+            // the master seed here preserves historical results bit for
+            // bit for every short (single-slice) experiment.
+            return SlicePlan {
+                slices: vec![Slice {
+                    index: 0,
+                    start: SimTime::ZERO,
+                    duration: cfg.duration,
+                    seed: cfg.seed,
+                }],
+            };
+        }
+        let master = Rng::new(cfg.seed);
+        let slices = (0..m)
+            .map(|k| {
+                let start_us = k * width;
+                Slice {
+                    index: k as usize,
+                    start: SimTime::from_micros(start_us),
+                    duration: SimDuration::from_micros((total - start_us).min(width)),
+                    seed: master.stream_seed(k),
+                }
+            })
+            .collect();
+        SlicePlan { slices }
+    }
+
+    /// The slices, in campaign (= merge) order.
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// Number of slices.
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Plans are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+}
+
+/// The effective worker-thread count for `cfg`: an explicit
+/// [`ExperimentConfig::shards`], else the `MPATH_SHARDS` environment
+/// variable (the CI toggle), else 1.
+pub fn resolve_shards(cfg: &ExperimentConfig) -> usize {
+    if cfg.shards > 0 {
+        return cfg.shards;
+    }
+    std::env::var("MPATH_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(1)
+}
+
+/// Executes the campaign's slice plan on up to `shards` worker threads
+/// and merges the per-slice outputs in slice order.
+///
+/// This is the engine behind [`crate::run_experiment`]; the output is
+/// byte-identical for every shard count.
+pub fn run_sharded(topo: Topology, cfg: ExperimentConfig) -> ExperimentOutput {
+    let plan = SlicePlan::new(&cfg);
+    let workers = resolve_shards(&cfg).min(plan.len()).max(1);
+    let slice_cfg = |s: &Slice| {
+        let mut c = cfg.clone();
+        c.seed = s.seed;
+        c.duration = s.duration;
+        c
+    };
+    let outputs: Vec<ExperimentOutput> = if workers == 1 {
+        plan.slices().iter().map(|s| run_slice(topo.clone(), slice_cfg(s), s.start)).collect()
+    } else {
+        // Work-stealing over slice indices. Scheduling decides only
+        // *when* a slice runs; its result always lands in slot `index`
+        // and the merge below walks slots in order, so the output is
+        // schedule-invariant.
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<ExperimentOutput>>> =
+            plan.slices().iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(s) = plan.slices().get(k) else { break };
+                    let out = run_slice(topo.clone(), slice_cfg(s), s.start);
+                    *results[k].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("result slot poisoned").expect("slice ran"))
+            .collect()
+    };
+    report::merge_outputs(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::MethodSet;
+    use netsim::Topology;
+
+    fn cfg(mins: u64, width_mins: u64) -> ExperimentConfig {
+        let mut c = ExperimentConfig::new(MethodSet::ron_narrow());
+        c.duration = SimDuration::from_mins(mins);
+        c.slice_width = SimDuration::from_mins(width_mins);
+        c.seed = 5;
+        c.flat_load = true;
+        c
+    }
+
+    #[test]
+    fn single_slice_plan_keeps_master_seed() {
+        let p = SlicePlan::new(&cfg(10, 60));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.slices()[0].seed, 5);
+        assert_eq!(p.slices()[0].start, SimTime::ZERO);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn multi_slice_plan_partitions_exactly() {
+        let p = SlicePlan::new(&cfg(50, 20));
+        assert_eq!(p.len(), 3);
+        let s = p.slices();
+        assert_eq!(s[0].start, SimTime::ZERO);
+        assert_eq!(s[1].start, SimTime::from_secs(20 * 60));
+        assert_eq!(s[2].start, SimTime::from_secs(40 * 60));
+        assert_eq!(s[2].duration, SimDuration::from_mins(10), "tail slice is short");
+        let total: u64 = s.iter().map(|x| x.duration.as_micros()).sum();
+        assert_eq!(total, SimDuration::from_mins(50).as_micros());
+        // Derived seeds: none equals the master, all distinct.
+        assert!(s.iter().all(|x| x.seed != 5));
+        assert_ne!(s[0].seed, s[1].seed);
+        assert_ne!(s[1].seed, s[2].seed);
+    }
+
+    #[test]
+    fn plan_is_independent_of_shards() {
+        let mut a = cfg(50, 20);
+        a.shards = 1;
+        let mut b = cfg(50, 20);
+        b.shards = 7;
+        assert_eq!(SlicePlan::new(&a).slices(), SlicePlan::new(&b).slices());
+    }
+
+    #[test]
+    fn explicit_shards_beat_env() {
+        let mut c = cfg(10, 60);
+        c.shards = 3;
+        assert_eq!(resolve_shards(&c), 3);
+    }
+
+    #[test]
+    fn sharded_output_matches_sequential_bit_for_bit() {
+        let run = |shards: usize| {
+            let topo = Topology::synthetic(4, 0.02, 5);
+            let mut c = cfg(8, 2); // 4 slices
+            c.shards = shards;
+            run_sharded(topo, c)
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.fingerprint(), par.fingerprint());
+        assert!(seq.measure_legs > 0, "the sliced run must move traffic");
+    }
+}

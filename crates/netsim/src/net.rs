@@ -59,6 +59,14 @@ impl NetCounters {
             1.0 - self.delivered as f64 / self.sent as f64
         }
     }
+
+    /// Folds another run's counters into this one (sharded-run merge).
+    pub fn merge(&mut self, other: &NetCounters) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped_outage += other.dropped_outage;
+        self.dropped_congestion += other.dropped_congestion;
+    }
 }
 
 /// Live network state for one experiment run.

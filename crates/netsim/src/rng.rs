@@ -11,6 +11,29 @@
 //! Independent *streams* are derived with [`Rng::derive`], so each network
 //! segment evolves from its own generator and adding a new consumer never
 //! perturbs existing ones.
+//!
+//! # Stream derivation and shard universes
+//!
+//! Two derivation APIs exist, with different jobs:
+//!
+//! * [`Rng::derive`] — an independent *stream* inside the same
+//!   simulation universe (one per segment, per node, …). The child state
+//!   is produced by absorbing **all four** parent state words plus the
+//!   label into a SplitMix64 sponge prefixed with a domain constant.
+//!   Earlier revisions seeded the child from `s[0] ^ label` alone, which
+//!   made `derive(0)` collide structurally with `Rng::new(s[0])` — a
+//!   master stream and a derived stream could walk the same sequence.
+//!   The sponge closes that hole: no choice of label reduces to a plain
+//!   `Rng::new` seeding, and labels differing in any bit give unrelated
+//!   children.
+//! * [`Rng::stream_seed`] — a 64-bit *seed for a child universe*, used
+//!   by the sharded experiment runner: shard `k` of a run with master
+//!   seed `m` is seeded with `Rng::new(m).stream_seed(k)`. The value is
+//!   drawn through the same sponge under a distinct domain constant, so
+//!   a shard universe can never equal the master universe (the value for
+//!   any label differs from `m` itself and from every `derive` result),
+//!   and shards with different indices get unrelated universes even when
+//!   `m` and `m ⊕ k` would collide under a naive XOR scheme.
 
 /// A deterministic random number generator (xoshiro256**).
 #[derive(Debug, Clone)]
@@ -25,6 +48,18 @@ fn splitmix64(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Domain tag for [`Rng::derive`] (same-universe streams).
+const DOMAIN_DERIVE: u64 = 0xD0_5E6D_E217_3A11;
+/// Domain tag for [`Rng::stream_seed`] (child shard universes).
+const DOMAIN_SHARD: u64 = 0x51AB_1E5E_ED51_DE5C;
+
+/// Absorbs one word into a SplitMix64-based sponge accumulator.
+#[inline]
+fn absorb(acc: u64, word: u64) -> u64 {
+    let mut sm = acc ^ word.wrapping_mul(0xA24B_AED4_963E_E407);
+    splitmix64(&mut sm)
 }
 
 impl Rng {
@@ -46,9 +81,13 @@ impl Rng {
     /// other and of the parent; deriving is stateless with respect to the
     /// parent (it does not consume parent randomness), so the set of
     /// consumers can grow without disturbing reproducibility.
+    ///
+    /// The child is seeded through a domain-separated sponge over the
+    /// *full* parent state and the label (see the module docs): unlike
+    /// the earlier `s[0] ^ label` construction, no label can make the
+    /// child replay a `Rng::new` master stream.
     pub fn derive(&self, stream: u64) -> Rng {
-        // Mix the label into the parent's seed material via SplitMix64.
-        let mut sm = self.s[0] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut sm = self.sponge(DOMAIN_DERIVE, stream);
         let s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),
@@ -56,6 +95,31 @@ impl Rng {
             splitmix64(&mut sm),
         ];
         Rng { s }
+    }
+
+    /// Draws a 64-bit seed for an independent *child universe* ("shard
+    /// stream") labelled by `label`, without consuming parent state.
+    ///
+    /// This is the splittable-stream API used by the sharded experiment
+    /// runner: shard `k` of a run with master seed `m` lives in the
+    /// universe `Rng::new(Rng::new(m).stream_seed(k))`. The seed is
+    /// produced by the same full-state sponge as [`Rng::derive`] but
+    /// under a distinct domain constant, so a shard seed can neither
+    /// equal the master seed structurally (a naive `m ^ k` collides with
+    /// the master for `k = 0` and makes shards of seeds `m` and `m ^ 1`
+    /// swap universes) nor fall into the `derive` stream family.
+    pub fn stream_seed(&self, label: u64) -> u64 {
+        self.sponge(DOMAIN_SHARD, label)
+    }
+
+    /// SplitMix64 sponge over the full state plus `label`, prefixed with
+    /// a domain constant.
+    fn sponge(&self, domain: u64, label: u64) -> u64 {
+        let mut acc = domain;
+        for w in self.s {
+            acc = absorb(acc, w);
+        }
+        absorb(acc, label)
     }
 
     /// Next raw 64-bit value.
@@ -203,6 +267,60 @@ mod tests {
         let mut c2 = parent.derive(2);
         assert_eq!(c1.next_u64(), c1_again.next_u64());
         assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn derive_zero_does_not_replay_a_master_stream() {
+        // The historic bug: `derive(0)` seeded the child from `s[0]`
+        // alone, so `Rng::new(parent.s[0])` was the *same* stream. The
+        // sponge construction must keep the two apart.
+        let parent = Rng::new(7);
+        let leaked_word = parent.s[0];
+        let mut child = parent.derive(0);
+        let mut master = Rng::new(leaked_word);
+        let same = (0..64).filter(|_| child.next_u64() == master.next_u64()).count();
+        assert_eq!(same, 0, "derive(0) must not equal Rng::new(s[0])");
+    }
+
+    #[test]
+    fn stream_seed_is_stable_and_label_sensitive() {
+        let parent = Rng::new(42);
+        assert_eq!(parent.stream_seed(3), parent.stream_seed(3));
+        assert_ne!(parent.stream_seed(3), parent.stream_seed(4));
+    }
+
+    #[test]
+    fn stream_seed_never_returns_the_master_seed() {
+        // A naive `seed ^ shard` scheme returns the master seed for
+        // shard 0; the domain-separated sponge must not.
+        for seed in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            let parent = Rng::new(seed);
+            for label in 0..64 {
+                assert_ne!(parent.stream_seed(label), seed, "seed={seed} label={label}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_seed_differs_from_derive_family() {
+        // Domain separation: the shard-universe seed material must not
+        // coincide with the derive-stream sponge for the same label.
+        let parent = Rng::new(1234);
+        for label in 0..32 {
+            let mut shard = Rng::new(parent.stream_seed(label));
+            let mut derived = parent.derive(label);
+            let same = (0..32).filter(|_| shard.next_u64() == derived.next_u64()).count();
+            assert_eq!(same, 0, "label={label}");
+        }
+    }
+
+    #[test]
+    fn sibling_shard_universes_are_unrelated() {
+        let parent = Rng::new(99);
+        let mut a = Rng::new(parent.stream_seed(0));
+        let mut b = Rng::new(parent.stream_seed(1));
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
     }
 
     #[test]

@@ -12,6 +12,32 @@ use netsim::{HostId, SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+/// A collector's aggregate counters in mergeable form.
+///
+/// A sharded experiment runs one [`Collector`] per workload slice; the
+/// per-slice stats are summed in slice order into the run's totals.
+/// Because every probe pair belongs to exactly one slice, the merged
+/// numbers equal what a single collector fed the union of events would
+/// have produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Probe pairs resolved (each pair exactly once).
+    pub resolved: u64,
+    /// Pairs discarded by the §4.1 host-failure filter.
+    pub discarded: u64,
+    /// Receive events that arrived after their pair's window closed.
+    pub late_receives: u64,
+}
+
+impl CollectorStats {
+    /// Folds another collector's stats into this one.
+    pub fn merge(&mut self, other: &CollectorStats) {
+        self.resolved += other.resolved;
+        self.discarded += other.discarded;
+        self.late_receives += other.late_receives;
+    }
+}
+
 /// Collector policy knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct CollectorConfig {
@@ -201,6 +227,15 @@ impl Collector {
     /// (resolved, discarded-by-host-filter, receives-after-window).
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.resolved, self.discarded, self.late_receives)
+    }
+
+    /// The same counters in mergeable struct form.
+    pub fn stats(&self) -> CollectorStats {
+        CollectorStats {
+            resolved: self.resolved,
+            discarded: self.discarded,
+            late_receives: self.late_receives,
+        }
     }
 
     /// Number of still-open pairs (memory watermark).

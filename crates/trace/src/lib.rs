@@ -18,6 +18,6 @@ pub mod collect;
 pub mod log;
 pub mod record;
 
-pub use collect::{Collector, CollectorConfig};
+pub use collect::{Collector, CollectorConfig, CollectorStats};
 pub use log::HostLog;
 pub use record::{LegOutcome, LogEvent, PairOutcome, RecvEvent, SendEvent};

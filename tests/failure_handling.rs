@@ -13,7 +13,7 @@ fn host_crashes_are_discarded_not_counted() {
     // The 2003 testbed crashes hosts; the collector must discard some
     // samples rather than blame the network.
     let out = Dataset::Ron2003.run(31, Some(SimDuration::from_hours(6)));
-    assert!(out.discarded > 0, "two-week-style run must discard crash samples");
+    assert!(out.discarded() > 0, "two-week-style run must discard crash samples");
 
     // A synthetic topology without crashes must discard nothing.
     let topo = Topology::synthetic(5, 0.01, 31);
@@ -22,7 +22,7 @@ fn host_crashes_are_discarded_not_counted() {
     cfg.seed = 31;
     cfg.flat_load = true;
     let out2 = run_experiment(topo, cfg);
-    assert_eq!(out2.discarded, 0, "no crashes → no discards");
+    assert_eq!(out2.discarded(), 0, "no crashes → no discards");
 }
 
 /// Drives a small overlay over a network with a scripted outage and
@@ -120,7 +120,7 @@ fn outage_loss_is_counted_as_network_loss() {
     // Inject the outage by running a custom network: simplest is a
     // topology where one edge has extreme congestion instead.
     let out = run_experiment(topo, cfg);
-    assert_eq!(out.discarded, 0);
+    assert_eq!(out.discarded(), 0);
     // Clean network: nothing lost.
     assert_eq!(out.summary("direct*").unwrap().totlp, 0.0);
 }

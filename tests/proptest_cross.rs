@@ -219,6 +219,34 @@ proptest! {
     }
 
     #[test]
+    fn sharded_experiment_matches_sequential_for_any_seed(
+        seed in any::<u64>(),
+        shards in 1usize..=8,
+    ) {
+        // The sharding merge invariant, fuzzed: for any master seed and
+        // any worker count, the sliced run folds to the exact bits of
+        // the single-worker run. A tiny 3-slice campaign keeps each
+        // case cheap while still exercising multi-slice merge order and
+        // the work-stealing scheduler.
+        use mpath::core::{run_experiment, ExperimentConfig, MethodSet};
+        let run = |workers: usize| {
+            let topo = Topology::synthetic(4, 0.02, seed);
+            let mut cfg = ExperimentConfig::new(MethodSet::ron_narrow());
+            cfg.duration = mpath::netsim::SimDuration::from_mins(6);
+            cfg.slice_width = mpath::netsim::SimDuration::from_mins(2);
+            cfg.seed = seed;
+            cfg.flat_load = true;
+            cfg.shards = workers;
+            run_experiment(topo, cfg)
+        };
+        let seq = run(1);
+        let par = run(shards);
+        prop_assert_eq!(seq.fingerprint(), par.fingerprint(),
+            "seed={} shards={} diverged", seed, shards);
+        prop_assert_eq!(seq.measure_legs, par.measure_legs);
+    }
+
+    #[test]
     fn collector_conserves_probes(
         n_probes in 1u64..200,
         seed in any::<u64>(),

@@ -1,0 +1,107 @@
+//! The sharding equivalence harness: `run_experiment` with `shards = N`
+//! must produce a **byte-identical** report to `shards = 1`, for every
+//! dataset configuration.
+//!
+//! Identity is asserted two ways:
+//!
+//! * [`ExperimentOutput::fingerprint`] — an FNV fold over every
+//!   accumulator cell, histogram bucket, counter and the exact bit
+//!   pattern of every floating-point sum. f64 addition is
+//!   non-associative, so this catches merge-order bugs that a rendered
+//!   table might round away.
+//! * the rendered Table 5/7 text — the user-visible artifact, compared
+//!   as strings.
+//!
+//! Every run here uses a `slice_width` far below the campaign duration
+//! so the slice plan genuinely engages (multiple independent slices,
+//! work-stealing across threads), not just the single-slice fast path.
+
+use mpath::core::{report, Dataset, ExperimentConfig, ExperimentOutput, SlicePlan};
+use mpath::netsim::SimDuration;
+
+/// A scaled-down campaign configuration cut into 4 slices.
+fn sliced_cfg(ds: Dataset, seed: u64, shards: usize) -> ExperimentConfig {
+    let mut cfg = ds.config(seed, Some(SimDuration::from_mins(40)));
+    cfg.slice_width = SimDuration::from_mins(10);
+    cfg.shards = shards;
+    cfg
+}
+
+fn sharded_run(ds: Dataset, seed: u64, shards: usize) -> ExperimentOutput {
+    mpath::core::run_experiment(ds.topology(seed), sliced_cfg(ds, seed, shards))
+}
+
+fn rendered(ds: Dataset, out: &ExperimentOutput) -> String {
+    match ds {
+        Dataset::RonWide => analysis::render_table7(&report::table7(out)),
+        _ => analysis::render_table5("equivalence", &report::table5(out)),
+    }
+}
+
+fn assert_equivalent(ds: Dataset) {
+    assert!(
+        SlicePlan::new(&sliced_cfg(ds, 42, 1)).len() > 1,
+        "{}: the plan must engage multiple slices",
+        ds.name()
+    );
+    let seq = sharded_run(ds, 42, 1);
+    assert!(seq.measure_legs > 0, "{}: the sliced run must move traffic", ds.name());
+    for shards in [2, 4, 8] {
+        let par = sharded_run(ds, 42, shards);
+        assert_eq!(
+            seq.fingerprint(),
+            par.fingerprint(),
+            "{}: shards={shards} diverged from the sequential run",
+            ds.name()
+        );
+        assert_eq!(
+            rendered(ds, &seq),
+            rendered(ds, &par),
+            "{}: rendered report differs at shards={shards}",
+            ds.name()
+        );
+    }
+}
+
+#[test]
+fn ron2003_sharded_equals_sequential() {
+    assert_equivalent(Dataset::Ron2003);
+}
+
+#[test]
+fn ron_narrow_sharded_equals_sequential() {
+    assert_equivalent(Dataset::RonNarrow);
+}
+
+#[test]
+fn ron_wide_sharded_equals_sequential() {
+    assert_equivalent(Dataset::RonWide);
+}
+
+#[test]
+fn fingerprint_distinguishes_universes() {
+    // Sanity: the fingerprint is not a constant — different seeds give
+    // different outputs.
+    let a = sharded_run(Dataset::RonNarrow, 42, 1);
+    let b = sharded_run(Dataset::RonNarrow, 43, 1);
+    assert_ne!(a.fingerprint(), b.fingerprint());
+}
+
+/// The CI toggle: with `shards = 0` (auto) the runner reads
+/// `MPATH_SHARDS`, so running the whole tier-1 suite under
+/// `MPATH_SHARDS=1` and `MPATH_SHARDS=4` executes this guard — and
+/// every other experiment-driven test — under both schedules.
+#[test]
+fn env_shard_count_is_equivalent_too() {
+    let explicit = sharded_run(Dataset::RonNarrow, 42, 1);
+    let auto = mpath::core::run_experiment(
+        Dataset::RonNarrow.topology(42),
+        sliced_cfg(Dataset::RonNarrow, 42, 0), // auto: MPATH_SHARDS or 1
+    );
+    assert_eq!(
+        explicit.fingerprint(),
+        auto.fingerprint(),
+        "MPATH_SHARDS={:?} must not change results",
+        std::env::var("MPATH_SHARDS").ok()
+    );
+}

@@ -52,7 +52,7 @@ fn tiny_experiment_is_deterministic() {
     let b = tiny_run(11);
     assert_eq!(a.measure_legs, b.measure_legs);
     assert_eq!(a.overlay_probes, b.overlay_probes);
-    assert_eq!(a.discarded, b.discarded);
+    assert_eq!(a.discarded(), b.discarded());
     let (ra, rb) = (report::table5(&a), report::table5(&b));
     assert_eq!(ra.len(), rb.len());
     for (x, y) in ra.iter().zip(&rb) {

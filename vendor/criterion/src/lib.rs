@@ -11,11 +11,62 @@
 //! regression against saved baselines, HTML reports) are out of scope —
 //! wall-clock numbers printed here are still directly comparable across
 //! runs on the same machine, which is what the bench suite needs.
+//!
+//! Two environment knobs support the repo's baseline tracking
+//! (`BENCH_BASELINE.json`, compared by the `bench_delta` binary):
+//!
+//! * `CRITERION_JSON=<path>` — append one JSON line per benchmark:
+//!   `{"id":"group/name","mean_ns":…,"min_ns":…,"max_ns":…}`.
+//! * `CRITERION_QUICK=1` — shrink the batch target to 5 ms and cap
+//!   samples at 5, for CI runs where trend beats precision.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Target wall-clock time for one measured batch.
 const BATCH_TARGET: Duration = Duration::from_millis(25);
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+fn batch_target() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(5)
+    } else {
+        BATCH_TARGET
+    }
+}
+
+/// Appends this benchmark's stats as a JSON line to `$CRITERION_JSON`,
+/// if set. Failures are reported to stderr but never fail the bench.
+fn emit_json(id: &str, mean: f64, min: f64, max: f64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}}}\n",
+        mean * 1e9,
+        min * 1e9,
+        max * 1e9
+    );
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("criterion: cannot append to {path}: {e}");
+    }
+}
 
 /// Re-export of [`std::hint::black_box`], criterion-style.
 pub fn black_box<T>(x: T) -> T {
@@ -50,6 +101,7 @@ impl Criterion {
         let sample_size = if self.sample_size == 0 { 20 } else { self.sample_size };
         BenchmarkGroup {
             _criterion: self,
+            name: name.to_string(),
             sample_size,
             throughput: None,
         }
@@ -68,6 +120,7 @@ impl Criterion {
 /// A named set of benchmarks sharing throughput/sample settings.
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
 }
@@ -95,7 +148,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(id.as_ref(), self.sample_size, self.throughput, f);
+        let full_id = format!("{}/{}", self.name, id.as_ref());
+        run_benchmark_with_id(id.as_ref(), &full_id, self.sample_size, self.throughput, f);
         self
     }
 
@@ -121,25 +175,40 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F>(id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+fn run_benchmark<F>(id: &str, sample_size: usize, throughput: Option<Throughput>, f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    run_benchmark_with_id(id, id, sample_size, throughput, f)
+}
+
+fn run_benchmark_with_id<F>(
+    id: &str,
+    full_id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let target = batch_target();
+    let sample_size = if quick_mode() { sample_size.min(5) } else { sample_size };
     // Calibrate: start at 1 iteration/batch and grow until a batch takes
-    // at least BATCH_TARGET (or the per-iteration cost alone exceeds it).
+    // at least the batch target (or the per-iteration cost alone exceeds
+    // it).
     let mut iters = 1u64;
     let mut calibration;
     loop {
         let mut b = Bencher { iters, elapsed: Duration::ZERO };
         f(&mut b);
         calibration = b.elapsed;
-        if calibration >= BATCH_TARGET || iters >= 1 << 20 {
+        if calibration >= target || iters >= 1 << 20 {
             break;
         }
         let grow = if calibration.is_zero() {
             16
         } else {
-            (BATCH_TARGET.as_nanos() / calibration.as_nanos().max(1)).clamp(2, 16) as u64
+            (target.as_nanos() / calibration.as_nanos().max(1)).clamp(2, 16) as u64
         };
         iters = iters.saturating_mul(grow);
     }
@@ -166,6 +235,7 @@ where
         human_time(mean),
         human_time(max)
     );
+    emit_json(full_id, mean, min, max);
 }
 
 fn human_time(secs: f64) -> String {
