@@ -31,5 +31,7 @@ pub use cdf::{Cdf, Histogram};
 pub use fingerprint::Fnv;
 pub use figures::{Figure, Series};
 pub use loss::{LossAccum, MethodSummary};
-pub use tables::{render_table5, render_table6, render_table7, Table5Row, Table6, Table7Row};
+pub use tables::{
+    render_table5, render_table6, render_table7, scenario_stamp, Table5Row, Table6, Table7Row,
+};
 pub use windows::WindowAccum;

@@ -11,6 +11,13 @@ pub struct Table5Row {
     pub summary: MethodSummary,
 }
 
+/// Renders the provenance stamp for scenario-driven reports: the
+/// registry name plus the spec digest, so a rendered table names the
+/// exact conditions (spec bytes) that produced it.
+pub fn scenario_stamp(name: &str, digest: u64) -> String {
+    format!("[scenario {name} \u{b7} spec {digest:#018x}]")
+}
+
 fn fmt_opt(v: Option<f64>, prec: usize) -> String {
     match v {
         Some(x) => format!("{x:.prec$}"),
@@ -164,6 +171,13 @@ mod tests {
         assert!(out.contains("8817"));
         assert!(out.contains("7066"));
         assert_eq!(out.lines().count(), 13);
+    }
+
+    #[test]
+    fn scenario_stamp_names_conditions() {
+        let s = scenario_stamp("flash-crowd", 0xDEAD_BEEF);
+        assert!(s.contains("flash-crowd"));
+        assert!(s.contains("0x00000000deadbeef"));
     }
 
     #[test]

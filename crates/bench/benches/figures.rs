@@ -2,12 +2,13 @@
 //! figure-assembly stage on top of accumulated state).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mpath_core::{report, Dataset, ExperimentOutput};
+use mpath_bench::builtin_scenario;
+use mpath_core::{report, ExperimentOutput};
 use netsim::SimDuration;
 use std::hint::black_box;
 
 fn shared_run() -> ExperimentOutput {
-    Dataset::Ron2003.run(17, Some(SimDuration::from_mins(45)))
+    builtin_scenario("ron2003").run(17, Some(SimDuration::from_mins(45)))
 }
 
 fn bench_figures(c: &mut Criterion) {

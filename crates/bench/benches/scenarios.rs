@@ -1,0 +1,41 @@
+//! Bench: the declarative scenario pipeline — spec digesting, topology
+//! compilation (including the scripted impairment planners), and short
+//! end-to-end runs of the synthetic stress scenarios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpath_bench::builtin_scenario;
+use netsim::SimDuration;
+use std::hint::black_box;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenarios");
+    g.sample_size(10);
+    let correlated = builtin_scenario("correlated-outages");
+    let waves = builtin_scenario("load-waves");
+    let flash = builtin_scenario("flash-crowd");
+    g.bench_function("digest_all_builtins", |b| {
+        b.iter(|| {
+            let sum: u64 = mpath_core::builtin_specs()
+                .iter()
+                .map(|s| s.digest())
+                .fold(0, u64::wrapping_add);
+            black_box(sum)
+        })
+    });
+    g.bench_function("compile_correlated_outages_topology", |b| {
+        b.iter(|| black_box(correlated.topology(3).specs().len()))
+    });
+    g.bench_function("compile_load_waves_topology", |b| {
+        b.iter(|| black_box(waves.topology(3).specs().len()))
+    });
+    g.bench_function("run_correlated_outages_20min", |b| {
+        b.iter(|| black_box(correlated.run(3, Some(SimDuration::from_mins(20))).measure_legs))
+    });
+    g.bench_function("run_flash_crowd_20min", |b| {
+        b.iter(|| black_box(flash.run(3, Some(SimDuration::from_mins(20))).measure_legs))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

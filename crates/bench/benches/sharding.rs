@@ -10,17 +10,19 @@
 //! `BENCH_BASELINE.json` deltas capture it.
 
 use criterion::{criterion_group, Criterion};
-use mpath_core::{run_experiment, Dataset};
+use mpath_bench::builtin_scenario;
+use mpath_core::run_experiment;
 use netsim::SimDuration;
 use std::hint::black_box;
 use std::time::Instant;
 
 /// RON2003, 40 simulated minutes cut into four 10-minute slices.
 fn ron2003_sliced(shards: usize) -> mpath_core::ExperimentOutput {
-    let mut cfg = Dataset::Ron2003.config(2003, Some(SimDuration::from_mins(40)));
+    let sc = builtin_scenario("ron2003");
+    let mut cfg = sc.config(2003, Some(SimDuration::from_mins(40)));
     cfg.slice_width = SimDuration::from_mins(10);
     cfg.shards = shards;
-    run_experiment(Dataset::Ron2003.topology(2003), cfg)
+    run_experiment(sc.topology(2003), cfg)
 }
 
 fn bench_sharding(c: &mut Criterion) {

@@ -3,7 +3,8 @@
 //! pipeline, finishing with the table rows.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mpath_core::{report, Dataset};
+use mpath_bench::builtin_scenario;
+use mpath_core::report;
 use netsim::SimDuration;
 use std::hint::black_box;
 
@@ -12,14 +13,14 @@ fn bench_table5(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("ron2003_30min_30hosts", |b| {
         b.iter(|| {
-            let out = Dataset::Ron2003.run(7, Some(SimDuration::from_mins(30)));
+            let out = builtin_scenario("ron2003").run(7, Some(SimDuration::from_mins(30)));
             let rows = report::table5(&out);
             black_box(rows.len())
         })
     });
     g.bench_function("ronnarrow_30min_17hosts", |b| {
         b.iter(|| {
-            let out = Dataset::RonNarrow.run(7, Some(SimDuration::from_mins(30)));
+            let out = builtin_scenario("ron-narrow").run(7, Some(SimDuration::from_mins(30)));
             let rows = report::table5(&out);
             black_box(rows.len())
         })

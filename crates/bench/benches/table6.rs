@@ -3,7 +3,8 @@
 //! accumulator itself at trace-replay speed.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mpath_core::{report, Dataset};
+use mpath_bench::builtin_scenario;
+use mpath_core::report;
 use netsim::{HostId, SimDuration, SimTime};
 use std::hint::black_box;
 use trace::{LegOutcome, PairOutcome};
@@ -13,7 +14,7 @@ fn bench_table6(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("ron2003_1h_windows", |b| {
         b.iter(|| {
-            let out = Dataset::Ron2003.run(11, Some(SimDuration::from_mins(40)));
+            let out = builtin_scenario("ron2003").run(11, Some(SimDuration::from_mins(40)));
             let t = report::table6(&out);
             black_box(t.counts.len())
         })

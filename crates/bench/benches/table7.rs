@@ -2,7 +2,8 @@
 //! with its twelve routing-method combinations.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mpath_core::{report, Dataset};
+use mpath_bench::builtin_scenario;
+use mpath_core::report;
 use netsim::SimDuration;
 use std::hint::black_box;
 
@@ -11,7 +12,7 @@ fn bench_table7(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("ronwide_30min_roundtrip", |b| {
         b.iter(|| {
-            let out = Dataset::RonWide.run(13, Some(SimDuration::from_mins(30)));
+            let out = builtin_scenario("ron-wide").run(13, Some(SimDuration::from_mins(30)));
             let rows = report::table7(&out);
             black_box(rows.len())
         })

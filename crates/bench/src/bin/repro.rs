@@ -1,66 +1,120 @@
-//! `repro` — regenerate every table and figure of the paper.
+//! `repro` — regenerate every table and figure of the paper, and run
+//! declarative scenarios from the open registry.
 //!
 //! ```text
 //! repro [ARTIFACT] [--days F] [--seed N] [--shards N] [--out DIR]
+//! repro --list-scenarios
+//! repro --scenario NAME[,NAME...] [--days F] [--seed N] [--shards N]
+//! repro --scenario-file PATH      [--days F] [--seed N] [--shards N]
+//! repro --dump-scenario NAME
 //!
 //! ARTIFACT: all | headline | table5 | table6 | table7
 //!         | fig2 | fig3 | fig4 | fig5 | fig6 | fec
-//! --days F    simulated days per dataset (default 1.0; paper scale: 14)
+//! --days F    simulated days per dataset (default 1.0; paper scale: 14).
+//!             In scenario mode: scales the run; without it the spec's
+//!             full campaign length (`days` in the file) runs.
 //! --seed N    master seed (default 2003)
 //! --shards N  worker threads for the sliced campaign (default: the
 //!             MPATH_SHARDS environment variable, else 1). Results are
 //!             byte-identical for every value — only wall-clock changes.
 //! --out DIR   directory for figure CSVs (default target/repro_out)
+//!
+//! --list-scenarios   print the registry catalog and exit
+//! --scenario NAMES   run the named scenario(s) (comma-separated sweep)
+//! --scenario-file P  load a JSON ScenarioSpec from P and run it
+//! --dump-scenario N  print the named scenario's JSON spec to stdout
+//!                    (edit it, then feed it back via --scenario-file)
 //! ```
 //!
 //! Output shows measured values next to the published ones. Absolute
 //! agreement is not the goal (the substrate is a calibrated simulator,
 //! not the 2003 Internet); the orderings and magnitudes are.
 
-use analysis::{render_table5, render_table6, render_table7};
+use analysis::{render_table5, render_table6, render_table7, scenario_stamp, Table5Row, Table7Row};
 use mpath_bench::paper;
 use mpath_bench::{fec_sweep, FecSweepConfig};
 use mpath_core::model::DesignModel;
-use mpath_core::{report, Dataset, ExperimentOutput};
+use mpath_core::{report, ExperimentOutput, ScenarioRegistry, ScenarioSpec};
 use netsim::SimDuration;
 use std::fs;
 use std::path::PathBuf;
 
 struct Args {
     artifact: String,
-    days: f64,
+    artifact_explicit: bool,
+    days: Option<f64>,
     seed: u64,
     shards: usize,
     out: PathBuf,
+    list_scenarios: bool,
+    scenarios: Vec<String>,
+    scenario_file: Option<PathBuf>,
+    dump_scenario: Option<String>,
+}
+
+/// The value of a flag, or a usage error (never an index panic).
+fn value_of<'a>(argv: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match argv.get(*i) {
+        Some(v) => v.as_str(),
+        None => {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parse_args() -> Args {
-    let mut artifact = "all".to_string();
-    let mut days = 1.0f64;
-    let mut seed = 2003u64;
-    let mut shards = 0usize; // auto: MPATH_SHARDS or 1
-    let mut out = PathBuf::from("target/repro_out");
+    let mut args = Args {
+        artifact: "all".to_string(),
+        artifact_explicit: false,
+        days: None,
+        seed: 2003,
+        shards: 0, // auto: MPATH_SHARDS or 1
+        out: PathBuf::from("target/repro_out"),
+        list_scenarios: false,
+        scenarios: Vec::new(),
+        scenario_file: None,
+        dump_scenario: None,
+    };
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut saw_scenario_flag = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--days" => {
-                i += 1;
-                days = argv[i].parse().expect("--days takes a number");
+                args.days = Some(value_of(&argv, &mut i, "--days").parse().expect("--days takes a number"));
             }
             "--seed" => {
-                i += 1;
-                seed = argv[i].parse().expect("--seed takes an integer");
+                args.seed = value_of(&argv, &mut i, "--seed").parse().expect("--seed takes an integer");
             }
             "--shards" => {
-                i += 1;
-                shards = argv[i].parse().expect("--shards takes an integer");
+                args.shards =
+                    value_of(&argv, &mut i, "--shards").parse().expect("--shards takes an integer");
             }
             "--out" => {
-                i += 1;
-                out = PathBuf::from(&argv[i]);
+                args.out = PathBuf::from(value_of(&argv, &mut i, "--out"));
             }
-            a if !a.starts_with('-') => artifact = a.to_string(),
+            "--list-scenarios" => args.list_scenarios = true,
+            "--scenario" => {
+                saw_scenario_flag = true;
+                args.scenarios.extend(
+                    value_of(&argv, &mut i, "--scenario")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty()),
+                );
+            }
+            "--scenario-file" => {
+                args.scenario_file = Some(PathBuf::from(value_of(&argv, &mut i, "--scenario-file")));
+            }
+            "--dump-scenario" => {
+                args.dump_scenario = Some(value_of(&argv, &mut i, "--dump-scenario").to_string());
+            }
+            a if !a.starts_with('-') => {
+                args.artifact = a.to_string();
+                args.artifact_explicit = true;
+            }
             a => {
                 eprintln!("unknown flag {a}");
                 std::process::exit(2);
@@ -68,53 +122,214 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    Args { artifact, days, seed, shards, out }
+    if saw_scenario_flag && args.scenarios.is_empty() {
+        // `--scenario ,` must not silently fall through to the full
+        // artifact pipeline.
+        eprintln!("--scenario requires at least one scenario name");
+        std::process::exit(2);
+    }
+    // Exactly one mode: a fixed precedence order would silently drop
+    // half of a conflicting request.
+    let modes = [
+        args.artifact_explicit,
+        args.list_scenarios,
+        !args.scenarios.is_empty(),
+        args.scenario_file.is_some(),
+        args.dump_scenario.is_some(),
+    ];
+    if modes.iter().filter(|m| **m).count() > 1 {
+        eprintln!(
+            "pick one mode: ARTIFACT, --list-scenarios, --scenario, --scenario-file, \
+             or --dump-scenario"
+        );
+        std::process::exit(2);
+    }
+    args
 }
 
-/// Lazily-run datasets so `repro table5` does not pay for RONwide.
+// ------------------------------------------------------------ scenarios
+
+fn do_list_scenarios(registry: &ScenarioRegistry) {
+    println!("{} registered scenarios:\n", registry.len());
+    println!("{:<20} {:>5} {:>6} {:>8} {:>5}  summary", "name", "hosts", "days", "methods", "rt");
+    for spec in registry.iter() {
+        println!(
+            "{:<20} {:>5} {:>6.1} {:>8} {:>5}  {}",
+            spec.name,
+            spec.topology.hosts(),
+            spec.days,
+            spec.methods().total(),
+            if spec.round_trip { "yes" } else { "no" },
+            spec.summary
+        );
+    }
+    println!("\nrun one with:  repro --scenario NAME [--days F] [--seed N] [--shards N]");
+    println!("write your own: repro --dump-scenario NAME > my.json && repro --scenario-file my.json");
+}
+
+fn do_dump_scenario(registry: &ScenarioRegistry, name: &str) {
+    let Some(spec) = registry.get(name) else {
+        eprintln!("unknown scenario `{name}`; try --list-scenarios");
+        std::process::exit(2);
+    };
+    println!("{}", serde_json::to_string(spec).expect("specs always serialize"));
+}
+
+fn load_scenario_file(path: &PathBuf) -> ScenarioSpec {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    let spec = match serde_json::from_str::<ScenarioSpec>(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{} is not a valid scenario spec: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = spec.validate() {
+        eprintln!("{} is not a valid scenario spec: {e}", path.display());
+        std::process::exit(2);
+    }
+    spec
+}
+
+/// Rejects a `--days` override that outlives the scenario's scripted
+/// schedules. Checked *before* any scenario in a sweep runs, so a bad
+/// override cannot abort a half-finished sweep.
+fn check_days_within_horizon(spec: &ScenarioSpec, args: &Args) {
+    if let Some(d) = args.days {
+        if d.is_nan() || d <= 0.0 {
+            // A non-positive (or NaN) override would clamp to a
+            // zero-length campaign and print an empty stamped report.
+            eprintln!("--days must be positive, got {d}");
+            std::process::exit(2);
+        }
+        if d > spec.horizon_days {
+            // The impairment and weather schedules only cover the
+            // horizon; running past it would dilute the scenario while
+            // still stamping its name on the report.
+            eprintln!(
+                "--days {d} exceeds scenario `{}`'s horizon of {} day(s); raise `days` and \
+                 `horizon_days` in a scenario file instead",
+                spec.name, spec.horizon_days
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Runs one scenario and prints its stamped summary table, counters and
+/// fingerprint. The fingerprint line is the byte-identity witness: it is
+/// invariant under `--shards`.
+///
+/// Unlike the artifact pipeline (fixed paper row order via
+/// `report::table5`/`table7`), scenario mode lists *every* measured
+/// method in registry order — a custom spec may carry any method set,
+/// and the paper renderers would silently drop the rows they don't
+/// know.
+fn run_scenario(spec: &ScenarioSpec, args: &Args) {
+    // `--days` scales the run; without it the spec's own campaign
+    // length runs in full, so an edited `days` field in a scenario file
+    // does what it says. The caller has already checked `--days`
+    // against the spec horizon (see `check_days_within_horizon`).
+    let duration = args
+        .days
+        .map(|d| SimDuration::from_secs_f64(d * 86_400.0))
+        .unwrap_or_else(|| spec.paper_duration());
+    eprintln!("[repro] running scenario `{}` for {duration} simulated...", spec.name);
+    let out = spec.run_sharded(args.seed, Some(duration), args.shards);
+    let stamp = scenario_stamp(&out.scenario, out.spec_digest);
+    if spec.round_trip {
+        // Round-trip scenarios measure RTTs; use the Table 7 layout so
+        // the latency column is labelled correctly.
+        let rows: Vec<Table7Row> = out
+            .names
+            .iter()
+            .map(|name| Table7Row {
+                name: name.clone(),
+                summary: out.summary(name).expect("every named method has a summary"),
+            })
+            .collect();
+        println!("{stamp}\n{}", render_table7(&rows));
+    } else {
+        let rows: Vec<Table5Row> = out
+            .names
+            .iter()
+            .map(|name| Table5Row {
+                name: name.clone(),
+                summary: out.summary(name).expect("every named method has a summary"),
+            })
+            .collect();
+        println!("{}", render_table5(&stamp, &rows));
+    }
+    println!(
+        "{} hosts, {} simulated, seed {}: {} legs, {} probes, {} discarded, net loss {:.3}%",
+        out.n,
+        out.duration,
+        args.seed,
+        out.measure_legs,
+        out.overlay_probes,
+        out.discarded(),
+        100.0 * out.net.loss_rate()
+    );
+    println!("fingerprint: {:#018x}\n", out.fingerprint());
+}
+
+// ------------------------------------------------------------- artifacts
+
+/// Lazily-run paper campaigns so `repro table5` does not pay for RONwide.
 struct Lab {
     days: f64,
     seed: u64,
     shards: usize,
+    registry: ScenarioRegistry,
     ron2003: Option<ExperimentOutput>,
     narrow: Option<ExperimentOutput>,
     wide: Option<ExperimentOutput>,
 }
 
 impl Lab {
-    fn duration(&self, ds: Dataset) -> SimDuration {
-        // Scale each dataset's paper duration by days/14 so relative
+    fn spec(&self, name: &str) -> ScenarioSpec {
+        self.registry.get(name).expect("paper scenarios are built in").clone()
+    }
+
+    fn duration(&self, spec: &ScenarioSpec) -> SimDuration {
+        // Scale each campaign's paper duration by days/14 so relative
         // coverage matches the paper's mix.
-        let paper_days = ds.paper_duration().as_secs_f64() / 86_400.0;
-        let scaled = (self.days * paper_days / 14.0).max(0.02);
+        let scaled = (self.days * spec.days / 14.0).max(0.02);
         SimDuration::from_secs_f64(scaled * 86_400.0)
     }
 
     fn ron2003(&mut self) -> &ExperimentOutput {
         if self.ron2003.is_none() {
-            let d = self.duration(Dataset::Ron2003);
+            let spec = self.spec("ron2003");
+            let d = self.duration(&spec);
             eprintln!("[repro] running RON2003 for {d} simulated...");
-            self.ron2003 = Some(Dataset::Ron2003.run_sharded(self.seed, Some(d), self.shards));
+            self.ron2003 = Some(spec.run_sharded(self.seed, Some(d), self.shards));
         }
         self.ron2003.as_ref().unwrap()
     }
 
     fn narrow(&mut self) -> &ExperimentOutput {
         if self.narrow.is_none() {
-            let d = self.duration(Dataset::RonNarrow);
+            let spec = self.spec("ron-narrow");
+            let d = self.duration(&spec);
             eprintln!("[repro] running RONnarrow for {d} simulated...");
-            self.narrow =
-                Some(Dataset::RonNarrow.run_sharded(self.seed ^ 0x2002, Some(d), self.shards));
+            self.narrow = Some(spec.run_sharded(self.seed ^ 0x2002, Some(d), self.shards));
         }
         self.narrow.as_ref().unwrap()
     }
 
     fn wide(&mut self) -> &ExperimentOutput {
         if self.wide.is_none() {
-            let d = self.duration(Dataset::RonWide);
+            let spec = self.spec("ron-wide");
+            let d = self.duration(&spec);
             eprintln!("[repro] running RONwide for {d} simulated...");
-            self.wide =
-                Some(Dataset::RonWide.run_sharded(self.seed ^ 0x2002_2002, Some(d), self.shards));
+            self.wide = Some(spec.run_sharded(self.seed ^ 0x2002_2002, Some(d), self.shards));
         }
         self.wide.as_ref().unwrap()
     }
@@ -148,20 +363,26 @@ fn print_paper_rows(title: &str, rows: &[paper::PaperRow]) {
     println!();
 }
 
+fn measured_title(kind: &str, out: &ExperimentOutput) -> String {
+    format!("--- measured: {kind} {}", scenario_stamp(&out.scenario, out.spec_digest))
+}
+
 fn do_table5(lab: &mut Lab) {
     println!("==== Table 5: one-way loss percentages ====\n");
     let rows = report::table5(lab.ron2003());
-    println!("{}", render_table5("--- measured: 2003 (RON2003 dataset)", &rows));
+    let title = measured_title("2003", lab.ron2003());
+    println!("{}", render_table5(&title, &rows));
     print_paper_rows("2003", paper::TABLE5_2003);
     let rows02 = report::table5(lab.narrow());
-    println!("{}", render_table5("--- measured: 2002 (RONnarrow dataset)", &rows02));
+    let title02 = measured_title("2002", lab.narrow());
+    println!("{}", render_table5(&title02, &rows02));
     print_paper_rows("2002", paper::TABLE5_2002);
 }
 
 fn do_table6(lab: &mut Lab) {
     println!("==== Table 6: hour-long high loss periods ====\n");
     let t = report::table6(lab.ron2003());
-    println!("--- measured\n{}", render_table6(&t));
+    println!("{}\n{}", measured_title("2003", lab.ron2003()), render_table6(&t));
     println!("--- paper reference (14 days, 30 hosts)");
     println!(
         "{:<8} {:>9} {:>13} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9}",
@@ -181,7 +402,7 @@ fn do_table6(lab: &mut Lab) {
 fn do_table7(lab: &mut Lab) {
     println!("==== Table 7: expanded 2002 routing schemes (round-trip) ====\n");
     let rows = report::table7(lab.wide());
-    println!("--- measured\n{}", render_table7(&rows));
+    println!("{}\n{}", measured_title("2002 wide", lab.wide()), render_table7(&rows));
     print_paper_rows("Table 7 (RTT column)", paper::TABLE7);
 }
 
@@ -314,17 +535,69 @@ fn do_headline(lab: &mut Lab) {
 
 fn main() {
     let args = parse_args();
+    let registry = ScenarioRegistry::builtin();
+
+    if args.list_scenarios {
+        do_list_scenarios(&registry);
+        return;
+    }
+    if let Some(name) = &args.dump_scenario {
+        do_dump_scenario(&registry, name);
+        return;
+    }
+    if let Some(path) = &args.scenario_file {
+        let spec = load_scenario_file(path);
+        check_days_within_horizon(&spec, &args);
+        println!(
+            "mpath repro — scenario file {} (seed {})\n",
+            path.display(),
+            args.seed
+        );
+        run_scenario(&spec, &args);
+        return;
+    }
+    if !args.scenarios.is_empty() {
+        // Resolve every name and check `--days` up front: a typo or bad
+        // override late in the sweep must not discard minutes of
+        // completed runs.
+        let specs: Vec<&ScenarioSpec> = args
+            .scenarios
+            .iter()
+            .map(|name| {
+                let spec = registry.get(name).unwrap_or_else(|| {
+                    eprintln!("unknown scenario `{name}`; try --list-scenarios");
+                    std::process::exit(2);
+                });
+                check_days_within_horizon(spec, &args);
+                spec
+            })
+            .collect();
+        println!("mpath repro — {} scenario(s), seed {}\n", specs.len(), args.seed);
+        for spec in specs {
+            run_scenario(spec, &args);
+        }
+        return;
+    }
+
+    let days = args.days.unwrap_or(1.0);
+    if days.is_nan() || days <= 0.0 || days > 14.0 {
+        // The dataset campaigns are scaled fractions of the paper's 14
+        // days; beyond that the scripted weather schedules run out.
+        eprintln!("--days must be in (0, 14] for the artifact pipeline, got {days}");
+        std::process::exit(2);
+    }
     let mut lab = Lab {
-        days: args.days,
+        days,
         seed: args.seed,
         shards: args.shards,
+        registry,
         ron2003: None,
         narrow: None,
         wide: None,
     };
     println!(
         "mpath repro — datasets scaled to {} day(s) of the paper's 14 (seed {})\n",
-        args.days, args.seed
+        lab.days, args.seed
     );
     match args.artifact.as_str() {
         "table5" => do_table5(&mut lab),

@@ -9,4 +9,4 @@ pub mod paper;
 pub mod runs;
 
 pub use fecx::{fec_sweep, FecPoint, FecSweepConfig};
-pub use runs::{quick_2003, quick_narrow, quick_wide};
+pub use runs::{builtin_scenario, quick_2003, quick_narrow, quick_scenario, quick_wide};

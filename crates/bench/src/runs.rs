@@ -1,19 +1,32 @@
-//! Scaled dataset runs shared by benches, tests and the repro binary.
+//! Scaled scenario runs shared by benches, tests and the repro binary.
 
-use mpath_core::{Dataset, ExperimentOutput};
+use mpath_core::{ExperimentOutput, ScenarioRegistry, ScenarioSpec};
 use netsim::SimDuration;
+
+/// Resolves a built-in scenario by name.
+pub fn builtin_scenario(name: &str) -> ScenarioSpec {
+    ScenarioRegistry::builtin()
+        .get(name)
+        .unwrap_or_else(|| panic!("builtin scenario `{name}` missing"))
+        .clone()
+}
+
+/// Runs a built-in scenario for `hours` simulated hours.
+pub fn quick_scenario(name: &str, hours: u64, seed: u64) -> ExperimentOutput {
+    builtin_scenario(name).run(seed, Some(SimDuration::from_hours(hours)))
+}
 
 /// Runs RON2003 for `hours` simulated hours.
 pub fn quick_2003(hours: u64, seed: u64) -> ExperimentOutput {
-    Dataset::Ron2003.run(seed, Some(SimDuration::from_hours(hours)))
+    quick_scenario("ron2003", hours, seed)
 }
 
 /// Runs RONnarrow (2002, one-way) for `hours` simulated hours.
 pub fn quick_narrow(hours: u64, seed: u64) -> ExperimentOutput {
-    Dataset::RonNarrow.run(seed, Some(SimDuration::from_hours(hours)))
+    quick_scenario("ron-narrow", hours, seed)
 }
 
 /// Runs RONwide (2002, round-trip) for `hours` simulated hours.
 pub fn quick_wide(hours: u64, seed: u64) -> ExperimentOutput {
-    Dataset::RonWide.run(seed, Some(SimDuration::from_hours(hours)))
+    quick_scenario("ron-wide", hours, seed)
 }

@@ -1,21 +1,37 @@
-//! The three datasets of Table 3.
+//! The three datasets of Table 3 — now a thin shim over the scenario
+//! registry.
 //!
-//! | dataset   | hosts | days | probing                          |
-//! |-----------|-------|------|----------------------------------|
-//! | RONnarrow | 17    | 4    | one-way, 3 methods               |
-//! | RONwide   | 17    | 5    | round-trip, 12 method combos     |
-//! | RON2003   | 30    | 14   | one-way, 6 probe sets (8 rows)   |
+//! | dataset   | scenario name | hosts | days | probing                      |
+//! |-----------|---------------|-------|------|------------------------------|
+//! | RONnarrow | `ron-narrow`  | 17    | 4    | one-way, 3 methods           |
+//! | RONwide   | `ron-wide`    | 17    | 5    | round-trip, 12 method combos |
+//! | RON2003   | `ron2003`     | 30    | 14   | one-way, 6 probe sets        |
 //!
-//! Paper-scale runs take minutes; every entry point accepts a duration
-//! override so tests and benches can run scaled-down versions (the
-//! statistics are rate-based, so shapes are preserved, only the error
-//! bars widen).
+//! The closed enum predates the declarative scenario API
+//! ([`crate::scenario`]); every method now delegates to the equivalent
+//! built-in [`ScenarioSpec`] so existing
+//! call sites keep working while they migrate. New code should resolve
+//! scenarios by name instead:
+//!
+//! ```
+//! use mpath_core::scenario::ScenarioRegistry;
+//! let registry = ScenarioRegistry::builtin();
+//! let scenario = registry.get("ron2003").unwrap();
+//! let cfg = scenario.config(1, None);
+//! assert_eq!(cfg.scenario, "ron2003");
+//! ```
 
-use crate::experiment::{run_experiment, ExperimentConfig, ExperimentOutput};
+use crate::experiment::{ExperimentConfig, ExperimentOutput};
 use crate::method::MethodSet;
+use crate::scenario::{ScenarioRegistry, ScenarioSpec};
 use netsim::{SimDuration, Topology};
 
 /// One of the paper's measurement campaigns.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `scenario::ScenarioRegistry::builtin()` with the scenario names \
+            `ron2003` / `ron-narrow` / `ron-wide`"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dataset {
     /// 30 hosts, 14 days, one-way, the six 2003 probe sets.
@@ -26,6 +42,7 @@ pub enum Dataset {
     RonWide,
 }
 
+#[allow(deprecated)]
 impl Dataset {
     /// The dataset's name as the paper uses it.
     pub fn name(&self) -> &'static str {
@@ -36,45 +53,46 @@ impl Dataset {
         }
     }
 
+    /// The registry name of the equivalent built-in scenario.
+    pub fn scenario_name(&self) -> &'static str {
+        match self {
+            Dataset::Ron2003 => "ron2003",
+            Dataset::RonNarrow => "ron-narrow",
+            Dataset::RonWide => "ron-wide",
+        }
+    }
+
+    /// The equivalent built-in scenario spec.
+    pub fn scenario(&self) -> ScenarioSpec {
+        ScenarioRegistry::builtin()
+            .get(self.scenario_name())
+            .expect("paper scenarios are always registered")
+            .clone()
+    }
+
     /// The paper's measurement duration for this dataset.
     pub fn paper_duration(&self) -> SimDuration {
-        match self {
-            Dataset::Ron2003 => SimDuration::from_days(14),
-            Dataset::RonNarrow => SimDuration::from_days(4),
-            Dataset::RonWide => SimDuration::from_days(5),
-        }
+        self.scenario().paper_duration()
     }
 
     /// Builds the era-appropriate testbed.
     pub fn topology(&self, seed: u64) -> Topology {
-        match self {
-            Dataset::Ron2003 => Topology::ron2003(seed),
-            Dataset::RonNarrow | Dataset::RonWide => Topology::ron2002(seed),
-        }
+        self.scenario().topology(seed)
     }
 
     /// The method registry this dataset probes.
     pub fn methods(&self) -> MethodSet {
-        match self {
-            Dataset::Ron2003 => MethodSet::ron2003(),
-            Dataset::RonNarrow => MethodSet::ron_narrow(),
-            Dataset::RonWide => MethodSet::ron_wide(),
-        }
+        self.scenario().methods()
     }
 
     /// Experiment configuration with an optional duration override.
     pub fn config(&self, seed: u64, duration: Option<SimDuration>) -> ExperimentConfig {
-        let mut cfg = ExperimentConfig::new(self.methods());
-        cfg.seed = seed;
-        cfg.duration = duration.unwrap_or_else(|| self.paper_duration());
-        cfg.round_trip = matches!(self, Dataset::RonWide);
-        cfg
+        self.scenario().config(seed, duration)
     }
 
     /// Runs the dataset end to end.
     pub fn run(&self, seed: u64, duration: Option<SimDuration>) -> ExperimentOutput {
-        let topo = self.topology(seed);
-        run_experiment(topo, self.config(seed, duration))
+        self.scenario().run(seed, duration)
     }
 
     /// Runs the dataset end to end on `shards` worker threads.
@@ -87,14 +105,12 @@ impl Dataset {
         duration: Option<SimDuration>,
         shards: usize,
     ) -> ExperimentOutput {
-        let topo = self.topology(seed);
-        let mut cfg = self.config(seed, duration);
-        cfg.shards = shards;
-        run_experiment(topo, cfg)
+        self.scenario().run_sharded(seed, duration, shards)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -119,5 +135,15 @@ mod tests {
     fn duration_override_applies() {
         let cfg = Dataset::Ron2003.config(1, Some(SimDuration::from_hours(2)));
         assert_eq!(cfg.duration, SimDuration::from_hours(2));
+    }
+
+    #[test]
+    fn shim_delegates_to_the_registry_scenarios() {
+        // The shim and the registry must describe the same campaign.
+        let cfg = Dataset::RonNarrow.config(7, None);
+        assert_eq!(cfg.scenario, "ron-narrow");
+        assert_eq!(cfg.duration, SimDuration::from_days(4));
+        let spec = ScenarioRegistry::builtin().get("ron-narrow").unwrap().clone();
+        assert_eq!(cfg.spec_digest, spec.digest());
     }
 }

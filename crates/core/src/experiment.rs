@@ -75,6 +75,13 @@ pub struct ExperimentConfig {
     /// short non-aligned widths are fine for equivalence tests, which
     /// compare runs under the *same* slice plan.
     pub slice_width: SimDuration,
+    /// Name of the scenario this run executes (stamped into the output
+    /// and its fingerprint). Hand-assembled configs default to `custom`.
+    pub scenario: String,
+    /// Digest of the scenario spec that produced this config (see
+    /// [`crate::scenario::ScenarioSpec::digest`]); zero for
+    /// hand-assembled configs.
+    pub spec_digest: u64,
 }
 
 impl ExperimentConfig {
@@ -93,14 +100,20 @@ impl ExperimentConfig {
             flat_load: false,
             shards: 0,
             slice_width: SimDuration::from_hours(6),
+            scenario: "custom".to_string(),
+            spec_digest: 0,
         }
     }
 }
 
 /// Everything a run produces.
 pub struct ExperimentOutput {
+    /// Name of the scenario that produced this run.
+    pub scenario: String,
+    /// Digest of the scenario spec (zero for hand-assembled configs).
+    pub spec_digest: u64,
     /// Analysis-method display names (indexed by method id).
-    pub names: Vec<&'static str>,
+    pub names: Vec<String>,
     /// Loss/latency accumulators.
     pub loss: LossAccum,
     /// 20-minute windows (Figure 3).
@@ -150,6 +163,9 @@ impl ExperimentOutput {
     /// that `shards = N` reproduces `shards = 1` exactly.
     pub fn fingerprint(&self) -> u64 {
         let mut f = Fnv::new();
+        f.write(self.scenario.as_bytes());
+        f.write(&[0]);
+        f.write_u64(self.spec_digest);
         for name in &self.names {
             f.write(name.as_bytes());
             f.write(&[0]);
@@ -513,6 +529,8 @@ impl Runner {
         let overlay_probes = self.nodes.iter().map(|nd| nd.counters().0).sum();
         let stats = self.collector.stats();
         ExperimentOutput {
+            scenario: self.cfg.scenario.clone(),
+            spec_digest: self.cfg.spec_digest,
             names: self.cfg.methods.names(),
             loss: self.loss,
             win20: self.win20,

@@ -17,7 +17,14 @@
 //!   partitioned into independent workload slices executed on N worker
 //!   threads, with a merge that is byte-identical to the sequential
 //!   run for every shard count;
-//! * [`datasets`] — the RONnarrow / RONwide / RON2003 configurations;
+//! * [`scenario`] — the declarative scenario API: serde-serializable
+//!   [`ScenarioSpec`]s (testbed, methods,
+//!   impairment plan, calibration) and the open [`ScenarioRegistry`]
+//!   of named built-ins — the three paper campaigns plus synthetic
+//!   stress scenarios (shared-risk correlated outages, moving load
+//!   waves, asymmetric paths, flash crowds);
+//! * [`datasets`] — the deprecated closed-enum shim over the three
+//!   paper scenarios;
 //! * [`report`] — assembling accumulator state into the paper's tables
 //!   and figures;
 //! * [`model`] — the §5 analytic model: overhead and limits of reactive
@@ -30,10 +37,16 @@ pub mod experiment;
 pub mod method;
 pub mod model;
 pub mod report;
+pub mod scenario;
 pub mod shard;
 
+#[allow(deprecated)]
 pub use datasets::Dataset;
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentOutput};
 pub use method::{Method, MethodSet, View};
 pub use model::{DesignModel, Recommendation};
+pub use scenario::{
+    builtin_specs, Calibration, ImpairmentPlan, MethodsSpec, ScenarioRegistry, ScenarioSpec,
+    TopologySpec,
+};
 pub use shard::{SlicePlan, Slice};

@@ -11,10 +11,14 @@ use netsim::SimDuration;
 pub use overlay::RouteTag;
 
 /// One probing method.
+///
+/// Names are owned strings so method sets can be assembled at runtime
+/// (scenario files, generated sweeps) instead of being `&'static`-bound
+/// to the compiled-in presets.
 #[derive(Debug, Clone)]
 pub struct Method {
     /// Display name as the paper prints it.
-    pub name: &'static str,
+    pub name: String,
     /// Route tactic per packet (1 or 2 entries).
     pub legs: Vec<RouteTag>,
     /// Delay between the two packets (0 = back-to-back).
@@ -25,19 +29,19 @@ pub struct Method {
 }
 
 impl Method {
-    fn single(name: &'static str, tag: RouteTag) -> Method {
-        Method { name, legs: vec![tag], gap: SimDuration::ZERO, distinct: false }
+    fn single(name: &str, tag: RouteTag) -> Method {
+        Method { name: name.to_string(), legs: vec![tag], gap: SimDuration::ZERO, distinct: false }
     }
 
     /// A 2-redundant multi-path pair: copies must use distinct paths.
-    fn pair(name: &'static str, a: RouteTag, b: RouteTag, gap: SimDuration) -> Method {
-        Method { name, legs: vec![a, b], gap, distinct: true }
+    fn pair(name: &str, a: RouteTag, b: RouteTag, gap: SimDuration) -> Method {
+        Method { name: name.to_string(), legs: vec![a, b], gap, distinct: true }
     }
 
     /// A same-path pair (direct direct / dd 10 ms / dd 20 ms).
-    fn same_path(name: &'static str, gap: SimDuration) -> Method {
+    fn same_path(name: &str, gap: SimDuration) -> Method {
         Method {
-            name,
+            name: name.to_string(),
             legs: vec![RouteTag::Direct, RouteTag::Direct],
             gap,
             distinct: false,
@@ -49,7 +53,7 @@ impl Method {
 #[derive(Debug, Clone)]
 pub struct View {
     /// Display name (`direct*`, `lat*`).
-    pub name: &'static str,
+    pub name: String,
     /// Index of the source method in [`MethodSet::methods`].
     pub source: u8,
     /// Which leg to extract.
@@ -73,11 +77,11 @@ impl MethodSet {
     }
 
     /// Display names indexed by analysis-method id.
-    pub fn names(&self) -> Vec<&'static str> {
+    pub fn names(&self) -> Vec<String> {
         self.methods
             .iter()
-            .map(|m| m.name)
-            .chain(self.views.iter().map(|v| v.name))
+            .map(|m| m.name.clone())
+            .chain(self.views.iter().map(|v| v.name.clone()))
             .collect()
     }
 
@@ -102,8 +106,8 @@ impl MethodSet {
             Method::same_path("dd 20 ms", SimDuration::from_millis(20)),
         ];
         let views = vec![
-            View { name: "direct*", source: 1, leg: 0 },
-            View { name: "lat*", source: 2, leg: 0 },
+            View { name: "direct*".into(), source: 1, leg: 0 },
+            View { name: "lat*".into(), source: 2, leg: 0 },
         ];
         MethodSet { methods, views }
     }
@@ -118,8 +122,8 @@ impl MethodSet {
             Method::pair("lat loss", RouteTag::Lat, RouteTag::Loss, SimDuration::ZERO),
         ];
         let views = vec![
-            View { name: "direct*", source: 1, leg: 0 },
-            View { name: "lat*", source: 2, leg: 0 },
+            View { name: "direct*".into(), source: 1, leg: 0 },
+            View { name: "lat*".into(), source: 2, leg: 0 },
         ];
         MethodSet { methods, views }
     }

@@ -24,6 +24,8 @@ pub fn merge_outputs(outputs: Vec<ExperimentOutput>) -> ExperimentOutput {
     for o in it {
         assert_eq!(acc.names, o.names, "slices must share the method registry");
         assert_eq!(acc.n, o.n, "slices must share the testbed");
+        assert_eq!(acc.scenario, o.scenario, "slices must come from one scenario");
+        assert_eq!(acc.spec_digest, o.spec_digest, "slices must share the scenario spec");
         acc.loss.merge(&o.loss);
         acc.win20.merge(&o.win20);
         acc.win60.merge(&o.win60);
@@ -208,11 +210,18 @@ pub fn fig6(model: &crate::model::DesignModel, flow_bps: f64) -> Figure {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::datasets::Dataset;
     use crate::experiment::{run_experiment, ExperimentConfig};
     use crate::method::MethodSet;
     use crate::model::DesignModel;
+    use crate::scenario::ScenarioRegistry;
     use netsim::{SimDuration, Topology};
+
+    fn ron_wide_run(seed: u64, mins: u64) -> ExperimentOutput {
+        ScenarioRegistry::builtin()
+            .get("ron-wide")
+            .unwrap()
+            .run(seed, Some(SimDuration::from_mins(mins)))
+    }
 
     fn tiny_run(seed: u64) -> ExperimentOutput {
         let topo = Topology::synthetic(4, 0.02, seed);
@@ -253,7 +262,7 @@ mod tests {
 
     #[test]
     fn table7_requires_ron_wide() {
-        let out = Dataset::RonWide.run(7, Some(SimDuration::from_mins(30)));
+        let out = ron_wide_run(7, 30);
         let rows = table7(&out);
         assert_eq!(rows.len(), 12);
     }
@@ -273,7 +282,7 @@ mod tests {
 
     #[test]
     fn resolve_prefers_exact_name() {
-        let out = Dataset::RonWide.run(9, Some(SimDuration::from_mins(20)));
+        let out = ron_wide_run(9, 20);
         let (_, shown) = resolve(&out, "direct").unwrap();
         assert_eq!(shown, "direct", "RONwide has a real direct method");
     }

@@ -1,0 +1,732 @@
+//! The declarative scenario API: serde-serializable experiment
+//! conditions plus an open registry of named built-ins.
+//!
+//! A [`ScenarioSpec`] is everything that defines *the conditions a
+//! comparison runs under*: the testbed shape, the method set, the
+//! campaign length, and an impairment plan (shared-risk outage groups,
+//! moving load waves, flash crowds, directional asymmetry — the
+//! [`netsim::stress`] models). Specs round-trip through JSON, so new
+//! workloads are a file, not a code change:
+//!
+//! ```text
+//! repro --list-scenarios
+//! repro --scenario correlated-outages --days 0.5
+//! repro --dump-scenario flash-crowd > my.json   # edit, then:
+//! repro --scenario-file my.json
+//! ```
+//!
+//! The [`ScenarioRegistry`] holds the named specs: the three paper
+//! campaigns (re-expressed as specs — [`crate::datasets::Dataset`] is
+//! now a thin shim over them) plus synthetic stress scenarios probing
+//! exactly the conditions where the best-path vs. multi-path question
+//! flips. The registry is *open*: `register` accepts any spec, and the
+//! `repro` binary validates and runs user-written spec files directly.
+//!
+//! Determinism: a spec plus a seed fully determine the run.
+//! [`ScenarioSpec::digest`] folds the spec's canonical JSON into a
+//! 64-bit value that is stamped (with the scenario name) into every
+//! [`ExperimentOutput`] and its fingerprint, so two reports can only
+//! compare equal when they ran identical conditions.
+
+use crate::experiment::{run_experiment, ExperimentConfig, ExperimentOutput};
+use crate::method::MethodSet;
+use analysis::Fnv;
+use netsim::stress::{
+    apply_flash_crowds, apply_load_wave, apply_shared_risk, AsymmetrySpec, FlashCrowdSpec,
+    LoadWaveSpec, SharedRiskSpec,
+};
+use netsim::{SimDuration, Topology};
+use serde::{Deserialize, Serialize};
+
+/// The testbed a scenario runs on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// The 30-host 2003 RON testbed.
+    Ron2003,
+    /// The 17-host 2002 RON testbed (hotter links, no Cornell episode).
+    Ron2002,
+    /// A uniform synthetic circle: fully controlled, no background
+    /// weather unless the impairment plan scripts some.
+    Synthetic {
+        /// Host count (≥ 2).
+        hosts: usize,
+        /// Stationary loss of every access segment.
+        edge_loss: f64,
+    },
+}
+
+impl TopologySpec {
+    /// Host count, without building the O(hosts²) testbed.
+    pub fn hosts(&self) -> usize {
+        match self {
+            TopologySpec::Ron2003 => 30,
+            TopologySpec::Ron2002 => 17,
+            TopologySpec::Synthetic { hosts, .. } => *hosts,
+        }
+    }
+}
+
+/// The probe methods a scenario cycles through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodsSpec {
+    /// The six 2003 probe sets plus the two inferred views (8 rows).
+    Ron2003,
+    /// The three 2002 one-way methods plus two views.
+    RonNarrow,
+    /// The twelve 2002 round-trip combinations.
+    RonWide,
+}
+
+impl MethodsSpec {
+    /// Materializes the method set.
+    pub fn build(&self) -> MethodSet {
+        match self {
+            MethodsSpec::Ron2003 => MethodSet::ron2003(),
+            MethodsSpec::RonNarrow => MethodSet::ron_narrow(),
+            MethodsSpec::RonWide => MethodSet::ron_wide(),
+        }
+    }
+}
+
+/// The scripted impairments layered onto the testbed. Every entry is
+/// optional (`null` in JSON); the paper scenarios use none.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImpairmentPlan {
+    /// Shared-risk link groups: correlated cross-path outages.
+    pub shared_risk: Option<SharedRiskSpec>,
+    /// A moving congestion hot spot sweeping the hosts.
+    pub load_wave: Option<LoadWaveSpec>,
+    /// Demand spikes converging on single destinations.
+    pub flash_crowd: Option<FlashCrowdSpec>,
+    /// Direction-skewed loss and latency.
+    pub asymmetry: Option<AsymmetrySpec>,
+}
+
+impl ImpairmentPlan {
+    /// No scripted impairments (the paper campaigns).
+    pub fn none() -> Self {
+        ImpairmentPlan { shared_risk: None, load_wave: None, flash_crowd: None, asymmetry: None }
+    }
+}
+
+/// Calibration knobs forwarded into [`ExperimentConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// User-space forwarder drop probability at intermediates.
+    pub forward_drop: f64,
+    /// Per-host pause between probes, seconds (§4.1: 0.6–1.2).
+    pub wait_range_s: (f64, f64),
+    /// Disable the diurnal load swing.
+    pub flat_load: bool,
+    /// Workload-slice width for the sharded runner, hours.
+    pub slice_hours: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration {
+            forward_drop: 0.008,
+            wait_range_s: (0.6, 1.2),
+            flat_load: false,
+            slice_hours: 6.0,
+        }
+    }
+}
+
+/// A complete, serializable description of one experiment scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Registry name (kebab-case by convention).
+    pub name: String,
+    /// One-line description for `--list-scenarios`.
+    pub summary: String,
+    /// Testbed shape.
+    pub topology: TopologySpec,
+    /// Probe method set.
+    pub methods: MethodsSpec,
+    /// Full campaign length, simulated days (entry points accept a
+    /// shorter override for scaled-down runs).
+    pub days: f64,
+    /// Horizon the scripted impairment/storm schedules cover, days.
+    /// Usually equals [`days`](Self::days); the paper campaigns pin it
+    /// to their historical preset horizons.
+    pub horizon_days: f64,
+    /// Round-trip probing (RONwide): targets echo measures back.
+    pub round_trip: bool,
+    /// Scripted impairments.
+    pub impairments: ImpairmentPlan,
+    /// Runner calibration.
+    pub calibration: Calibration,
+}
+
+impl ScenarioSpec {
+    /// The scenario's full campaign duration.
+    pub fn paper_duration(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.days * 86_400.0)
+    }
+
+    /// Semantic validation beyond JSON shape: value ranges that would
+    /// otherwise panic deep inside the simulator. Returns a readable
+    /// error naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        // Written as named predicates (not `x <= 0.0`) so NaN fails
+        // validation too.
+        fn positive(v: f64) -> bool {
+            v > 0.0
+        }
+        fn at_least(v: f64, min: f64) -> bool {
+            v >= min
+        }
+        fn pos_range(r: (f64, f64)) -> bool {
+            r.0 > 0.0 && r.1 >= r.0
+        }
+        fn at_most(v: f64, max: f64) -> bool {
+            v <= max
+        }
+        let err = |msg: String| Err(format!("scenario `{}`: {msg}", self.name));
+        if !positive(self.days) {
+            return err(format!("`days` must be positive, got {}", self.days));
+        }
+        if !positive(self.horizon_days) {
+            return err(format!("`horizon_days` must be positive, got {}", self.horizon_days));
+        }
+        if !at_most(self.horizon_days, 366.0) {
+            return err(format!(
+                "`horizon_days` must be at most 366 (schedule compilation is O(horizon)), got {}",
+                self.horizon_days
+            ));
+        }
+        if !at_most(self.days, self.horizon_days) {
+            return err(format!(
+                "`days` ({}) must not exceed `horizon_days` ({}): the impairment and weather \
+                 schedules only cover the horizon, so the campaign's tail would run \
+                 impairment-free",
+                self.days, self.horizon_days
+            ));
+        }
+        if let TopologySpec::Synthetic { hosts, edge_loss } = self.topology {
+            if hosts < 2 {
+                return err(format!("`topology.hosts` must be at least 2, got {hosts}"));
+            }
+            if hosts > 1_000 {
+                return err(format!(
+                    "`topology.hosts` must be at most 1000 (the testbed is O(hosts²)), got {hosts}"
+                ));
+            }
+            if !(0.0..1.0).contains(&edge_loss) {
+                return err(format!("`topology.edge_loss` must be in [0, 1), got {edge_loss}"));
+            }
+        }
+        let c = &self.calibration;
+        if !(0.0..1.0).contains(&c.forward_drop) {
+            return err(format!("`calibration.forward_drop` must be in [0, 1), got {}", c.forward_drop));
+        }
+        if !pos_range(c.wait_range_s) {
+            return err(format!(
+                "`calibration.wait_range_s` must be a positive ordered range, got {:?}",
+                c.wait_range_s
+            ));
+        }
+        if !positive(c.slice_hours) {
+            return err(format!("`calibration.slice_hours` must be positive, got {}", c.slice_hours));
+        }
+        if let Some(sr) = &self.impairments.shared_risk {
+            if sr.groups == 0 || sr.hosts_per_group == 0 {
+                return err("`shared_risk.groups` and `hosts_per_group` must be at least 1".into());
+            }
+            if sr.hosts_per_group > self.topology.hosts() {
+                return err(format!(
+                    "`shared_risk.hosts_per_group` ({}) exceeds the topology's {} hosts",
+                    sr.hosts_per_group,
+                    self.topology.hosts()
+                ));
+            }
+            if sr.groups > 1_000 {
+                return err(format!("`shared_risk.groups` must be at most 1000, got {}", sr.groups));
+            }
+            if !(at_least(sr.outages_per_day, 0.0) && at_most(sr.outages_per_day, 1_000.0)) {
+                return err(format!("`shared_risk.outages_per_day` must be in [0, 1000], got {}", sr.outages_per_day));
+            }
+            if !pos_range(sr.down_mins) {
+                return err(format!("`shared_risk.down_mins` must be a positive ordered range, got {:?}", sr.down_mins));
+            }
+            // Total-window bound: the planner pushes one window per
+            // event onto *each* member's two access segments, so the
+            // cap must include that fan-out (cf. load_wave's cycle cap).
+            let events = sr.groups as f64 * sr.outages_per_day * self.horizon_days;
+            let windows = events * sr.hosts_per_group as f64 * 2.0;
+            if !at_most(windows, 1_000_000.0) {
+                return err(format!(
+                    "`shared_risk` compiles {windows:.0} scripted down-windows over the horizon \
+                     (groups x outages_per_day x horizon_days x hosts_per_group x 2; \
+                     at most 1000000)"
+                ));
+            }
+        }
+        if let Some(lw) = &self.impairments.load_wave {
+            if !(positive(lw.period_hours) && positive(lw.dwell_mins) && at_least(lw.hot_factor, 1.0)) {
+                return err(format!(
+                    "`load_wave` needs positive period/dwell and hot_factor >= 1, got {lw:?}"
+                ));
+            }
+            // The wave planner compiles horizon/period cycles of windows
+            // per host; a microscopic period would allocate unboundedly.
+            let cycles = self.horizon_days * 24.0 / lw.period_hours;
+            if !at_most(cycles, 10_000.0) {
+                return err(format!(
+                    "`load_wave.period_hours` is too small: {cycles:.0} wave cycles over the \
+                     horizon (at most 10000)"
+                ));
+            }
+        }
+        if let Some(fc) = &self.impairments.flash_crowd {
+            if !(at_least(fc.events_per_day, 0.0) && at_most(fc.events_per_day, 1_000.0)) {
+                return err(format!("`flash_crowd.events_per_day` must be in [0, 1000], got {}", fc.events_per_day));
+            }
+            if !pos_range(fc.duration_mins) {
+                return err(format!("`flash_crowd.duration_mins` must be a positive ordered range, got {:?}", fc.duration_mins));
+            }
+            if !(at_least(fc.factor.0, 1.0) && fc.factor.1 >= fc.factor.0) {
+                return err(format!("`flash_crowd.factor` must be an ordered range >= 1, got {:?}", fc.factor));
+            }
+            let events = fc.events_per_day * self.horizon_days;
+            if !at_most(events, 10_000.0) {
+                return err(format!(
+                    "`flash_crowd` schedules {events:.0} events over the horizon (at most 10000)"
+                ));
+            }
+        }
+        if let Some(asym) = &self.impairments.asymmetry {
+            if !positive(asym.loss_skew) {
+                return err(format!("`asymmetry.loss_skew` must be positive, got {}", asym.loss_skew));
+            }
+            if !at_least(asym.delay_skew_ms, 0.0) {
+                return err(format!("`asymmetry.delay_skew_ms` must be >= 0, got {}", asym.delay_skew_ms));
+            }
+        }
+        Ok(())
+    }
+
+    /// A stable 64-bit digest over the spec's canonical JSON form.
+    ///
+    /// Stamped into every output and its fingerprint: reports compare
+    /// equal only when they ran byte-identical conditions.
+    pub fn digest(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("scenario specs always serialize");
+        let mut f = Fnv::new();
+        f.write(json.as_bytes());
+        f.finish()
+    }
+
+    /// Builds the testbed: preset parameters, asymmetry skew applied
+    /// before the build, scripted impairments compiled afterwards. Pure
+    /// in `(self, seed)` — sharded slices rebuild it identically.
+    pub fn topology(&self, seed: u64) -> Topology {
+        let mut params = match self.topology {
+            TopologySpec::Ron2003 => Topology::ron2003_params(),
+            TopologySpec::Ron2002 => Topology::ron2002_params(),
+            TopologySpec::Synthetic { edge_loss, .. } => Topology::synthetic_params(edge_loss),
+        };
+        params.horizon = SimDuration::from_secs_f64(self.horizon_days * 86_400.0);
+        if let Some(asym) = &self.impairments.asymmetry {
+            asym.apply(&mut params);
+        }
+        let mut topo = match self.topology {
+            TopologySpec::Ron2003 => Topology::ron2003_with(params, seed),
+            TopologySpec::Ron2002 => Topology::ron2002_with(params, seed),
+            TopologySpec::Synthetic { hosts, edge_loss } => {
+                Topology::synthetic_with(hosts, edge_loss, params, seed)
+            }
+        };
+        if let Some(sr) = &self.impairments.shared_risk {
+            apply_shared_risk(&mut topo, sr, seed);
+        }
+        if let Some(lw) = &self.impairments.load_wave {
+            apply_load_wave(&mut topo, lw);
+        }
+        if let Some(fc) = &self.impairments.flash_crowd {
+            apply_flash_crowds(&mut topo, fc, seed);
+        }
+        topo
+    }
+
+    /// The method set this scenario probes.
+    pub fn methods(&self) -> MethodSet {
+        self.methods.build()
+    }
+
+    /// Experiment configuration with an optional duration override.
+    ///
+    /// # Panics
+    ///
+    /// On a semantically invalid spec (see [`Self::validate`]) — a
+    /// negative `days`, for instance, would otherwise clamp to a
+    /// zero-length campaign and produce a silently empty — yet
+    /// name-and-digest-stamped — report. Also panics when `duration`
+    /// outruns [`horizon_days`](Self::horizon_days): the impairment and
+    /// weather schedules are only compiled over the horizon, so the
+    /// tail would run impairment-free while the output still carried
+    /// this scenario's name and digest.
+    pub fn config(&self, seed: u64, duration: Option<SimDuration>) -> ExperimentConfig {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+        let effective = duration.unwrap_or_else(|| self.paper_duration());
+        let horizon = SimDuration::from_secs_f64(self.horizon_days * 86_400.0);
+        assert!(
+            effective <= horizon,
+            "scenario `{}`: duration {effective} outruns the {}-day impairment horizon",
+            self.name,
+            self.horizon_days
+        );
+        let mut cfg = ExperimentConfig::new(self.methods());
+        cfg.seed = seed;
+        cfg.duration = effective;
+        cfg.round_trip = self.round_trip;
+        cfg.forward_drop = self.calibration.forward_drop;
+        cfg.wait_range_s = self.calibration.wait_range_s;
+        cfg.flat_load = self.calibration.flat_load;
+        cfg.slice_width = SimDuration::from_secs_f64(self.calibration.slice_hours * 3600.0);
+        cfg.scenario = self.name.clone();
+        cfg.spec_digest = self.digest();
+        cfg
+    }
+
+    /// Runs the scenario end to end.
+    pub fn run(&self, seed: u64, duration: Option<SimDuration>) -> ExperimentOutput {
+        run_experiment(self.topology(seed), self.config(seed, duration))
+    }
+
+    /// Runs the scenario on `shards` worker threads. The report is
+    /// byte-identical for every `shards` value (see [`crate::shard`]).
+    pub fn run_sharded(
+        &self,
+        seed: u64,
+        duration: Option<SimDuration>,
+        shards: usize,
+    ) -> ExperimentOutput {
+        let mut cfg = self.config(seed, duration);
+        cfg.shards = shards;
+        run_experiment(self.topology(seed), cfg)
+    }
+}
+
+/// An open, ordered collection of named scenarios.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioRegistry {
+    entries: Vec<ScenarioSpec>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        ScenarioRegistry { entries: Vec::new() }
+    }
+
+    /// The built-in catalog: the three paper campaigns plus the
+    /// synthetic stress scenarios.
+    pub fn builtin() -> Self {
+        let mut r = Self::empty();
+        for spec in builtin_specs() {
+            r.register(spec).expect("builtin scenario names are unique");
+        }
+        r
+    }
+
+    /// Adds a scenario; rejects duplicate or empty names and
+    /// semantically invalid specs (see [`ScenarioSpec::validate`]).
+    pub fn register(&mut self, spec: ScenarioSpec) -> Result<(), String> {
+        if spec.name.is_empty() {
+            return Err("scenario name must not be empty".to_string());
+        }
+        if self.get(&spec.name).is_some() {
+            return Err(format!("scenario `{}` is already registered", spec.name));
+        }
+        spec.validate()?;
+        self.entries.push(spec);
+        Ok(())
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioSpec> {
+        self.entries.iter().find(|s| s.name == name)
+    }
+
+    /// All scenarios, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &ScenarioSpec> {
+        self.entries.iter()
+    }
+
+    /// Registered names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn paper(name: &str, summary: &str, topology: TopologySpec, methods: MethodsSpec) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.to_string(),
+        summary: summary.to_string(),
+        topology,
+        methods,
+        days: 0.0,         // campaign length set by the caller
+        horizon_days: 0.0, // ditto
+        round_trip: false,
+        impairments: ImpairmentPlan::none(),
+        calibration: Calibration::default(),
+    }
+}
+
+/// The built-in scenario catalog.
+pub fn builtin_specs() -> Vec<ScenarioSpec> {
+    let mut ron2003 = paper(
+        "ron2003",
+        "the paper's RON2003 campaign: 30 hosts, 14 days, one-way, 8 Table-5 rows",
+        TopologySpec::Ron2003,
+        MethodsSpec::Ron2003,
+    );
+    ron2003.days = 14.0;
+    ron2003.horizon_days = 14.0;
+
+    let mut narrow = paper(
+        "ron-narrow",
+        "the paper's RONnarrow 2002 campaign: 17 hosts, 4 days, one-way, 3 methods",
+        TopologySpec::Ron2002,
+        MethodsSpec::RonNarrow,
+    );
+    narrow.days = 4.0;
+    // The 2002 preset scripts its weather over the deployment's full 5
+    // days (both 2002 datasets share one testbed era).
+    narrow.horizon_days = 5.0;
+
+    let mut wide = paper(
+        "ron-wide",
+        "the paper's RONwide 2002 campaign: 17 hosts, 5 days, round-trip, 12 combos",
+        TopologySpec::Ron2002,
+        MethodsSpec::RonWide,
+    );
+    wide.days = 5.0;
+    wide.horizon_days = 5.0;
+    wide.round_trip = true;
+
+    let mut correlated = paper(
+        "correlated-outages",
+        "shared-risk link groups fail together: multipath's independence assumption breaks",
+        TopologySpec::Ron2003,
+        MethodsSpec::Ron2003,
+    );
+    correlated.days = 7.0;
+    correlated.horizon_days = 7.0;
+    correlated.impairments.shared_risk = Some(SharedRiskSpec {
+        groups: 4,
+        hosts_per_group: 5,
+        outages_per_day: 3.0,
+        down_mins: (3.0, 25.0),
+    });
+
+    let mut waves = paper(
+        "load-waves",
+        "a congestion hot spot sweeps all hosts daily: reactive routing chases a moving target",
+        TopologySpec::Ron2003,
+        MethodsSpec::Ron2003,
+    );
+    waves.days = 7.0;
+    waves.horizon_days = 7.0;
+    waves.impairments.load_wave =
+        Some(LoadWaveSpec { period_hours: 24.0, dwell_mins: 90.0, hot_factor: 35.0 });
+
+    let mut asym = paper(
+        "asymmetric-paths",
+        "forward direction 3x dirtier and 30 ms slower than reverse: one-way views diverge",
+        TopologySpec::Ron2003,
+        MethodsSpec::Ron2003,
+    );
+    asym.days = 7.0;
+    asym.horizon_days = 7.0;
+    asym.impairments.asymmetry = Some(AsymmetrySpec { loss_skew: 3.0, delay_skew_ms: 30.0 });
+
+    let mut flash = paper(
+        "flash-crowd",
+        "demand spikes converge on single destinations: detours dodge the core, not the edge",
+        TopologySpec::Ron2003,
+        MethodsSpec::Ron2003,
+    );
+    flash.days = 7.0;
+    flash.horizon_days = 7.0;
+    flash.impairments.flash_crowd = Some(FlashCrowdSpec {
+        events_per_day: 6.0,
+        duration_mins: (15.0, 45.0),
+        factor: (150.0, 400.0),
+    });
+
+    vec![ron2003, narrow, wide, correlated, waves, asym, flash]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_catalog_has_paper_and_stress_entries() {
+        let r = ScenarioRegistry::builtin();
+        assert!(r.len() >= 7, "3 paper + >= 4 stress, got {}", r.len());
+        for name in [
+            "ron2003",
+            "ron-narrow",
+            "ron-wide",
+            "correlated-outages",
+            "load-waves",
+            "asymmetric-paths",
+            "flash-crowd",
+        ] {
+            assert!(r.get(name).is_some(), "missing builtin `{name}`");
+        }
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn paper_scenarios_match_the_dataset_shapes() {
+        let r = ScenarioRegistry::builtin();
+        let ron2003 = r.get("ron2003").unwrap();
+        assert_eq!(ron2003.topology(1).n(), 30);
+        assert_eq!(ron2003.methods().total(), 8);
+        assert_eq!(ron2003.paper_duration(), SimDuration::from_days(14));
+        let narrow = r.get("ron-narrow").unwrap();
+        assert_eq!(narrow.topology(1).n(), 17);
+        assert_eq!(narrow.methods().total(), 5);
+        let wide = r.get("ron-wide").unwrap();
+        assert_eq!(wide.methods().total(), 12);
+        assert!(wide.round_trip && !narrow.round_trip);
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_empty_names() {
+        let mut r = ScenarioRegistry::builtin();
+        let dup = r.get("ron2003").unwrap().clone();
+        assert!(r.register(dup).unwrap_err().contains("already registered"));
+        let mut anon = r.get("ron2003").unwrap().clone();
+        anon.name = String::new();
+        assert!(r.register(anon).is_err());
+    }
+
+    #[test]
+    fn validate_catches_semantic_nonsense_with_readable_errors() {
+        let base = ScenarioRegistry::builtin().get("ron2003").unwrap().clone();
+        assert!(base.validate().is_ok(), "builtins must validate");
+
+        let mut one_host = base.clone();
+        one_host.topology = TopologySpec::Synthetic { hosts: 1, edge_loss: 0.01 };
+        assert!(one_host.validate().unwrap_err().contains("at least 2"));
+
+        let mut zero_skew = base.clone();
+        zero_skew.impairments.asymmetry =
+            Some(AsymmetrySpec { loss_skew: 0.0, delay_skew_ms: 0.0 });
+        assert!(zero_skew.validate().unwrap_err().contains("loss_skew"));
+
+        let mut bad_wait = base.clone();
+        bad_wait.calibration.wait_range_s = (1.2, 0.6);
+        assert!(bad_wait.validate().unwrap_err().contains("wait_range_s"));
+
+        let mut bad_days = base.clone();
+        bad_days.days = -1.0;
+        let err = bad_days.validate().unwrap_err();
+        assert!(err.contains("`days`") && err.contains("ron2003"), "got: {err}");
+
+        // Unbounded-allocation guards: a microscopic wave period or an
+        // absurd horizon must be rejected, not compiled.
+        let mut tiny_period = base.clone();
+        tiny_period.impairments.load_wave =
+            Some(LoadWaveSpec { period_hours: 1e-8, dwell_mins: 60.0, hot_factor: 35.0 });
+        assert!(tiny_period.validate().unwrap_err().contains("period_hours"));
+        let mut huge_horizon = base.clone();
+        huge_horizon.horizon_days = 1e9;
+        assert!(huge_horizon.validate().unwrap_err().contains("horizon_days"));
+        let mut event_flood = base.clone();
+        event_flood.impairments.shared_risk = Some(SharedRiskSpec {
+            groups: 1000,
+            hosts_per_group: 5,
+            outages_per_day: 1000.0,
+            down_mins: (1.0, 2.0),
+        });
+        assert!(event_flood.validate().unwrap_err().contains("scripted down-windows"));
+        let mut oversize_group = base.clone();
+        oversize_group.impairments.shared_risk = Some(SharedRiskSpec {
+            groups: 1,
+            hosts_per_group: 50, // ron2003 has 30 hosts
+            outages_per_day: 1.0,
+            down_mins: (1.0, 2.0),
+        });
+        assert!(oversize_group.validate().unwrap_err().contains("exceeds the topology"));
+        let mut outlives = base;
+        outlives.days = outlives.horizon_days * 2.0;
+        assert!(outlives.validate().unwrap_err().contains("horizon_days"));
+
+        // The registry refuses to hold an invalid spec.
+        let mut r = ScenarioRegistry::empty();
+        let mut invalid = ScenarioRegistry::builtin().get("ron2003").unwrap().clone();
+        invalid.days = 0.0;
+        assert!(r.register(invalid).is_err());
+    }
+
+    #[test]
+    fn digest_tracks_spec_content() {
+        let r = ScenarioRegistry::builtin();
+        let a = r.get("ron2003").unwrap().digest();
+        assert_eq!(a, r.get("ron2003").unwrap().digest(), "digest is stable");
+        let mut tweaked = r.get("ron2003").unwrap().clone();
+        tweaked.calibration.forward_drop += 1e-4;
+        assert_ne!(a, tweaked.digest(), "any spec change must move the digest");
+        assert_ne!(a, r.get("ron-narrow").unwrap().digest());
+    }
+
+    #[test]
+    fn stress_scenarios_actually_impair_the_testbed() {
+        let r = ScenarioRegistry::builtin();
+        let sr = r.get("correlated-outages").unwrap().topology(1);
+        assert!(
+            sr.specs().iter().any(|s| !s.down.is_empty()),
+            "shared-risk windows missing"
+        );
+        let lw = r.get("load-waves").unwrap().topology(1);
+        let waves: usize = lw.specs().iter().map(|s| s.hot.len()).sum();
+        let base: usize = Topology::ron2003(1).specs().iter().map(|s| s.hot.len()).sum();
+        assert!(waves > base, "load wave adds hot windows ({waves} vs {base})");
+        let asym = r.get("asymmetric-paths").unwrap().topology(1);
+        assert!((asym.params().dir_loss_skew - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "`days` must be positive")]
+    fn running_an_invalid_spec_panics_instead_of_silently_doing_nothing() {
+        let mut spec = ScenarioRegistry::builtin().get("ron2003").unwrap().clone();
+        spec.days = -1.0; // would clamp to a zero-length campaign
+        let _ = spec.config(1, None);
+    }
+
+    #[test]
+    fn scenario_run_stamps_name_and_digest() {
+        let mut spec = paper(
+            "tiny",
+            "unit-test scenario",
+            TopologySpec::Synthetic { hosts: 4, edge_loss: 0.0 },
+            MethodsSpec::RonNarrow,
+        );
+        spec.days = 0.02;
+        spec.horizon_days = 0.02;
+        spec.calibration.flat_load = true;
+        let out = spec.run(3, None);
+        assert_eq!(out.scenario, "tiny");
+        assert_eq!(out.spec_digest, spec.digest());
+        assert!(out.measure_legs > 0);
+    }
+}

@@ -39,6 +39,7 @@ pub mod net;
 pub mod outage;
 pub mod rng;
 pub mod segment;
+pub mod stress;
 pub mod time;
 pub mod topology;
 
@@ -51,5 +52,9 @@ pub use net::{Delivery, NetCounters, Network};
 pub use outage::{OutageParams, OutageProcess};
 pub use rng::Rng;
 pub use segment::{DropCause, Segment, SegmentId, SegmentSpec, Transit};
+pub use stress::{
+    apply_flash_crowds, apply_load_wave, apply_shared_risk, AsymmetrySpec, FlashCrowdSpec,
+    LoadWaveSpec, SharedRiskSpec,
+};
 pub use time::{SimDuration, SimTime};
 pub use topology::{HostClass, HostId, HostInfo, Topology, TopologyParams};

@@ -52,6 +52,12 @@ pub struct SegmentSpec {
     /// Hot periods: windows where loss intensity is multiplied (scripted
     /// "bad hours" from §4.2).
     pub hot: Vec<(SimTime, SimTime, f64)>,
+    /// Scripted outage windows: the segment is hard-down inside each
+    /// `[start, end)` interval, independent of the stochastic outage
+    /// process. Shared-risk scenarios push the *same* window onto every
+    /// member of a risk group, which is what makes "independent" overlay
+    /// paths fail together.
+    pub down: Vec<(SimTime, SimTime)>,
 }
 
 impl SegmentSpec {
@@ -62,6 +68,7 @@ impl SegmentSpec {
             outage: OutageParams::never(),
             latency: LatencyModel::fixed(prop),
             hot: Vec::new(),
+            down: Vec::new(),
         }
     }
 }
@@ -74,6 +81,7 @@ pub struct Segment {
     outage: OutageProcess,
     latency: LatencyModel,
     hot: Vec<(SimTime, SimTime, f64)>,
+    down: Vec<(SimTime, SimTime)>,
     rng: Rng,
     crossings: u64,
     drops_outage: u64,
@@ -89,6 +97,7 @@ impl Segment {
             outage: OutageProcess::new(spec.outage),
             latency: spec.latency,
             hot: spec.hot,
+            down: spec.down,
             rng,
             crossings: 0,
             drops_outage: 0,
@@ -115,6 +124,10 @@ impl Segment {
     /// `base_intensity`.
     pub fn transit(&mut self, now: SimTime, base_intensity: f64) -> Transit {
         self.crossings += 1;
+        if self.down.iter().any(|&(start, end)| now >= start && now < end) {
+            self.drops_outage += 1;
+            return Transit::Dropped(DropCause::Outage);
+        }
         if self.outage.is_down(now, &mut self.rng) {
             self.drops_outage += 1;
             return Transit::Dropped(DropCause::Outage);
@@ -193,6 +206,25 @@ mod tests {
         let hot_rate = lossy(spec, 3);
         let cold_rate = lossy(cold, 3);
         assert!(hot_rate > 5.0 * cold_rate, "hot={hot_rate} cold={cold_rate}");
+    }
+
+    #[test]
+    fn scripted_down_window_drops_everything_inside() {
+        let mut spec = quiet_spec();
+        spec.down.push((SimTime::from_secs(100), SimTime::from_secs(160)));
+        let mut s = Segment::new(SegmentId(9), spec, Rng::new(7));
+        assert!(matches!(s.transit(SimTime::from_secs(99), 1.0), Transit::Pass(_)));
+        assert!(matches!(
+            s.transit(SimTime::from_secs(100), 1.0),
+            Transit::Dropped(DropCause::Outage)
+        ));
+        assert!(matches!(
+            s.transit(SimTime::from_secs(159), 1.0),
+            Transit::Dropped(DropCause::Outage)
+        ));
+        assert!(matches!(s.transit(SimTime::from_secs(160), 1.0), Transit::Pass(_)));
+        let (_, outage_drops, _) = s.counters();
+        assert_eq!(outage_drops, 2);
     }
 
     #[test]

@@ -163,6 +163,17 @@ pub struct TopologyParams {
     pub trouble_factor: (f64, f64),
     /// Add the §4.5 Cornell-style latency pathology.
     pub cornell_episode: bool,
+    /// Direction skew on core-segment loss: the "forward" direction of
+    /// every ordered pair (`src < dst`) gets its stationary loss
+    /// multiplied by this factor, the reverse direction divided by it.
+    /// `1.0` (the default) is a symmetric network; `3.0` models the
+    /// asymmetric-path pathology where one direction of a path is far
+    /// dirtier than the other (think saturated peering in one direction).
+    pub dir_loss_skew: f64,
+    /// Direction skew on core-segment delay: extra one-way propagation
+    /// added to the forward (`src < dst`) direction only. Zero keeps the
+    /// network symmetric.
+    pub dir_delay_skew: SimDuration,
     /// Horizon the scripted schedules should cover.
     pub horizon: SimDuration,
 }
@@ -186,6 +197,8 @@ impl Default for TopologyParams {
             trouble_hours: (1.0, 4.0),
             trouble_factor: (150.0, 700.0),
             cornell_episode: false,
+            dir_loss_skew: 1.0,
+            dir_delay_skew: SimDuration::ZERO,
             horizon: SimDuration::from_days(14),
         }
     }
@@ -295,6 +308,12 @@ impl Topology {
         &self.specs
     }
 
+    /// Mutable segment specs, for the scripted impairment planners in
+    /// [`crate::stress`].
+    pub(crate) fn specs_mut(&mut self) -> &mut [SegmentSpec] {
+        &mut self.specs
+    }
+
     /// The outbound access segment of a host.
     pub fn seg_out(&self, h: HostId) -> SegmentId {
         SegmentId(2 * h.0 as u32)
@@ -330,9 +349,9 @@ impl Topology {
         v
     }
 
-    /// The 30-host 2003 testbed (RON2003 dataset era).
-    pub fn ron2003(seed: u64) -> Topology {
-        let params = TopologyParams {
+    /// The build parameters of the [`Topology::ron2003`] preset.
+    pub fn ron2003_params() -> TopologyParams {
+        TopologyParams {
             loss_scale: 0.50,
             inflation: (2.1, 2.9),
             outage_scale: 1.5,
@@ -340,8 +359,12 @@ impl Topology {
             trouble_factor: (200.0, 900.0),
             cornell_episode: true,
             ..TopologyParams::default()
-        };
-        Self::from_rows(RON2003_HOSTS, params, seed)
+        }
+    }
+
+    /// The 30-host 2003 testbed (RON2003 dataset era).
+    pub fn ron2003(seed: u64) -> Topology {
+        Self::from_rows(RON2003_HOSTS, Self::ron2003_params(), seed)
     }
 
     /// Same as [`Topology::ron2003`] but with custom parameters.
@@ -349,10 +372,9 @@ impl Topology {
         Self::from_rows(RON2003_HOSTS, params, seed)
     }
 
-    /// The 17-host 2002 testbed (RONnarrow / RONwide era): hotter links,
-    /// no Cornell pathology.
-    pub fn ron2002(seed: u64) -> Topology {
-        let params = TopologyParams {
+    /// The build parameters of the [`Topology::ron2002`] preset.
+    pub fn ron2002_params() -> TopologyParams {
+        TopologyParams {
             // §4.2: 2002's overall direct loss was 0.74% against 2003's
             // 0.42% — the hotter year is encoded here structurally (not
             // left to per-seed diversity draws, which flip the ordering
@@ -368,7 +390,17 @@ impl Topology {
             hot_periods_per_day: 4.0,
             horizon: SimDuration::from_days(5),
             ..TopologyParams::default()
-        };
+        }
+    }
+
+    /// The 17-host 2002 testbed (RONnarrow / RONwide era): hotter links,
+    /// no Cornell pathology.
+    pub fn ron2002(seed: u64) -> Topology {
+        Self::ron2002_with(Self::ron2002_params(), seed)
+    }
+
+    /// Same as [`Topology::ron2002`] but with custom parameters.
+    pub fn ron2002_with(params: TopologyParams, seed: u64) -> Topology {
         let rows: Vec<&HostRow> = RON2003_HOSTS
             .iter()
             .filter(|r| RON2002_NAMES.contains(&r.0))
@@ -376,12 +408,11 @@ impl Topology {
         Self::from_refs(&rows, params, seed)
     }
 
-    /// A small uniform synthetic testbed for tests and examples: `n`
-    /// hosts around a geographic circle, every edge with the same
-    /// stationary loss.
-    pub fn synthetic(n: usize, edge_loss: f64, seed: u64) -> Topology {
-        assert!(n >= 2);
-        let params = TopologyParams {
+    /// The build parameters of the [`Topology::synthetic`] preset: a
+    /// fully controlled testbed — no outages, crashes, storms or
+    /// diversity draws — with a core carrying a fifth of the edge loss.
+    pub fn synthetic_params(edge_loss: f64) -> TopologyParams {
+        TopologyParams {
             host_crashes: false,
             outages: false,
             hot_periods_per_day: 0.0,
@@ -391,7 +422,19 @@ impl Topology {
             i2_core_loss: 0.0,
             horizon: SimDuration::from_days(2),
             ..TopologyParams::default()
-        };
+        }
+    }
+
+    /// A small uniform synthetic testbed for tests and examples: `n`
+    /// hosts around a geographic circle, every edge with the same
+    /// stationary loss.
+    pub fn synthetic(n: usize, edge_loss: f64, seed: u64) -> Topology {
+        Self::synthetic_with(n, edge_loss, Self::synthetic_params(edge_loss), seed)
+    }
+
+    /// Same as [`Topology::synthetic`] but with custom parameters.
+    pub fn synthetic_with(n: usize, edge_loss: f64, params: TopologyParams, seed: u64) -> Topology {
+        assert!(n >= 2);
         let hosts: Vec<HostInfo> = (0..n)
             .map(|i| {
                 let angle = std::f64::consts::TAU * i as f64 / n as f64;
@@ -468,6 +511,7 @@ impl Topology {
                     outage,
                     latency,
                     hot: Vec::new(),
+                    down: Vec::new(),
                 });
             }
         }
@@ -487,14 +531,23 @@ impl Topology {
                 } else {
                     1.0
                 };
-                let loss = (base * mult * params.loss_scale).min(0.1);
+                // Per-direction asymmetry: the forward (i < j) direction
+                // carries the skew, the reverse its inverse, so the
+                // *pair* mean stays put while the directions diverge.
+                let dir_mult =
+                    if i < j { params.dir_loss_skew } else { 1.0 / params.dir_loss_skew };
+                let loss = (base * mult * params.loss_scale * dir_mult).min(0.1);
                 let dist = haversine_km((hosts[i].lat, hosts[i].lon), (hosts[j].lat, hosts[j].lon));
                 let inflation = if both_i2 {
                     param_rng.uniform(1.15, 1.5)
                 } else {
                     param_rng.uniform(params.inflation.0, params.inflation.1)
                 };
-                let prop_us = params.core_base_delay.as_micros() as f64 + dist / 200.0 * 1000.0 * inflation;
+                let dir_extra_us =
+                    if i < j { params.dir_delay_skew.as_micros() as f64 } else { 0.0 };
+                let prop_us = params.core_base_delay.as_micros() as f64
+                    + dist / 200.0 * 1000.0 * inflation
+                    + dir_extra_us;
                 let outage = if params.outages {
                     OutageParams::core(20.0 / params.outage_scale)
                 } else {
@@ -505,6 +558,7 @@ impl Topology {
                     outage,
                     latency: LatencyModel::typical(SimDuration::from_micros(prop_us as u64)),
                     hot: Vec::new(),
+                    down: Vec::new(),
                 });
             }
         }

@@ -5,20 +5,22 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mpath::core::Dataset;
+use mpath::core::ScenarioRegistry;
 use mpath::netsim::SimDuration;
 
 fn main() {
     // Two simulated hours of the 30-host 2003 testbed. Paper scale is 14
-    // days; see the `repro` binary in mpath-bench for the full runs.
-    let dataset = Dataset::Ron2003;
+    // days; see the `repro` binary in mpath-bench for the full runs, and
+    // `repro --list-scenarios` for the whole catalog.
+    let registry = ScenarioRegistry::builtin();
+    let scenario = registry.get("ron2003").expect("builtin scenario");
     let duration = SimDuration::from_hours(2);
     println!(
-        "running {} ({} hosts) for {duration} of simulated time...",
-        dataset.name(),
-        dataset.topology(42).n()
+        "running scenario `{}` ({} hosts) for {duration} of simulated time...",
+        scenario.name,
+        scenario.topology(42).n()
     );
-    let out = dataset.run(42, Some(duration));
+    let out = scenario.run(42, Some(duration));
 
     println!(
         "\n{:<16} {:>8} {:>8} {:>8} {:>10}",

@@ -2,11 +2,15 @@
 //! byte for byte — the property that makes experiments debuggable and
 //! the repro binary trustworthy.
 
-use mpath::core::{report, Dataset};
+use mpath::core::{report, ScenarioRegistry, ScenarioSpec};
 use mpath::netsim::SimDuration;
 
+fn scenario(name: &str) -> ScenarioSpec {
+    ScenarioRegistry::builtin().get(name).expect("builtin scenario").clone()
+}
+
 fn table5_text(seed: u64) -> String {
-    let out = Dataset::Ron2003.run(seed, Some(SimDuration::from_mins(90)));
+    let out = scenario("ron2003").run(seed, Some(SimDuration::from_mins(90)));
     let rows = report::table5(&out);
     analysis::render_table5("t", &rows)
 }
@@ -22,9 +26,9 @@ fn different_seed_different_table() {
 }
 
 #[test]
-fn round_trip_dataset_is_deterministic_too() {
+fn round_trip_scenario_is_deterministic_too() {
     let run = |seed| {
-        let out = Dataset::RonWide.run(seed, Some(SimDuration::from_mins(60)));
+        let out = scenario("ron-wide").run(seed, Some(SimDuration::from_mins(60)));
         let rows = report::table7(&out);
         analysis::render_table7(&rows)
     };

@@ -2,7 +2,7 @@
 //! treated differently (§4.1 — "our numbers only reflect failures that
 //! affected the network, while leaving hosts running").
 
-use mpath::core::{run_experiment, Dataset, ExperimentConfig, MethodSet};
+use mpath::core::{run_experiment, ExperimentConfig, MethodSet, ScenarioRegistry};
 use mpath::netsim::{
     Delivery, EventQueue, HostId, LoadProfile, Network, SimDuration, SimTime, Topology,
 };
@@ -12,7 +12,10 @@ use mpath::overlay::{NodeConfig, OverlayNode, Packet, Policy, Route, Transmit};
 fn host_crashes_are_discarded_not_counted() {
     // The 2003 testbed crashes hosts; the collector must discard some
     // samples rather than blame the network.
-    let out = Dataset::Ron2003.run(31, Some(SimDuration::from_hours(6)));
+    let out = ScenarioRegistry::builtin()
+        .get("ron2003")
+        .unwrap()
+        .run(31, Some(SimDuration::from_hours(6)));
     assert!(out.discarded() > 0, "two-week-style run must discard crash samples");
 
     // A synthetic topology without crashes must discard nothing.

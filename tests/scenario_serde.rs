@@ -1,0 +1,88 @@
+//! Serde hardening for scenario files: every built-in spec must
+//! round-trip through JSON losslessly, and malformed files — unknown
+//! fields (typos), missing fields, bad enum variants — must fail with a
+//! readable error instead of silently deserializing to defaults.
+
+use mpath::core::{builtin_specs, ScenarioSpec};
+
+#[test]
+fn every_builtin_round_trips_through_json() {
+    for spec in builtin_specs() {
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: ScenarioSpec = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("{}: reload failed: {e}", spec.name));
+        assert_eq!(spec, back, "{} did not round-trip", spec.name);
+        assert_eq!(
+            spec.digest(),
+            back.digest(),
+            "{}: digest must survive the round trip",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn digests_are_unique_across_builtins() {
+    let specs = builtin_specs();
+    for a in &specs {
+        for b in &specs {
+            if a.name != b.name {
+                assert_ne!(a.digest(), b.digest(), "{} vs {}", a.name, b.name);
+            }
+        }
+    }
+}
+
+fn builtin_json(name: &str) -> String {
+    let spec = builtin_specs().into_iter().find(|s| s.name == name).expect("builtin");
+    serde_json::to_string(&spec).expect("serialize")
+}
+
+#[test]
+fn unknown_top_level_field_is_a_readable_error() {
+    let json = builtin_json("ron2003").replace("\"days\":", "\"dayz\":");
+    let err = serde_json::from_str::<ScenarioSpec>(&json).unwrap_err().to_string();
+    assert!(err.contains("unknown field `dayz`"), "got: {err}");
+    assert!(err.contains("ScenarioSpec"), "error must name the struct: {err}");
+    assert!(err.contains("`days`"), "error must list the expected fields: {err}");
+}
+
+#[test]
+fn unknown_nested_field_is_rejected_too() {
+    let json = builtin_json("correlated-outages")
+        .replace("\"outages_per_day\":", "\"outages_per_dya\":");
+    let err = serde_json::from_str::<ScenarioSpec>(&json).unwrap_err().to_string();
+    assert!(err.contains("unknown field `outages_per_dya`"), "got: {err}");
+    assert!(err.contains("SharedRiskSpec"), "error must name the nested struct: {err}");
+}
+
+#[test]
+fn missing_field_is_a_readable_error_not_a_default() {
+    let json = builtin_json("ron2003").replace("\"round_trip\":false,", "");
+    let err = serde_json::from_str::<ScenarioSpec>(&json).unwrap_err().to_string();
+    assert!(err.contains("missing field `round_trip`"), "got: {err}");
+}
+
+#[test]
+fn unknown_enum_variant_is_rejected() {
+    let json = builtin_json("ron2003").replace("\"topology\":\"Ron2003\"", "\"topology\":\"Ron1999\"");
+    let err = serde_json::from_str::<ScenarioSpec>(&json).unwrap_err().to_string();
+    assert!(err.contains("unknown variant `Ron1999`"), "got: {err}");
+}
+
+#[test]
+fn wrong_type_is_rejected() {
+    let json = builtin_json("ron2003").replace("\"days\":14.0", "\"days\":\"fourteen\"");
+    let err = serde_json::from_str::<ScenarioSpec>(&json).unwrap_err().to_string();
+    assert!(err.contains("expected number"), "got: {err}");
+}
+
+#[test]
+fn edited_spec_moves_the_digest() {
+    let original: ScenarioSpec = serde_json::from_str(&builtin_json("flash-crowd")).unwrap();
+    let edited: ScenarioSpec = serde_json::from_str(
+        &builtin_json("flash-crowd").replace("\"events_per_day\":6.0", "\"events_per_day\":60.0"),
+    )
+    .unwrap();
+    assert_ne!(original.digest(), edited.digest(), "conditions changed, digest must move");
+}

@@ -2,12 +2,16 @@
 //! must reproduce the paper's orderings — who wins, by roughly what
 //! factor — even when the absolute numbers carry scaled-run noise.
 
-use mpath::core::Dataset;
+use mpath::core::{ScenarioRegistry, ScenarioSpec};
 use mpath::netsim::SimDuration;
+
+fn scenario(name: &str) -> ScenarioSpec {
+    ScenarioRegistry::builtin().get(name).expect("builtin scenario").clone()
+}
 
 #[test]
 fn ron2003_shape_holds_at_quarter_day() {
-    let out = Dataset::Ron2003.run(2003, Some(SimDuration::from_hours(6)));
+    let out = scenario("ron2003").run(2003, Some(SimDuration::from_hours(6)));
 
     let direct = out.summary("direct*").unwrap();
     let loss = out.summary("loss").unwrap();
@@ -56,12 +60,13 @@ fn ron2002_runs_hotter_than_2003() {
     // Average two independent universes per dataset (merge_outputs sums
     // the accumulators) so one unlucky outage draw cannot flip the
     // ordering at this scaled-down duration.
-    let merged = |ds: Dataset| {
+    let merged = |name: &str| {
+        let ds = scenario(name);
         let d = Some(SimDuration::from_hours(5));
         mpath::core::report::merge_outputs(vec![ds.run(2000, d), ds.run(2001, d)])
     };
-    let d03 = merged(Dataset::Ron2003).summary("direct*").unwrap();
-    let d02 = merged(Dataset::RonNarrow).summary("direct*").unwrap();
+    let d03 = merged("ron2003").summary("direct*").unwrap();
+    let d02 = merged("ron-narrow").summary("direct*").unwrap();
     // Paper: 0.74% (2002) vs 0.42% (2003).
     assert!(
         d02.lp1 > d03.lp1 * 1.15,
@@ -73,7 +78,7 @@ fn ron2002_runs_hotter_than_2003() {
 
 #[test]
 fn ron_wide_round_trip_shape() {
-    let out = Dataset::RonWide.run(17, Some(SimDuration::from_hours(6)));
+    let out = scenario("ron-wide").run(17, Some(SimDuration::from_hours(6)));
     let direct = out.summary("direct").unwrap();
     let rand = out.summary("rand").unwrap();
     let rr = out.summary("rand rand").unwrap();
@@ -107,7 +112,7 @@ fn ron_wide_round_trip_shape() {
 
 #[test]
 fn hour_windows_concentrate_losses() {
-    let out = Dataset::Ron2003.run(5, Some(SimDuration::from_hours(8)));
+    let out = scenario("ron2003").run(5, Some(SimDuration::from_hours(8)));
     let direct = out.index_of("direct*").unwrap();
     let counts = out.win60.threshold_counts(direct);
     let total = out.win60.window_count(direct);
@@ -132,7 +137,7 @@ fn hour_windows_concentrate_losses() {
 #[test]
 #[ignore = "paper-scale run (~10 min); the scaled test above covers CI"]
 fn ron2003_paper_scale_14_days() {
-    let out = Dataset::Ron2003.run(2003, None);
+    let out = scenario("ron2003").run(2003, None);
     let direct = out.summary("direct*").unwrap();
     let loss = out.summary("loss").unwrap();
     let mesh = out.summary("direct rand").unwrap();

@@ -1,6 +1,8 @@
 //! The sharding equivalence harness: `run_experiment` with `shards = N`
 //! must produce a **byte-identical** report to `shards = 1`, for every
-//! dataset configuration.
+//! scenario configuration — the paper campaigns *and* the synthetic
+//! stress scenarios (whose scripted impairment schedules must compile
+//! identically in every slice).
 //!
 //! Identity is asserted two ways:
 //!
@@ -15,75 +17,164 @@
 //! Every run here uses a `slice_width` far below the campaign duration
 //! so the slice plan genuinely engages (multiple independent slices,
 //! work-stealing across threads), not just the single-slice fast path.
+//!
+//! The golden test at the bottom pins the seed-1 fingerprint of every
+//! built-in stress scenario: a change to a spec, an impairment planner,
+//! or the simulator moves these values, so silent scenario drift is
+//! caught at the PR that causes it.
 
-use mpath::core::{report, Dataset, ExperimentConfig, ExperimentOutput, SlicePlan};
+use mpath::core::{report, ExperimentConfig, ExperimentOutput, ScenarioRegistry, ScenarioSpec, SlicePlan};
 use mpath::netsim::SimDuration;
 
+fn scenario(name: &str) -> ScenarioSpec {
+    ScenarioRegistry::builtin().get(name).expect("builtin scenario").clone()
+}
+
 /// A scaled-down campaign configuration cut into 4 slices.
-fn sliced_cfg(ds: Dataset, seed: u64, shards: usize) -> ExperimentConfig {
-    let mut cfg = ds.config(seed, Some(SimDuration::from_mins(40)));
+fn sliced_cfg(spec: &ScenarioSpec, seed: u64, shards: usize) -> ExperimentConfig {
+    let mut cfg = spec.config(seed, Some(SimDuration::from_mins(40)));
     cfg.slice_width = SimDuration::from_mins(10);
     cfg.shards = shards;
     cfg
 }
 
-fn sharded_run(ds: Dataset, seed: u64, shards: usize) -> ExperimentOutput {
-    mpath::core::run_experiment(ds.topology(seed), sliced_cfg(ds, seed, shards))
+fn sharded_run(spec: &ScenarioSpec, seed: u64, shards: usize) -> ExperimentOutput {
+    mpath::core::run_experiment(spec.topology(seed), sliced_cfg(spec, seed, shards))
 }
 
-fn rendered(ds: Dataset, out: &ExperimentOutput) -> String {
-    match ds {
-        Dataset::RonWide => analysis::render_table7(&report::table7(out)),
-        _ => analysis::render_table5("equivalence", &report::table5(out)),
+fn rendered(spec: &ScenarioSpec, out: &ExperimentOutput) -> String {
+    if spec.round_trip {
+        analysis::render_table7(&report::table7(out))
+    } else {
+        analysis::render_table5("equivalence", &report::table5(out))
     }
 }
 
-fn assert_equivalent(ds: Dataset) {
+fn assert_equivalent_spec(spec: &ScenarioSpec) -> ExperimentOutput {
+    let name = &spec.name;
     assert!(
-        SlicePlan::new(&sliced_cfg(ds, 42, 1)).len() > 1,
-        "{}: the plan must engage multiple slices",
-        ds.name()
+        SlicePlan::new(&sliced_cfg(spec, 42, 1)).len() > 1,
+        "{name}: the plan must engage multiple slices"
     );
-    let seq = sharded_run(ds, 42, 1);
-    assert!(seq.measure_legs > 0, "{}: the sliced run must move traffic", ds.name());
+    let seq = sharded_run(spec, 42, 1);
+    assert!(seq.measure_legs > 0, "{name}: the sliced run must move traffic");
     for shards in [2, 4, 8] {
-        let par = sharded_run(ds, 42, shards);
+        let par = sharded_run(spec, 42, shards);
         assert_eq!(
             seq.fingerprint(),
             par.fingerprint(),
-            "{}: shards={shards} diverged from the sequential run",
-            ds.name()
+            "{name}: shards={shards} diverged from the sequential run"
         );
         assert_eq!(
-            rendered(ds, &seq),
-            rendered(ds, &par),
-            "{}: rendered report differs at shards={shards}",
-            ds.name()
+            rendered(spec, &seq),
+            rendered(spec, &par),
+            "{name}: rendered report differs at shards={shards}"
         );
     }
+    seq
+}
+
+fn assert_equivalent(name: &str) {
+    assert_equivalent_spec(&scenario(name));
+}
+
+/// The built-in `correlated-outages` schedules its shared-risk windows
+/// over a 7-day horizon, so a 40-minute equivalence run rarely meets
+/// one. This variant compresses the horizon to ~1 hour and densifies
+/// the events so the scripted `down` windows *provably* land inside the
+/// run and straddle its 10-minute slice boundaries — exercising the
+/// scripted-outage transit path under sharding, not just the schedule
+/// compiler.
+fn dense_correlated() -> ScenarioSpec {
+    let mut spec = scenario("correlated-outages");
+    spec.name = "correlated-outages-dense".to_string();
+    spec.days = 0.042; // ~1 hour
+    spec.horizon_days = 0.042;
+    spec.impairments.shared_risk = Some(mpath::netsim::SharedRiskSpec {
+        groups: 4,
+        hosts_per_group: 5,
+        outages_per_day: 240.0, // ~10 events per group inside the hour
+        down_mins: (2.0, 10.0),
+    });
+    spec.validate().expect("dense variant must be a valid spec");
+    spec
 }
 
 #[test]
 fn ron2003_sharded_equals_sequential() {
-    assert_equivalent(Dataset::Ron2003);
+    assert_equivalent("ron2003");
 }
 
 #[test]
 fn ron_narrow_sharded_equals_sequential() {
-    assert_equivalent(Dataset::RonNarrow);
+    assert_equivalent("ron-narrow");
 }
 
 #[test]
 fn ron_wide_sharded_equals_sequential() {
-    assert_equivalent(Dataset::RonWide);
+    assert_equivalent("ron-wide");
+}
+
+#[test]
+fn correlated_outages_sharded_equals_sequential() {
+    // The shared-risk schedule is compiled per slice from the same seed;
+    // a slice seeing a different schedule would diverge instantly.
+    assert_equivalent("correlated-outages");
+}
+
+#[test]
+fn load_waves_sharded_equals_sequential() {
+    // The moving hot spot straddles slice boundaries; the absolute-time
+    // windows must land identically in every slice plan execution.
+    // (Host 0's first 90-minute dwell starts at t = 0, so the wave is
+    // active throughout the 40-minute run.)
+    assert_equivalent("load-waves");
+}
+
+#[test]
+fn dense_correlated_outages_exercise_the_down_windows_under_sharding() {
+    let spec = dense_correlated();
+    // The scripted windows must actually intersect the 40-minute run.
+    let topo = spec.topology(42);
+    let in_run = topo
+        .specs()
+        .iter()
+        .flat_map(|s| s.down.iter())
+        .filter(|w| w.0 < mpath::netsim::SimTime::ZERO + SimDuration::from_mins(40))
+        .count();
+    assert!(in_run > 10, "only {in_run} down windows start inside the run");
+    let seq = assert_equivalent_spec(&spec);
+    // And they must dominate the outage drops: the same spec without
+    // shared risk sees strictly fewer.
+    let mut plain = dense_correlated();
+    plain.name = "correlated-outages-dense-control".to_string();
+    plain.impairments.shared_risk = None;
+    let control = sharded_run(&plain, 42, 1);
+    assert!(
+        seq.net.dropped_outage > control.net.dropped_outage,
+        "shared-risk windows must add outage drops: {} vs control {}",
+        seq.net.dropped_outage,
+        control.net.dropped_outage
+    );
 }
 
 #[test]
 fn fingerprint_distinguishes_universes() {
     // Sanity: the fingerprint is not a constant — different seeds give
     // different outputs.
-    let a = sharded_run(Dataset::RonNarrow, 42, 1);
-    let b = sharded_run(Dataset::RonNarrow, 43, 1);
+    let spec = scenario("ron-narrow");
+    let a = sharded_run(&spec, 42, 1);
+    let b = sharded_run(&spec, 43, 1);
+    assert_ne!(a.fingerprint(), b.fingerprint());
+}
+
+#[test]
+fn fingerprint_distinguishes_scenarios() {
+    // Same seed, same duration, same testbed size — but different specs
+    // must never collide (the scenario name and spec digest are folded
+    // into the fingerprint).
+    let a = sharded_run(&scenario("correlated-outages"), 42, 1);
+    let b = sharded_run(&scenario("load-waves"), 42, 1);
     assert_ne!(a.fingerprint(), b.fingerprint());
 }
 
@@ -93,15 +184,63 @@ fn fingerprint_distinguishes_universes() {
 /// every other experiment-driven test — under both schedules.
 #[test]
 fn env_shard_count_is_equivalent_too() {
-    let explicit = sharded_run(Dataset::RonNarrow, 42, 1);
+    let spec = scenario("ron-narrow");
+    let explicit = sharded_run(&spec, 42, 1);
     let auto = mpath::core::run_experiment(
-        Dataset::RonNarrow.topology(42),
-        sliced_cfg(Dataset::RonNarrow, 42, 0), // auto: MPATH_SHARDS or 1
+        spec.topology(42),
+        sliced_cfg(&spec, 42, 0), // auto: MPATH_SHARDS or 1
     );
     assert_eq!(
         explicit.fingerprint(),
         auto.fingerprint(),
         "MPATH_SHARDS={:?} must not change results",
         std::env::var("MPATH_SHARDS").ok()
+    );
+}
+
+/// Golden seed-1 fingerprints for every built-in stress scenario, at a
+/// fixed 30-simulated-minute duration. These pin the *entire* chain —
+/// spec JSON (via the digest), impairment planners, topology build,
+/// simulator, accumulators. If a PR moves one intentionally, re-record
+/// with:
+///
+/// ```text
+/// cargo test --test sharding_equivalence golden -- --nocapture
+/// ```
+///
+/// and copy the printed values.
+#[test]
+fn golden_stress_scenario_fingerprints() {
+    // The dense variant is included because the built-ins schedule
+    // their correlated windows over a 7-day horizon — at 30 minutes the
+    // built-ins pin the spec digest and schedule compiler, while the
+    // dense variant pins the scripted-outage transit path itself.
+    let golden: &[(&str, u64)] = &[
+        ("correlated-outages", 0x6991ef085e3467f0),
+        ("load-waves", 0x8a2b279f160daa39),
+        ("asymmetric-paths", 0x37a3046e85afc239),
+        ("flash-crowd", 0xcb6d99d34a8fdc8f),
+        ("correlated-outages-dense", 0x4a673816bee8c380),
+    ];
+    let specs: Vec<ScenarioSpec> = golden
+        .iter()
+        .map(|(name, _)| match *name {
+            "correlated-outages-dense" => dense_correlated(),
+            builtin => scenario(builtin),
+        })
+        .collect();
+    let mut failures = Vec::new();
+    for ((name, expected), spec) in golden.iter().zip(&specs) {
+        let out = spec.run(1, Some(SimDuration::from_mins(30)));
+        let got = out.fingerprint();
+        println!("(\"{name}\", {got:#018x}),");
+        if got != *expected {
+            failures.push(format!("{name}: expected {expected:#018x}, got {got:#018x}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "stress scenarios drifted (re-record if intentional):\n{}",
+        failures.join("\n")
     );
 }

@@ -7,6 +7,12 @@
 //! newtype, tuple, or struct-like — serialized with serde's
 //! externally-tagged representation. Generic types are rejected with a
 //! compile error.
+//!
+//! Deserialization of named structs and struct-like variants is
+//! **strict**: a map key that matches no declared field is a readable
+//! error (like real serde's `#[serde(deny_unknown_fields)]`), so a typo
+//! in a hand-written scenario file fails loudly instead of silently
+//! deserializing to defaults.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -308,6 +314,24 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
     )
 }
 
+/// Generates the strict unknown-field guard for a named struct/variant:
+/// any map key outside `fields` is a readable error, not a silent skip.
+fn gen_unknown_field_guard(entries_var: &str, context: &str, fields: &[String]) -> String {
+    let list: Vec<String> = fields.iter().map(|f| format!("{f:?}")).collect();
+    let expected = fields.join("`, `");
+    format!(
+        "{{\n\
+             const __FIELDS: &[&str] = &[{}];\n\
+             if let ::std::option::Option::Some(__e) = {entries_var}\
+                 .iter().find(|__e| !__FIELDS.contains(&__e.0.as_str())) {{\n\
+                 return ::std::result::Result::Err(::serde::Error::new(::std::format!(\n\
+                     \"unknown field `{{}}` in {context} (expected `{expected}`)\", __e.0)));\n\
+             }}\n\
+         }}",
+        list.join(", ")
+    )
+}
+
 fn gen_deserialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
         Shape::NamedStruct(fields) => {
@@ -320,7 +344,19 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
                     )
                 })
                 .collect();
-            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+            let guard = gen_unknown_field_guard("__entries", name, fields);
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Map(__entries) => {{\n\
+                         {guard}\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::new(\
+                         ::std::format!(\"expected map for {name}, found {{}}\", \
+                         __other.kind()))),\n\
+                 }}",
+                inits.join(", ")
+            )
         }
         Shape::TupleStruct(1) => format!(
             "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
@@ -391,8 +427,21 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
                                     )
                                 })
                                 .collect();
+                            let guard = gen_unknown_field_guard(
+                                "__ventries",
+                                &format!("{name}::{vn}"),
+                                fields,
+                            );
                             Some(format!(
-                                "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                                "{vn:?} => match __inner {{\n\
+                                     ::serde::Value::Map(__ventries) => {{\n\
+                                         {guard}\n\
+                                         ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                     }}\n\
+                                     __other => ::std::result::Result::Err(::serde::Error::new(\
+                                         ::std::format!(\"expected map for {name}::{vn}, \
+                                         found {{}}\", __other.kind()))),\n\
+                                 }},",
                                 inits.join(", ")
                             ))
                         }
