@@ -58,6 +58,22 @@ impl Fnv {
 mod tests {
     use super::*;
 
+    /// Pins a composed fold (strings, u64s, f64 bit patterns) to a golden
+    /// value. `ExperimentOutput::fingerprint` goldens across the repo
+    /// (e.g. `tests/sharding_equivalence.rs`) assume this fold never
+    /// changes; if this test moves, every recorded fingerprint moves with
+    /// it — re-record deliberately or revert.
+    #[test]
+    fn composed_fold_is_stable() {
+        let mut f = Fnv::new();
+        f.write(b"scenario");
+        f.write(&[0]);
+        f.write_u64(0xDEAD_BEEF);
+        f.write_f64(0.1 + 0.2);
+        f.write_u64(42);
+        assert_eq!(f.finish(), 0x0ae7_3278_ecc5_1cd2);
+    }
+
     #[test]
     fn known_vector() {
         // FNV-1a("a") = 0xaf63dc4c8601ec8c — the published test vector.

@@ -9,11 +9,15 @@
 //! CRITERION_JSON=target/bench.jsonl cargo bench
 //! bench_delta write   BENCH_BASELINE.json target/bench.jsonl
 //! bench_delta compare BENCH_BASELINE.json target/bench.jsonl
+//! bench_delta compare --only components BENCH_BASELINE.json target/bench.jsonl
 //! ```
 //!
 //! `compare` is informational (exit code 0): benchmark machines differ,
 //! so deltas are a trend signal for reviewers, not a gate. Entries only
 //! present on one side are listed so added/removed targets are visible.
+//! `--only PREFIX` restricts the table to benchmark ids starting with
+//! `PREFIX` (CI uses `--only components` to print a focused hot-path
+//! table from a quick components-only run without 30 "missing" rows).
 
 use serde::Value;
 use std::collections::BTreeMap;
@@ -109,12 +113,13 @@ fn human_ns(ns: f64) -> String {
     }
 }
 
-fn compare(base: &BTreeMap<String, Stats>, cur: &BTreeMap<String, Stats>) {
+fn compare(base: &BTreeMap<String, Stats>, cur: &BTreeMap<String, Stats>, only: Option<&str>) {
+    let keep = |id: &str| only.is_none_or(|p| id.starts_with(p));
     println!(
         "{:<48} {:>12} {:>12} {:>9}",
         "benchmark", "baseline", "current", "delta"
     );
-    for (id, c) in cur {
+    for (id, c) in cur.iter().filter(|(id, _)| keep(id)) {
         match base.get(id) {
             Some(b) => {
                 let delta = 100.0 * (c.mean_ns / b.mean_ns - 1.0);
@@ -130,29 +135,30 @@ fn compare(base: &BTreeMap<String, Stats>, cur: &BTreeMap<String, Stats>) {
             None => println!("{:<48} {:>12} {:>12}      new", id, "-", human_ns(c.mean_ns)),
         }
     }
-    for id in base.keys().filter(|id| !cur.contains_key(*id)) {
+    for id in base.keys().filter(|id| keep(id) && !cur.contains_key(*id)) {
         println!("{id:<48} {:>12} {:>12}  missing", human_ns(base[id].mean_ns), "-");
     }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: bench_delta <write|compare> <baseline.json> <run.jsonl>";
-    let (cmd, baseline, run) = match args.as_slice() {
-        [c, b, r] => (c.as_str(), b.as_str(), r.as_str()),
+    let usage = "usage: bench_delta <write|compare> <baseline.json> <run.jsonl>\n       bench_delta compare --only PREFIX <baseline.json> <run.jsonl>";
+    let (cmd, only, baseline, run) = match args.as_slice() {
+        [c, b, r] => (c.as_str(), None, b.as_str(), r.as_str()),
+        [c, flag, p, b, r] if flag == "--only" => (c.as_str(), Some(p.as_str()), b.as_str(), r.as_str()),
         _ => {
             eprintln!("{usage}");
             return ExitCode::from(2);
         }
     };
-    let result = match cmd {
-        "write" => load(run).and_then(|benches| {
+    let result = match (cmd, only) {
+        ("write", None) => load(run).and_then(|benches| {
             write_baseline(baseline, &benches).map(|()| {
                 println!("wrote {} benchmark(s) to {baseline}", benches.len());
             })
         }),
-        "compare" => load(baseline).and_then(|base| {
-            load(run).map(|cur| compare(&base, &cur))
+        ("compare", _) => load(baseline).and_then(|base| {
+            load(run).map(|cur| compare(&base, &cur, only))
         }),
         _ => {
             eprintln!("{usage}");

@@ -179,6 +179,11 @@ impl ExperimentOutput {
         f.write_u64(self.net.dropped_congestion);
         f.write_u64(self.overlay_probes);
         f.write_u64(self.measure_legs);
+        // Collector counters are folded field-by-field (not via the
+        // struct) so adding diagnostics to `CollectorStats` — e.g.
+        // `malformed_receives`, which is structurally zero in simulation
+        // (the driver only emits legs 0/1) — cannot silently re-roll
+        // every recorded fingerprint golden.
         f.write_u64(self.collector.resolved);
         f.write_u64(self.collector.discarded);
         f.write_u64(self.collector.late_receives);
@@ -222,6 +227,10 @@ struct Runner {
     nodes: Vec<OverlayNode>,
     q: EventQueue<Ev>,
     collector: Collector,
+    /// Reused outcome buffer: each sweep swaps it with the collector's
+    /// finalized vector (`drain_into`), so the resolve → feed loop
+    /// allocates nothing in steady state.
+    outcomes: Vec<PairOutcome>,
     loss: LossAccum,
     win20: WindowAccum,
     win60: WindowAccum,
@@ -264,6 +273,7 @@ impl Runner {
             nodes,
             q: EventQueue::new(),
             collector,
+            outcomes: Vec::new(),
             loss,
             win20,
             win60,
@@ -450,10 +460,12 @@ impl Runner {
 
     fn drain_outcomes(&mut self, now: SimTime) {
         self.collector.advance(now);
-        let outs = self.collector.drain();
-        for o in outs {
-            self.feed(&o);
+        let mut outs = std::mem::take(&mut self.outcomes);
+        self.collector.drain_into(&mut outs);
+        for o in &outs {
+            self.feed(o);
         }
+        self.outcomes = outs; // keep the capacity for the next sweep
     }
 
     fn feed(&mut self, o: &PairOutcome) {
@@ -519,10 +531,7 @@ impl Runner {
         // Final resolution of everything still pending.
         self.collector.advance(hard_end);
         self.collector.finish(hard_end);
-        let outs = self.collector.drain();
-        for o in outs {
-            self.feed(&o);
-        }
+        self.drain_outcomes(hard_end);
         self.win20.finish();
         self.win60.finish();
 

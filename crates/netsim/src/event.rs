@@ -1,14 +1,58 @@
 //! A deterministic discrete-event queue.
 //!
-//! A thin wrapper over a binary heap keyed by [`SimTime`] with a sequence
-//! number as tie-breaker, so events scheduled for the same instant pop in
-//! insertion order. That FIFO guarantee is what makes whole-run
-//! determinism possible: `BinaryHeap` alone leaves equal-key order
-//! unspecified.
+//! [`EventQueue`] is a **calendar queue** (a bucketed timing wheel) keyed
+//! by [`SimTime`] with a sequence number as tie-breaker, so events
+//! scheduled for the same instant pop in insertion order. That FIFO
+//! guarantee is what makes whole-run determinism possible: a plain
+//! priority heap leaves equal-key order unspecified.
+//!
+//! ## Design
+//!
+//! Simulation events cluster tightly around "now": packet delays are
+//! milliseconds, probe pacing is ~1 s, sweeps are ~10 s. A binary heap
+//! pays `O(log n)` per operation and scatters entries across the
+//! allocation; the wheel exploits the short scheduling horizon instead:
+//!
+//! * the timeline is cut into `SLOT_WIDTH_US`-microsecond (131 ms)
+//!   windows; `N_SLOTS` (8192) consecutive windows form a ring covering
+//!   a `HORIZON_US` (~18 min) horizon ahead of the cursor;
+//! * the **open** window (the one containing "now") is a tiny binary
+//!   heap ordered by `(time, seq)` — tens of entries, L1-resident, so
+//!   the short packet delays that dominate traffic cost a few hot
+//!   compares instead of sifting through one big cold heap;
+//! * `push` into a future window appends to its ring bucket in `O(1)`;
+//!   a bucket is heapified only once, when the cursor reaches it;
+//! * the handful of events scheduled beyond the horizon go to a small
+//!   overflow heap and migrate into the ring as the cursor advances.
+//!
+//! Keys `(time, seq)` are unique and totally ordered, so heap pops are
+//! deterministic and the pop sequence is **identical** to an ordered
+//! heap's, which [`ReferenceEventQueue`] (the pre-calendar
+//! implementation) exists to prove — `netsim`'s equivalence property
+//! test drives both through random interleaved push/pop schedules,
+//! including dense same-instant bursts, and asserts equal pop sequences.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Width of one calendar window, in microseconds (~131 ms). Wide enough
+/// that typical packet delays land in the *open* window (a hot little
+/// heap) rather than scattering cold cache lines across the ring.
+const SLOT_WIDTH_US: u64 = 1 << SLOT_BITS;
+/// log2 of [`SLOT_WIDTH_US`]; windows are found by shifting, not dividing.
+const SLOT_BITS: u32 = 17;
+/// Number of windows on the ring (a power of two, so the slot for an
+/// instant is a shift and a mask). 8192 bucket headers are ~200 KB per
+/// queue — one queue lives per workload slice, noise next to the
+/// pending-event payloads themselves.
+const N_SLOTS: usize = 1 << 13;
+/// The scheduling horizon the ring covers ahead of the cursor, in
+/// microseconds (2^30 µs ≈ 17.9 simulated minutes). Everything the
+/// experiment schedules — packet delays, probe pacing, sweeps, timer
+/// re-arms — lands far inside it; events beyond it wait in the overflow
+/// heap and migrate as the cursor advances.
+const HORIZON_US: u64 = (N_SLOTS as u64) << SLOT_BITS;
 
 struct Entry<E> {
     at: SimTime,
@@ -16,9 +60,16 @@ struct Entry<E> {
     event: E,
 }
 
+impl<E> Entry<E> {
+    /// The total ordering key: earliest instant first, then FIFO.
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -30,16 +81,27 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
-/// A time-ordered event queue with FIFO semantics for simultaneous events.
+/// A time-ordered event queue with FIFO semantics for simultaneous
+/// events, implemented as a calendar queue (see the module docs).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// The open window: entries due before `wheel_start + SLOT_WIDTH_US`,
+    /// as a min-first heap over the unique `(at, seq)` keys. The global
+    /// minimum is always at its top while this is non-empty.
+    current: BinaryHeap<Entry<E>>,
+    /// The ring of future windows; bucket `i` holds the (unsorted)
+    /// entries of exactly one window.
+    slots: Vec<Vec<Entry<E>>>,
+    /// Ring index of the open window.
+    cursor: usize,
+    /// Start instant (µs, window-aligned) of the open window. Monotone.
+    wheel_start: u64,
+    /// Events scheduled at or beyond the horizon when pushed.
+    overflow: BinaryHeap<Entry<E>>,
+    len: usize,
     seq: u64,
     popped: u64,
 }
@@ -53,7 +115,162 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, popped: 0 }
+        EventQueue {
+            current: BinaryHeap::new(),
+            slots: (0..N_SLOTS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            wheel_start: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` at instant `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        self.place(Entry { at, seq, event });
+    }
+
+    /// Files an entry into the open window, a ring bucket, or overflow.
+    fn place(&mut self, entry: Entry<E>) {
+        // `saturating_sub` folds instants before the open window (events
+        // scheduled "in the past", which an ordered heap would simply pop
+        // next) into the open window as well.
+        let offset = entry.at.as_micros().saturating_sub(self.wheel_start);
+        if offset < SLOT_WIDTH_US {
+            // Open window: a push onto a heap of a few dozen hot entries.
+            self.current.push(entry);
+        } else if offset < HORIZON_US {
+            let slot = ((entry.at.as_micros() >> SLOT_BITS) as usize) & (N_SLOTS - 1);
+            debug_assert_ne!(slot, self.cursor, "ring bucket would alias the open window");
+            self.slots[slot].push(entry);
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Refills the open window with the earliest pending window. Called
+    /// only when `current` is empty; afterwards `current` is non-empty
+    /// iff the queue is.
+    fn refill(&mut self) {
+        while self.len > 0 {
+            // Far-future events whose window has rotated into the ring's
+            // horizon migrate out of the overflow heap first, so the ring
+            // scan below sees every candidate.
+            while let Some(e) = self.overflow.peek() {
+                if e.at.as_micros().saturating_sub(self.wheel_start) >= HORIZON_US {
+                    break;
+                }
+                let e = self.overflow.pop().expect("peeked entry");
+                self.place(e);
+            }
+            if !self.current.is_empty() {
+                // Migration opened the window at the cursor.
+                return;
+            }
+            // The earliest non-empty ring bucket becomes the open window.
+            if let Some(d) = (0..N_SLOTS).find(|d| !self.slots[(self.cursor + d) & (N_SLOTS - 1)].is_empty()) {
+                let slot = (self.cursor + d) & (N_SLOTS - 1);
+                let mut bucket = std::mem::take(&mut self.slots[slot]);
+                // Every entry in a bucket belongs to one window, so the
+                // bucket's own entries define the new window start.
+                self.wheel_start = (bucket[0].at.as_micros() >> SLOT_BITS) << SLOT_BITS;
+                self.cursor = slot;
+                self.current.extend(bucket.drain(..));
+                self.slots[slot] = bucket; // hand the buffer back for reuse
+                return;
+            }
+            // Ring empty: jump the cursor straight to the earliest
+            // far-future event's window and let migration land it.
+            let t = self.overflow.peek().expect("len > 0 with empty ring and current").at;
+            self.wheel_start = (t.as_micros() >> SLOT_BITS) << SLOT_BITS;
+            self.cursor = ((t.as_micros() >> SLOT_BITS) as usize) & (N_SLOTS - 1);
+        }
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.current.is_empty() {
+            self.refill();
+        }
+        self.current.pop().map(|e| {
+            self.len -= 1;
+            self.popped += 1;
+            (e.at, e.event)
+        })
+    }
+
+    /// The instant of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(e) = self.current.peek() {
+            return Some(e.at);
+        }
+        // Ring buckets each cover one window and windows grow with the
+        // scan distance, so the first non-empty bucket holds the ring's
+        // minimum. But an overflow entry may undercut it: `refill` only
+        // migrates at its top, so once its ring-scan branch advances
+        // `wheel_start`, an old overflow entry can sit inside the new
+        // horizon while later pushes land in the ring — compare both.
+        let ring_min = (0..N_SLOTS)
+            .map(|d| &self.slots[(self.cursor + d) & (N_SLOTS - 1)])
+            .find(|bucket| !bucket.is_empty())
+            .and_then(|bucket| bucket.iter().map(|e| e.at).min());
+        let overflow_min = self.overflow.peek().map(|e| e.at);
+        match (ring_min, overflow_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events ever scheduled (for run statistics).
+    pub fn scheduled(&self) -> u64 {
+        self.seq
+    }
+
+    /// Total number of events ever dispatched.
+    pub fn dispatched(&self) -> u64 {
+        self.popped
+    }
+}
+
+/// The original binary-heap event queue, kept as the executable
+/// specification of the ordering contract: pop order is ascending
+/// `(time, seq)`, i.e. time-ordered with FIFO ties.
+///
+/// [`EventQueue`] must stay pop-for-pop identical to this; the
+/// `event_queue_equivalence` property test in `crates/netsim/tests`
+/// drives both through random schedules and asserts exactly that. Keep
+/// this implementation boring.
+pub struct ReferenceEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for ReferenceEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> ReferenceEventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        ReferenceEventQueue { heap: BinaryHeap::new(), seq: 0, popped: 0 }
     }
 
     /// Schedules `event` at instant `at`.
@@ -86,7 +303,7 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Total number of events ever scheduled (for run statistics).
+    /// Total number of events ever scheduled.
     pub fn scheduled(&self) -> u64 {
         self.seq
     }
@@ -158,5 +375,103 @@ mod tests {
         q.push(SimTime::from_secs(5), "mid");
         assert_eq!(q.pop().unwrap().1, "mid");
         assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    /// Far-future events sit in overflow, then migrate as the cursor
+    /// advances past a full ring revolution.
+    #[test]
+    fn far_future_events_survive_the_horizon() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3_600), "far"); // >> the ~18 min horizon
+        q.push(SimTime::from_millis(1), "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3_600)));
+        // After the jump, events pushed near the far instant still order
+        // correctly around it.
+        q.push(SimTime::from_secs(3_599), "before-far");
+        assert_eq!(q.pop().unwrap().1, "before-far");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Once the cursor has advanced, an old overflow entry can sit
+    /// *inside* the horizon while a later-timed push lands in the ring;
+    /// `peek_time` must still report the true minimum.
+    #[test]
+    fn peek_sees_overflow_entries_inside_the_advanced_horizon() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(400_000), "b");
+        // Just beyond the initial 2^30 µs horizon: goes to overflow.
+        q.push(SimTime::from_micros(1_073_741_874), "o");
+        assert_eq!(q.pop().unwrap().1, "b"); // advances wheel_start
+        // Now inside the horizon as seen from the advanced cursor: ring.
+        q.push(SimTime::from_micros(1_074_000_000), "r");
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(1_073_741_874)));
+        assert_eq!(q.pop().unwrap().1, "o");
+        assert_eq!(q.pop().unwrap().1, "r");
+        assert_eq!(q.pop(), None);
+    }
+
+    /// An event scheduled before the open window (the heap would pop it
+    /// next) pops next here too.
+    #[test]
+    fn pushing_into_the_past_pops_immediately() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(100), "now");
+        assert_eq!(q.pop().unwrap().1, "now");
+        q.push(SimTime::from_secs(100), "same-window");
+        q.push(SimTime::from_secs(1), "past");
+        assert_eq!(q.pop().unwrap().1, "past");
+        assert_eq!(q.pop().unwrap().1, "same-window");
+    }
+
+    /// Dense same-instant bursts spread across several windows keep
+    /// global (time, FIFO) order.
+    #[test]
+    fn bursts_across_windows_stay_ordered() {
+        let mut q = EventQueue::new();
+        let instants: Vec<SimTime> = (0..8)
+            .map(|k| SimTime::from_micros(k * 40_000)) // distinct windows
+            .collect();
+        let mut label = 0u32;
+        let mut expect: Vec<(SimTime, u32)> = Vec::new();
+        for round in 0..3 {
+            for &t in &instants {
+                for _ in 0..5 {
+                    q.push(t, label);
+                    expect.push((t, label));
+                    label += 1;
+                }
+            }
+            // Interleave pops mid-stream on later rounds.
+            if round > 0 {
+                expect.sort_by_key(|&(t, l)| (t, l));
+                let (t, l) = expect.remove(0);
+                assert_eq!(q.pop(), Some((t, l)));
+            }
+        }
+        expect.sort_by_key(|&(t, l)| (t, l));
+        for (t, l) in expect {
+            assert_eq!(q.pop(), Some((t, l)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reference_queue_matches_on_a_fixed_schedule() {
+        let mut a = EventQueue::new();
+        let mut b = ReferenceEventQueue::new();
+        let times = [5u64, 5, 3, 70_000_000, 3, 0, 5, 120_000_000, 70_000_000, 1];
+        for (i, &t) in times.iter().enumerate() {
+            a.push(SimTime::from_micros(t), i);
+            b.push(SimTime::from_micros(t), i);
+        }
+        while let Some(x) = b.pop() {
+            assert_eq!(a.pop(), Some(x));
+        }
+        assert_eq!(a.pop(), None);
+        assert_eq!(a.scheduled(), b.scheduled());
+        assert_eq!(a.dispatched(), b.dispatched());
     }
 }

@@ -1,0 +1,127 @@
+//! The calendar queue's executable contract: for **any** interleaved
+//! schedule of pushes and pops — including dense same-instant bursts,
+//! events beyond the ring horizon, and events scheduled into the past —
+//! [`EventQueue`] pops the exact `(time, event)` sequence of
+//! [`ReferenceEventQueue`], the original ordered binary heap.
+
+use netsim::{EventQueue, ReferenceEventQueue, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule one event at the given instant (µs).
+    Push(u64),
+    /// Schedule a dense burst: `count` events at the same instant.
+    Burst(u64, u8),
+    /// Pop once and compare both queues' results.
+    Pop,
+}
+
+/// Instants spanning every regime of the wheel: inside one window,
+/// across ring windows, beyond the ~18 min horizon, and colliding
+/// exactly.
+fn arb_time() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(5_000_000u64), // popular instant: forced same-time collisions
+        0u64..10_000,                   // sub-window
+        0u64..1_000_000,                // a few windows
+        0u64..600_000_000,              // across the ring
+        0u64..10_000_000_000,           // far beyond the horizon
+        0u64..1_000_000_000_000,        // days out: overflow + cursor jumps
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_time().prop_map(Op::Push),
+        (arb_time(), 1u8..20).prop_map(|(t, n)| Op::Burst(t, n)),
+        Just(Op::Pop),
+        Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn calendar_queue_matches_reference_heap(ops in proptest::collection::vec(arb_op(), 1..300)) {
+        let mut cal = EventQueue::new();
+        let mut heap = ReferenceEventQueue::new();
+        let mut payload = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Push(t) => {
+                    cal.push(SimTime::from_micros(t), payload);
+                    heap.push(SimTime::from_micros(t), payload);
+                    payload += 1;
+                }
+                Op::Burst(t, n) => {
+                    for _ in 0..n {
+                        cal.push(SimTime::from_micros(t), payload);
+                        heap.push(SimTime::from_micros(t), payload);
+                        payload += 1;
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(cal.peek_time(), heap.peek_time());
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+        }
+        // Drain both to the end: the full residual sequences must match.
+        loop {
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if b.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(cal.scheduled(), heap.scheduled());
+        prop_assert_eq!(cal.dispatched(), heap.dispatched());
+        prop_assert!(cal.is_empty());
+    }
+
+    /// A cascade workload shaped like the simulator's: every pop schedules
+    /// follow-up events a short delay after the popped instant (packet
+    /// arrivals), occasionally at the *same* instant (forwarding chains),
+    /// so time only moves forward and same-instant FIFO order is load-bearing.
+    #[test]
+    fn cascade_workload_matches_reference_heap(
+        seeds in proptest::collection::vec((0u64..100_000_000, 0u64..5_000), 1..40),
+        budget in 50usize..400,
+    ) {
+        let mut cal = EventQueue::new();
+        let mut heap = ReferenceEventQueue::new();
+        let mut payload = 0u64;
+        for &(t, _) in &seeds {
+            cal.push(SimTime::from_micros(t), payload);
+            heap.push(SimTime::from_micros(t), payload);
+            payload += 1;
+        }
+        let mut spawned = 0usize;
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            let Some((now, ev)) = b else { break };
+            if spawned < budget {
+                // Deterministic pseudo-random fan-out derived from the
+                // event itself: 0, 1 or 2 children, delays 0..5000 µs
+                // (delay 0 = a same-instant forwarding hop).
+                let h = ev.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ now.as_micros();
+                for child in 0..(h % 3) {
+                    let delay = (h >> (8 * (child + 1))) % 5_000;
+                    let at = now + netsim::SimDuration::from_micros(delay);
+                    cal.push(at, payload);
+                    heap.push(at, payload);
+                    payload += 1;
+                    spawned += 1;
+                }
+            }
+        }
+        prop_assert!(cal.is_empty());
+        prop_assert_eq!(cal.dispatched(), heap.dispatched());
+    }
+}
