@@ -64,12 +64,34 @@ pub struct LossAccum {
     n: usize,
     methods: usize,
     cells: Vec<Cell>,
+    /// Redundancy degree: the maximum legs any method sends. The base
+    /// [`Cell`] counters cover the paper's pair shape (legs 1–2); when
+    /// `max_legs > 2` the `deep` extension tracks the full
+    /// best-of-first-j loss curve.
+    max_legs: usize,
+    /// Per (cell, j) count of probes whose first `j` legs were all lost,
+    /// `j = 1..=max_legs`, laid out `cell * max_legs + (j - 1)`. Empty
+    /// when `max_legs <= 2` — there the curve is derivable from the base
+    /// cells (`j=1` ↔ `l1_lost`, `j=2` ↔ `pairs_lost`), and keeping the
+    /// allocation (and the digest, see [`Self::digest`]) untouched
+    /// preserves every recorded pair-era fingerprint golden.
+    deep: Vec<u64>,
 }
 
 impl LossAccum {
-    /// Creates an accumulator for `methods` methods over `n` hosts.
+    /// Creates an accumulator for `methods` methods over `n` hosts, for
+    /// method sets of at most two legs (the paper's pairs).
     pub fn new(n: usize, methods: usize) -> Self {
-        LossAccum { n, methods, cells: vec![Cell::default(); n * n * methods] }
+        Self::with_depth(n, methods, 2)
+    }
+
+    /// Creates an accumulator tracking best-of-first-j loss for methods
+    /// of up to `max_legs` redundant legs.
+    pub fn with_depth(n: usize, methods: usize, max_legs: usize) -> Self {
+        let max_legs = max_legs.max(1);
+        let deep =
+            if max_legs > 2 { vec![0; n * n * methods * max_legs] } else { Vec::new() };
+        LossAccum { n, methods, cells: vec![Cell::default(); n * n * methods], max_legs, deep }
     }
 
     #[inline]
@@ -113,6 +135,14 @@ impl LossAccum {
             c.lat_sum_us += us as f64;
             c.lat_cnt += 1;
         }
+        if !self.deep.is_empty() {
+            let base = i * self.max_legs;
+            for j in 1..=self.max_legs {
+                if o.prefix_all_lost(j) {
+                    self.deep[base + j - 1] += 1;
+                }
+            }
+        }
     }
 
     /// Folds another accumulator into this one, cell by cell.
@@ -128,6 +158,10 @@ impl LossAccum {
     pub fn merge(&mut self, other: &LossAccum) {
         assert_eq!(self.n, other.n, "host counts must match");
         assert_eq!(self.methods, other.methods, "method counts must match");
+        assert_eq!(self.max_legs, other.max_legs, "redundancy depths must match");
+        for (a, b) in self.deep.iter_mut().zip(&other.deep) {
+            *a += b;
+        }
         for (a, b) in self.cells.iter_mut().zip(&other.cells) {
             a.pairs += b.pairs;
             a.pairs_lost += b.pairs_lost;
@@ -144,9 +178,20 @@ impl LossAccum {
 
     /// Feeds the accumulator's exact state (every counter and the bit
     /// patterns of every latency sum) into a fingerprint fold.
+    ///
+    /// The depth extension is folded only when it exists (`max_legs >
+    /// 2`): pair-shaped accumulators must keep producing the exact
+    /// digest stream they did before k-leg probes existed, so every
+    /// recorded scenario fingerprint golden stays valid.
     pub fn digest(&self, fnv: &mut crate::fingerprint::Fnv) {
         fnv.write_u64(self.n as u64);
         fnv.write_u64(self.methods as u64);
+        if !self.deep.is_empty() {
+            fnv.write_u64(self.max_legs as u64);
+            for &v in &self.deep {
+                fnv.write_u64(v);
+            }
+        }
         for c in &self.cells {
             fnv.write_u64(c.pairs);
             fnv.write_u64(c.pairs_lost);
@@ -169,6 +214,45 @@ impl LossAccum {
     /// Host count.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// The accumulator's redundancy degree (maximum legs any method
+    /// sends; 2 for the paper's pair-shaped sets).
+    pub fn depth(&self) -> usize {
+        self.max_legs
+    }
+
+    /// The best-of-first-j loss curve for a method: element `j - 1` is
+    /// the percentage of probes whose first `j` copies were *all* lost,
+    /// for `j = 1..=depth()`.
+    ///
+    /// `j = 1` is the paper's first-packet loss over all probes and the
+    /// last element is `totlp` — the curve's drop from j=1 to j=k is
+    /// exactly what the k-th redundant copy buys. Single-packet methods
+    /// yield a flat curve. Denominator: probes observed (the summary's
+    /// `pairs`).
+    pub fn best_of_first_pct(&self, method: u8) -> Vec<f64> {
+        let base = method as usize * self.n * self.n;
+        let cells = &self.cells[base..base + self.n * self.n];
+        let pairs: u64 = cells.iter().map(|c| c.pairs).sum();
+        let pct = |num: u64| if pairs == 0 { 0.0 } else { 100.0 * num as f64 / pairs as f64 };
+        if self.deep.is_empty() {
+            // Pair-shaped sets: the curve lives in the base counters.
+            let l1: u64 = cells.iter().map(|c| c.l1_lost).sum();
+            let all: u64 = cells.iter().map(|c| c.pairs_lost).sum();
+            return match self.max_legs {
+                1 => vec![pct(all)],
+                _ => vec![pct(l1), pct(all)],
+            };
+        }
+        (1..=self.max_legs)
+            .map(|j| {
+                let lost: u64 = (base..base + self.n * self.n)
+                    .map(|cell| self.deep[cell * self.max_legs + j - 1])
+                    .sum();
+                pct(lost)
+            })
+            .collect()
     }
 
     /// Summary row for a method (the Table 5 / Table 7 columns).
@@ -293,7 +377,7 @@ mod tests {
             src: HostId(src),
             dst: HostId(dst),
             sent: SimTime::ZERO,
-            legs: [mk(legs[0]), mk(legs[1])],
+            legs: [mk(legs[0]), mk(legs[1]), None, None],
             discarded,
         }
     }
@@ -400,6 +484,94 @@ mod tests {
         a.on_outcome(&outcome(0, 0, 2, [Some((false, Some(1))), Some((false, Some(1)))], false));
         let v = a.per_path_clp(0, 1);
         assert_eq!(v, vec![50.0]);
+    }
+
+    fn deep_outcome(method: u8, lost: [bool; 4]) -> PairOutcome {
+        let legs = lost.map(|l| {
+            Some(LegOutcome { route: 0, lost: l, one_way_us: if l { None } else { Some(1_000) } })
+        });
+        PairOutcome {
+            id: 0,
+            method,
+            src: HostId(0),
+            dst: HostId(1),
+            sent: SimTime::ZERO,
+            legs,
+            discarded: false,
+        }
+    }
+
+    #[test]
+    fn best_of_first_curve_tracks_every_depth() {
+        let mut a = LossAccum::with_depth(2, 1, 4);
+        assert_eq!(a.depth(), 4);
+        // 10 probes: 2 lose all 4 copies, 3 lose the first 2 only, 1
+        // loses the first only, 4 lose nothing.
+        for _ in 0..2 {
+            a.on_outcome(&deep_outcome(0, [true, true, true, true]));
+        }
+        for _ in 0..3 {
+            a.on_outcome(&deep_outcome(0, [true, true, false, false]));
+        }
+        a.on_outcome(&deep_outcome(0, [true, false, false, false]));
+        for _ in 0..4 {
+            a.on_outcome(&deep_outcome(0, [false, false, false, false]));
+        }
+        let curve = a.best_of_first_pct(0);
+        assert_eq!(curve, vec![60.0, 50.0, 20.0, 20.0]);
+        // The curve is monotone nonincreasing: extra copies never hurt.
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert_eq!(a.summary(0).totlp, 20.0, "last point equals totlp");
+    }
+
+    #[test]
+    fn pair_depth_curve_is_derived_from_the_base_cells() {
+        let mut a = LossAccum::new(2, 1);
+        a.on_outcome(&outcome(0, 0, 1, [Some((true, None)), Some((true, None))], false));
+        a.on_outcome(&outcome(0, 0, 1, [Some((true, None)), Some((false, Some(1)))], false));
+        a.on_outcome(&outcome(0, 0, 1, [Some((false, Some(1))), Some((false, Some(1)))], false));
+        assert_eq!(a.depth(), 2);
+        let curve = a.best_of_first_pct(0);
+        assert!((curve[0] - 200.0 / 3.0).abs() < 1e-9, "j=1: 2 of 3 first copies lost");
+        assert!((curve[1] - 100.0 / 3.0).abs() < 1e-9, "j=2: 1 of 3 probes fully lost");
+    }
+
+    #[test]
+    fn deep_merge_equals_sequential_feed_and_moves_the_digest() {
+        let feed = |a: &mut LossAccum, range: std::ops::Range<u64>| {
+            for i in range {
+                a.on_outcome(&deep_outcome(0, [i % 2 == 0, i % 3 == 0, i % 5 == 0, i % 7 == 0]));
+            }
+        };
+        let mut whole = LossAccum::with_depth(2, 1, 4);
+        feed(&mut whole, 0..30);
+        let mut first = LossAccum::with_depth(2, 1, 4);
+        let mut second = LossAccum::with_depth(2, 1, 4);
+        feed(&mut first, 0..15);
+        feed(&mut second, 15..30);
+        first.merge(&second);
+        assert_eq!(whole.best_of_first_pct(0), first.best_of_first_pct(0));
+        let (mut fa, mut fb) = (crate::Fnv::new(), crate::Fnv::new());
+        whole.digest(&mut fa);
+        first.digest(&mut fb);
+        assert_eq!(fa.finish(), fb.finish(), "deep merge must be exact");
+        // And the deep counters are part of the digest.
+        let mut tweaked = LossAccum::with_depth(2, 1, 4);
+        feed(&mut tweaked, 0..29);
+        let (mut fc, mut fd) = (crate::Fnv::new(), crate::Fnv::new());
+        whole.digest(&mut fc);
+        tweaked.digest(&mut fd);
+        assert_ne!(fc.finish(), fd.finish());
+    }
+
+    #[test]
+    #[should_panic(expected = "redundancy depths must match")]
+    fn merge_rejects_depth_mismatch() {
+        let mut a = LossAccum::with_depth(2, 1, 4);
+        let b = LossAccum::with_depth(2, 1, 3);
+        a.merge(&b);
     }
 
     #[test]

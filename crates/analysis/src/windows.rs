@@ -184,6 +184,8 @@ mod tests {
             legs: [
                 Some(LegOutcome { route: 0, lost, one_way_us: if lost { None } else { Some(1) } }),
                 None,
+                None,
+                None,
             ],
             discarded: false,
         }

@@ -1,0 +1,71 @@
+//! Bench: the scenarios × seeds matrix runner — cell fan-out through
+//! the sharded runner, cross-seed pooling, and report rendering, plus
+//! the k-leg probe pipeline a custom method set engages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpath_bench::builtin_scenario;
+use mpath_core::{
+    render_matrix, run_matrix, MethodSetSpec, MethodSpec, MethodsSpec, ScenarioSpec, ViewSpec,
+};
+use netsim::SimDuration;
+use overlay::RouteTag;
+use std::hint::black_box;
+
+/// A small synthetic scenario carrying a 4-redundant custom method set.
+fn k_leg_scenario() -> ScenarioSpec {
+    let mut spec = builtin_scenario("ron-narrow");
+    spec.name = "bench-k-leg".to_string();
+    spec.methods = MethodsSpec::Custom(MethodSetSpec {
+        methods: vec![
+            MethodSpec {
+                name: "direct".into(),
+                legs: vec![RouteTag::Direct],
+                gap_ms: 0.0,
+                distinct: false,
+            },
+            MethodSpec {
+                name: "quad".into(),
+                legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Lat, RouteTag::Loss],
+                gap_ms: 0.0,
+                distinct: true,
+            },
+        ],
+        views: vec![ViewSpec { name: "quad*".into(), source: 1, leg: 0 }],
+    });
+    spec.validate().expect("bench spec is valid");
+    spec
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matrix");
+    g.sample_size(10);
+    let narrow = builtin_scenario("ron-narrow");
+    let k_leg = k_leg_scenario();
+    let duration = Some(SimDuration::from_mins(10));
+    g.bench_function("pairs_1x2_cells_10min", |b| {
+        b.iter(|| {
+            let m = run_matrix(
+                std::slice::from_ref(&narrow),
+                &[1, 2],
+                duration,
+                1,
+            );
+            black_box(m.scenarios[0].pooled.measure_legs)
+        })
+    });
+    g.bench_function("k_leg_1x2_cells_10min", |b| {
+        b.iter(|| {
+            let m = run_matrix(std::slice::from_ref(&k_leg), &[1, 2], duration, 1);
+            black_box(m.scenarios[0].pooled.measure_legs)
+        })
+    });
+    // Rendering alone (the pooled summaries, deltas and depth curves).
+    let rendered = run_matrix(&[narrow.clone(), k_leg.clone()], &[1, 2], duration, 1);
+    g.bench_function("render_2_scenarios", |b| {
+        b.iter(|| black_box(render_matrix(&rendered).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matrix);
+criterion_main!(benches);

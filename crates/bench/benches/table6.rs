@@ -30,6 +30,8 @@ fn bench_table6(c: &mut Criterion) {
                 legs: [
                     Some(LegOutcome { route: 0, lost: i % 97 == 0, one_way_us: Some(50_000) }),
                     None,
+                    None,
+                    None,
                 ],
                 discarded: false,
             })

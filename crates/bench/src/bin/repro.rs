@@ -7,6 +7,7 @@
 //! repro --scenario NAME[,NAME...] [--days F] [--seed N] [--shards N]
 //! repro --scenario-file PATH      [--days F] [--seed N] [--shards N]
 //! repro --dump-scenario NAME
+//! repro --matrix NAME[,NAME...] --seeds N [--days F] [--seed N] [--shards N]
 //!
 //! ARTIFACT: all | headline | table5 | table6 | table7
 //!         | fig2 | fig3 | fig4 | fig5 | fig6 | fec
@@ -24,6 +25,12 @@
 //! --scenario-file P  load a JSON ScenarioSpec from P and run it
 //! --dump-scenario N  print the named scenario's JSON spec to stdout
 //!                    (edit it, then feed it back via --scenario-file)
+//! --matrix NAMES     run a scenarios x seeds sweep: every named
+//!                    scenario under every seed, one comparative report
+//!                    (per-cell fingerprints, per-method deltas vs. the
+//!                    direct row, best-of-first-j loss for j=1..k)
+//! --seeds N          seed count for --matrix (cells use seeds
+//!                    --seed, --seed+1, ..., --seed+N-1; default 3)
 //! ```
 //!
 //! Output shows measured values next to the published ones. Absolute
@@ -50,6 +57,8 @@ struct Args {
     scenarios: Vec<String>,
     scenario_file: Option<PathBuf>,
     dump_scenario: Option<String>,
+    matrix: Vec<String>,
+    seeds: usize,
 }
 
 /// The value of a flag, or a usage error (never an index panic).
@@ -76,9 +85,13 @@ fn parse_args() -> Args {
         scenarios: Vec::new(),
         scenario_file: None,
         dump_scenario: None,
+        matrix: Vec::new(),
+        seeds: 3,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut saw_scenario_flag = false;
+    let mut saw_matrix_flag = false;
+    let mut saw_seeds_flag = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -111,6 +124,20 @@ fn parse_args() -> Args {
             "--dump-scenario" => {
                 args.dump_scenario = Some(value_of(&argv, &mut i, "--dump-scenario").to_string());
             }
+            "--matrix" => {
+                saw_matrix_flag = true;
+                args.matrix.extend(
+                    value_of(&argv, &mut i, "--matrix")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty()),
+                );
+            }
+            "--seeds" => {
+                saw_seeds_flag = true;
+                args.seeds =
+                    value_of(&argv, &mut i, "--seeds").parse().expect("--seeds takes an integer");
+            }
             a if !a.starts_with('-') => {
                 args.artifact = a.to_string();
                 args.artifact_explicit = true;
@@ -128,6 +155,20 @@ fn parse_args() -> Args {
         eprintln!("--scenario requires at least one scenario name");
         std::process::exit(2);
     }
+    if saw_matrix_flag && args.matrix.is_empty() {
+        eprintln!("--matrix requires at least one scenario name");
+        std::process::exit(2);
+    }
+    if args.seeds == 0 || args.seeds > 1_000 {
+        eprintln!("--seeds must be in 1..=1000, got {}", args.seeds);
+        std::process::exit(2);
+    }
+    if saw_seeds_flag && args.matrix.is_empty() {
+        // Every other mode runs exactly one seed; silently ignoring
+        // --seeds would let the user believe they swept N of them.
+        eprintln!("--seeds only applies to --matrix");
+        std::process::exit(2);
+    }
     // Exactly one mode: a fixed precedence order would silently drop
     // half of a conflicting request.
     let modes = [
@@ -136,11 +177,12 @@ fn parse_args() -> Args {
         !args.scenarios.is_empty(),
         args.scenario_file.is_some(),
         args.dump_scenario.is_some(),
+        !args.matrix.is_empty(),
     ];
     if modes.iter().filter(|m| **m).count() > 1 {
         eprintln!(
             "pick one mode: ARTIFACT, --list-scenarios, --scenario, --scenario-file, \
-             or --dump-scenario"
+             --dump-scenario, or --matrix"
         );
         std::process::exit(2);
     }
@@ -266,6 +308,26 @@ fn run_scenario(spec: &ScenarioSpec, args: &Args) {
             .collect();
         println!("{}", render_table5(&stamp, &rows));
     }
+    // A set with 3- or 4-redundant probes carries more than the pair
+    // columns: print the best-of-first-j loss curve (j = 1..k) — the
+    // marginal value of each extra copy.
+    let depth = out.loss.depth();
+    if depth > 2 {
+        let mut header = format!("{:<16}", "best-of-first-j");
+        for j in 1..=depth {
+            header.push_str(&format!(" {:>7}", format!("L({j})")));
+        }
+        println!("{header}");
+        for (idx, name) in out.names.iter().enumerate() {
+            let mut row = format!("{name:<16}");
+            let curve = out.loss.best_of_first_pct(idx as u8);
+            for j in 1..=depth {
+                row.push_str(&format!(" {:>7.2}", mpath_core::matrix::best_of_first_point(&curve, j)));
+            }
+            println!("{row}");
+        }
+        println!();
+    }
     println!(
         "{} hosts, {} simulated, seed {}: {} legs, {} probes, {} discarded, net loss {:.3}%",
         out.n,
@@ -277,6 +339,34 @@ fn run_scenario(spec: &ScenarioSpec, args: &Args) {
         100.0 * out.net.loss_rate()
     );
     println!("fingerprint: {:#018x}\n", out.fingerprint());
+}
+
+/// Runs the scenarios × seeds matrix and prints the comparative report.
+/// Cells use seeds `--seed .. --seed + N - 1`; every cell's fingerprint
+/// is shard-invariant, so the whole report is too.
+fn run_matrix_mode(registry: &ScenarioRegistry, args: &Args) {
+    let specs: Vec<ScenarioSpec> = args
+        .matrix
+        .iter()
+        .map(|name| {
+            let spec = registry.get(name).unwrap_or_else(|| {
+                eprintln!("unknown scenario `{name}`; try --list-scenarios");
+                std::process::exit(2);
+            });
+            check_days_within_horizon(spec, args);
+            spec.clone()
+        })
+        .collect();
+    let seeds: Vec<u64> = (0..args.seeds as u64).map(|k| args.seed + k).collect();
+    let duration = args.days.map(|d| SimDuration::from_secs_f64(d * 86_400.0));
+    eprintln!(
+        "[repro] matrix: {} scenario(s) x {} seed(s) = {} cells...",
+        specs.len(),
+        seeds.len(),
+        specs.len() * seeds.len()
+    );
+    let m = mpath_core::run_matrix(&specs, &seeds, duration, args.shards);
+    print!("{}", mpath_core::render_matrix(&m));
 }
 
 // ------------------------------------------------------------- artifacts
@@ -554,6 +644,10 @@ fn main() {
             args.seed
         );
         run_scenario(&spec, &args);
+        return;
+    }
+    if !args.matrix.is_empty() {
+        run_matrix_mode(&registry, &args);
         return;
     }
     if !args.scenarios.is_empty() {

@@ -181,9 +181,10 @@ impl ExperimentOutput {
         f.write_u64(self.measure_legs);
         // Collector counters are folded field-by-field (not via the
         // struct) so adding diagnostics to `CollectorStats` — e.g.
-        // `malformed_receives`, which is structurally zero in simulation
-        // (the driver only emits legs 0/1) — cannot silently re-roll
-        // every recorded fingerprint golden.
+        // `malformed_receives`/`malformed_sends`, which are structurally
+        // zero in simulation (the driver's legs are bounded by validated
+        // method specs) — cannot silently re-roll every recorded
+        // fingerprint golden.
         f.write_u64(self.collector.resolved);
         f.write_u64(self.collector.discarded);
         f.write_u64(self.collector.late_receives);
@@ -244,6 +245,15 @@ impl Runner {
     fn new(topo: Topology, cfg: ExperimentConfig, start: SimTime) -> Self {
         let n = topo.n();
         let total_methods = cfg.methods.total();
+        // Scenario-driven configs were validated at resolve time; this
+        // catches hand-assembled method sets whose leg count the wire
+        // format (and the collector's probe records) cannot carry.
+        assert!(
+            cfg.methods.max_legs() <= crate::method::MAX_PROBE_LEGS,
+            "method set sends {} legs but the wire caps probes at {}",
+            cfg.methods.max_legs(),
+            crate::method::MAX_PROBE_LEGS
+        );
         let root = Rng::new(cfg.seed ^ 0x00E0_77E5_7A11_BEEF);
         let mut net = netsim::Network::new(topo, cfg.seed);
         if cfg.flat_load {
@@ -261,7 +271,9 @@ impl Runner {
             })
             .collect();
         let collector = Collector::new(n, cfg.collector);
-        let loss = LossAccum::new(n, total_methods);
+        // Depth (max legs over the set) sizes the best-of-first-j curve;
+        // pair-shaped sets keep the exact historical accumulator layout.
+        let loss = LossAccum::with_depth(n, total_methods, cfg.methods.max_legs());
         // total_methods counts real methods plus inferred views.
         let win20 = WindowAccum::new(n, total_methods, SimDuration::from_mins(20));
         let win60 = WindowAccum::new(n, total_methods, SimDuration::from_hours(1));
@@ -372,15 +384,18 @@ impl Runner {
         }
         let id = self.rng.next_u64();
         let first_route = self.send_measure(now, h, dst, id, midx as u8, 0, method.legs[0], None);
-        if method.legs.len() == 2 {
-            let tag = method.legs[1];
+        // Redundant copies: leg i rides i gaps behind the first. §3.2's
+        // path diversity generalizes as "every later copy avoids the
+        // first copy's path" — copies beyond the second may still share
+        // a detour with each other, exactly as two `rand` legs may.
+        for (leg, &tag) in method.legs.iter().enumerate().skip(1) {
             let exclude = if method.distinct { Some(first_route) } else { None };
             if method.gap == SimDuration::ZERO {
-                self.send_measure(now, h, dst, id, midx as u8, 1, tag, exclude);
+                self.send_measure(now, h, dst, id, midx as u8, leg as u8, tag, exclude);
             } else {
                 self.q.push(
-                    now + method.gap,
-                    Ev::Leg { src: h, dst, id, method: midx as u8, leg: 1, tag, exclude },
+                    now + method.gap * leg as u64,
+                    Ev::Leg { src: h, dst, id, method: midx as u8, leg: leg as u8, tag, exclude },
                 );
             }
         }
@@ -483,7 +498,7 @@ impl Runner {
                         src: o.src,
                         dst: o.dst,
                         sent: o.sent,
-                        legs: [Some(leg), None],
+                        legs: [Some(leg), None, None, None],
                         discarded: o.discarded,
                     };
                     self.loss.on_outcome(&synth);

@@ -23,27 +23,27 @@
 //!   of named built-ins — the three paper campaigns plus synthetic
 //!   stress scenarios (shared-risk correlated outages, moving load
 //!   waves, asymmetric paths, flash crowds);
-//! * [`datasets`] — the deprecated closed-enum shim over the three
-//!   paper scenarios;
 //! * [`report`] — assembling accumulator state into the paper's tables
 //!   and figures;
+//! * [`matrix`] — the scenarios × seeds sweep: every cell runs through
+//!   the sharded runner and one comparative report renders per-method
+//!   deltas against the direct row plus best-of-first-j loss curves;
 //! * [`model`] — the §5 analytic model: overhead and limits of reactive
 //!   vs. redundant routing (Figure 6) and a bandwidth-budget advisor.
 
 #![warn(missing_docs)]
 
-pub mod datasets;
 pub mod experiment;
+pub mod matrix;
 pub mod method;
 pub mod model;
 pub mod report;
 pub mod scenario;
 pub mod shard;
 
-#[allow(deprecated)]
-pub use datasets::Dataset;
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentOutput};
-pub use method::{Method, MethodSet, View};
+pub use matrix::{render_matrix, run_matrix, MatrixCell, MatrixOutput, MatrixScenario};
+pub use method::{Method, MethodSet, MethodSetSpec, MethodSpec, View, ViewSpec, MAX_PROBE_LEGS};
 pub use model::{DesignModel, Recommendation};
 pub use scenario::{
     builtin_specs, Calibration, ImpairmentPlan, MethodsSpec, ScenarioRegistry, ScenarioSpec,

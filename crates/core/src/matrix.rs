@@ -1,0 +1,267 @@
+//! The scenarios × seeds matrix runner.
+//!
+//! One paper campaign answers "how do the methods compare under these
+//! conditions, in this random universe". The matrix sweeps both axes at
+//! once: every scenario runs under every seed (each cell through the
+//! deterministic sharded runner), per-cell fingerprints witness exact
+//! reproducibility, and one comparative report pools each scenario's
+//! universes and lines the methods up against the `direct` row — with
+//! the best-of-first-j loss curve (`j = 1..k`) that shows what each
+//! additional redundant copy buys.
+//!
+//! ```text
+//! repro --matrix ron2003,flash-crowd --seeds 3 --days 0.05
+//! ```
+
+use crate::report::{merge_outputs, resolve};
+use crate::scenario::ScenarioSpec;
+use crate::ExperimentOutput;
+use analysis::scenario_stamp;
+use netsim::SimDuration;
+use std::fmt::Write as _;
+
+/// One (scenario, seed) cell's reproducibility witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixCell {
+    /// The cell's master seed.
+    pub seed: u64,
+    /// [`ExperimentOutput::fingerprint`] of the cell's run — invariant
+    /// under the shard count, so the same matrix on any machine must
+    /// print the same values.
+    pub fingerprint: u64,
+    /// Measurement legs the cell transmitted.
+    pub measure_legs: u64,
+    /// Probes discarded by the §4.1 host-failure filter.
+    pub discarded: u64,
+}
+
+/// One scenario row of the matrix: its per-seed cells plus the pooled
+/// statistics across every seed's universe.
+pub struct MatrixScenario {
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Spec digest (stamped into every cell).
+    pub spec_digest: u64,
+    /// Per-seed cells, in the caller's seed order.
+    pub cells: Vec<MatrixCell>,
+    /// Every seed's output merged (exact counter sums, fixed fold
+    /// order), i.e. the scenario measured across `cells.len()`
+    /// independent universes.
+    pub pooled: ExperimentOutput,
+}
+
+/// A completed scenarios × seeds sweep.
+pub struct MatrixOutput {
+    /// Scenario rows, in the caller's scenario order.
+    pub scenarios: Vec<MatrixScenario>,
+}
+
+/// Runs every scenario under every seed. Each cell goes through the
+/// sharded runner (`shards` worker threads; results are byte-identical
+/// for every value). `duration` optionally scales each run, exactly like
+/// `repro --days`; validation has already happened when the specs were
+/// built/loaded, and [`ScenarioSpec::config`] re-asserts.
+///
+/// Cells execute in deterministic order (scenario-major, then seed), so
+/// the pooled merge — and therefore the rendered report — is bit-stable.
+pub fn run_matrix(
+    specs: &[ScenarioSpec],
+    seeds: &[u64],
+    duration: Option<SimDuration>,
+    shards: usize,
+) -> MatrixOutput {
+    assert!(!specs.is_empty(), "matrix needs at least one scenario");
+    assert!(!seeds.is_empty(), "matrix needs at least one seed");
+    let scenarios = specs
+        .iter()
+        .map(|spec| {
+            let outputs: Vec<ExperimentOutput> =
+                seeds.iter().map(|&seed| spec.run_sharded(seed, duration, shards)).collect();
+            let cells = seeds
+                .iter()
+                .zip(&outputs)
+                .map(|(&seed, out)| MatrixCell {
+                    seed,
+                    fingerprint: out.fingerprint(),
+                    measure_legs: out.measure_legs,
+                    discarded: out.discarded(),
+                })
+                .collect();
+            let pooled = merge_outputs(outputs);
+            MatrixScenario {
+                scenario: spec.name.clone(),
+                spec_digest: spec.digest(),
+                cells,
+                pooled,
+            }
+        })
+        .collect();
+    MatrixOutput { scenarios }
+}
+
+fn fmt_delta(v: Option<f64>) -> String {
+    match v {
+        Some(d) => format!("{d:+.2}"),
+        None => "-".to_string(),
+    }
+}
+
+/// The L(j) column value for a method's best-of-first-j curve. Single-
+/// and two-leg methods have shorter curves than a k-redundant sibling
+/// in the same set: past their own depth the curve is flat, so the last
+/// point repeats. Shared by the matrix report and `repro`'s
+/// single-scenario depth table so the semantics cannot drift apart.
+pub fn best_of_first_point(curve: &[f64], j: usize) -> f64 {
+    curve.get(j - 1).or(curve.last()).copied().unwrap_or(0.0)
+}
+
+/// Renders the comparative report: per scenario, the per-seed cell
+/// fingerprints followed by a method table over the pooled universes —
+/// end-to-end loss and latency with their deltas against the `direct`
+/// row (falling back to `direct*`, the paper's inferred variant), and
+/// the best-of-first-j loss columns for `j = 1..k`.
+pub fn render_matrix(m: &MatrixOutput) -> String {
+    let mut s = String::new();
+    let seeds = m.scenarios.first().map_or(0, |sc| sc.cells.len());
+    let _ = writeln!(
+        s,
+        "==== matrix: {} scenario(s) x {} seed(s) ====",
+        m.scenarios.len(),
+        seeds
+    );
+    for sc in &m.scenarios {
+        let _ = writeln!(s, "\n{}", scenario_stamp(&sc.scenario, sc.spec_digest));
+        for c in &sc.cells {
+            let _ = writeln!(
+                s,
+                "  seed {:<6} fingerprint {:#018x}  {} legs, {} discarded",
+                c.seed, c.fingerprint, c.measure_legs, c.discarded
+            );
+        }
+        let out = &sc.pooled;
+        let depth = out.loss.depth();
+        let direct = resolve(out, "direct").map(|(idx, _)| out.loss.summary(idx));
+        let mut header = format!(
+            "  {:<14} {:>7} {:>8} {:>9} {:>9} {:>10}",
+            "Type", "totlp", "Δtotlp", "lat(ms)", "Δlat", "samples"
+        );
+        for j in 1..=depth {
+            let _ = write!(header, " {:>7}", format!("L({j})"));
+        }
+        let _ = writeln!(s, "{header}");
+        for (idx, name) in out.names.iter().enumerate() {
+            let sum = out.loss.summary(idx as u8);
+            let curve = out.loss.best_of_first_pct(idx as u8);
+            let mut row = format!(
+                "  {:<14} {:>7.2} {:>8} {:>9.2} {:>9} {:>10}",
+                name,
+                sum.totlp,
+                fmt_delta(direct.map(|d| sum.totlp - d.totlp)),
+                sum.lat_ms,
+                fmt_delta(direct.map(|d| sum.lat_ms - d.lat_ms)),
+                sum.pairs,
+            );
+            for j in 1..=depth {
+                let v = best_of_first_point(&curve, j);
+                let _ = write!(row, " {v:>7.2}");
+            }
+            let _ = writeln!(s, "{row}");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::{MethodSpec, MethodSetSpec};
+    use crate::scenario::{Calibration, ImpairmentPlan, MethodsSpec, TopologySpec};
+    use overlay::RouteTag;
+
+    fn tiny_spec(methods: MethodsSpec) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "tiny-matrix".to_string(),
+            summary: "matrix unit-test scenario".to_string(),
+            topology: TopologySpec::Synthetic { hosts: 4, edge_loss: 0.02 },
+            methods,
+            days: 0.02,
+            horizon_days: 0.02,
+            round_trip: false,
+            impairments: ImpairmentPlan::none(),
+            calibration: Calibration { flat_load: true, ..Calibration::default() },
+        }
+    }
+
+    fn triple_methods() -> MethodsSpec {
+        MethodsSpec::Custom(MethodSetSpec {
+            methods: vec![
+                MethodSpec {
+                    name: "direct".into(),
+                    legs: vec![RouteTag::Direct],
+                    gap_ms: 0.0,
+                    distinct: false,
+                },
+                MethodSpec {
+                    name: "triple".into(),
+                    legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Rand],
+                    gap_ms: 0.0,
+                    distinct: true,
+                },
+            ],
+            views: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn matrix_runs_every_cell_and_pools_per_scenario() {
+        let specs = vec![tiny_spec(MethodsSpec::RonNarrow)];
+        let m = run_matrix(&specs, &[1, 2], None, 1);
+        assert_eq!(m.scenarios.len(), 1);
+        let sc = &m.scenarios[0];
+        assert_eq!(sc.cells.len(), 2);
+        assert_ne!(
+            sc.cells[0].fingerprint, sc.cells[1].fingerprint,
+            "different seeds explore different universes"
+        );
+        assert_eq!(
+            sc.pooled.measure_legs,
+            sc.cells.iter().map(|c| c.measure_legs).sum::<u64>(),
+            "pooled output is the exact union of the cells"
+        );
+    }
+
+    #[test]
+    fn matrix_cells_are_shard_invariant() {
+        let specs = vec![tiny_spec(MethodsSpec::RonNarrow)];
+        let a = run_matrix(&specs, &[7], None, 1);
+        let b = run_matrix(&specs, &[7], None, 4);
+        assert_eq!(
+            a.scenarios[0].cells[0].fingerprint,
+            b.scenarios[0].cells[0].fingerprint
+        );
+        assert_eq!(render_matrix(&a), render_matrix(&b));
+    }
+
+    #[test]
+    fn report_carries_best_of_first_j_columns_to_the_set_depth() {
+        let specs = vec![tiny_spec(triple_methods())];
+        let m = run_matrix(&specs, &[3], None, 1);
+        assert_eq!(m.scenarios[0].pooled.loss.depth(), 3);
+        let text = render_matrix(&m);
+        for col in ["L(1)", "L(2)", "L(3)"] {
+            assert!(text.contains(col), "missing column {col} in:\n{text}");
+        }
+        assert!(!text.contains("L(4)"), "no column past the set's depth");
+        assert!(text.contains("triple"));
+        assert!(text.contains("Δtotlp"));
+        assert!(text.contains("fingerprint 0x"));
+    }
+
+    #[test]
+    fn pair_sets_render_two_depth_columns() {
+        let specs = vec![tiny_spec(MethodsSpec::RonNarrow)];
+        let m = run_matrix(&specs, &[3], None, 1);
+        let text = render_matrix(&m);
+        assert!(text.contains("L(1)") && text.contains("L(2)") && !text.contains("L(3)"));
+    }
+}

@@ -16,11 +16,12 @@
 //! ```
 //!
 //! The [`ScenarioRegistry`] holds the named specs: the three paper
-//! campaigns (re-expressed as specs — [`crate::datasets::Dataset`] is
-//! now a thin shim over them) plus synthetic stress scenarios probing
-//! exactly the conditions where the best-path vs. multi-path question
-//! flips. The registry is *open*: `register` accepts any spec, and the
-//! `repro` binary validates and runs user-written spec files directly.
+//! campaigns (re-expressed as specs) plus synthetic stress scenarios
+//! probing exactly the conditions where the best-path vs. multi-path
+//! question flips. The registry is *open*: `register` accepts any spec,
+//! and the `repro` binary validates and runs user-written spec files
+//! directly — including files whose [`MethodsSpec::Custom`] set defines
+//! k-redundant probe methods the paper never ran.
 //!
 //! Determinism: a spec plus a seed fully determine the run.
 //! [`ScenarioSpec::digest`] folds the spec's canonical JSON into a
@@ -29,7 +30,7 @@
 //! compare equal when they ran identical conditions.
 
 use crate::experiment::{run_experiment, ExperimentConfig, ExperimentOutput};
-use crate::method::MethodSet;
+use crate::method::{MethodSet, MethodSetSpec};
 use analysis::Fnv;
 use netsim::stress::{
     apply_flash_crowds, apply_load_wave, apply_shared_risk, AsymmetrySpec, FlashCrowdSpec,
@@ -66,8 +67,9 @@ impl TopologySpec {
     }
 }
 
-/// The probe methods a scenario cycles through.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// The probe methods a scenario cycles through: a compiled-in preset,
+/// or a fully user-defined set carried inside the scenario file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum MethodsSpec {
     /// The six 2003 probe sets plus the two inferred views (8 rows).
     Ron2003,
@@ -75,6 +77,9 @@ pub enum MethodsSpec {
     RonNarrow,
     /// The twelve 2002 round-trip combinations.
     RonWide,
+    /// A user-defined method set (see [`MethodSetSpec`]) — including
+    /// k-redundant probes the paper never ran.
+    Custom(MethodSetSpec),
 }
 
 impl MethodsSpec {
@@ -84,6 +89,27 @@ impl MethodsSpec {
             MethodsSpec::Ron2003 => MethodSet::ron2003(),
             MethodsSpec::RonNarrow => MethodSet::ron_narrow(),
             MethodsSpec::RonWide => MethodSet::ron_wide(),
+            MethodsSpec::Custom(spec) => spec.build(),
+        }
+    }
+
+    /// Semantic validation. Both arms funnel into
+    /// [`MethodSet::validate`] — the presets are valid by construction
+    /// but still flow through the same checks, so a preset edit that
+    /// overflowed the method-id space, dangled a view, or stretched a
+    /// probe past the collector window is caught identically.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            MethodsSpec::Custom(spec) => spec.validate(),
+            _ => self.build().validate(),
+        }
+    }
+
+    /// Total analysis-method count without building route tables.
+    pub fn total(&self) -> usize {
+        match self {
+            MethodsSpec::Custom(spec) => spec.total(),
+            _ => self.build().total(),
         }
     }
 }
@@ -184,6 +210,9 @@ impl ScenarioSpec {
             v <= max
         }
         let err = |msg: String| Err(format!("scenario `{}`: {msg}", self.name));
+        if let Err(e) = self.methods.validate() {
+            return err(format!("`methods`: {e}"));
+        }
         if !positive(self.days) {
             return err(format!("`days` must be positive, got {}", self.days));
         }
@@ -711,6 +740,89 @@ mod tests {
         let mut spec = ScenarioRegistry::builtin().get("ron2003").unwrap().clone();
         spec.days = -1.0; // would clamp to a zero-length campaign
         let _ = spec.config(1, None);
+    }
+
+    #[test]
+    fn probe_leg_caps_agree_across_crates() {
+        // `trace` and `overlay` are sibling crates, so the wire cap is
+        // duplicated; this is the pin that keeps the copies equal.
+        assert_eq!(overlay::MAX_PROBE_LEGS, trace::record::MAX_PROBE_LEGS);
+    }
+
+    #[test]
+    fn custom_method_scenario_runs_a_3_redundant_probe() {
+        use crate::method::{MethodSpec, MethodSetSpec, ViewSpec};
+        use overlay::RouteTag;
+        let set = MethodSetSpec {
+            methods: vec![
+                MethodSpec {
+                    name: "direct".into(),
+                    legs: vec![RouteTag::Direct],
+                    gap_ms: 0.0,
+                    distinct: false,
+                },
+                MethodSpec {
+                    name: "triple rand".into(),
+                    legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Rand],
+                    gap_ms: 0.0,
+                    distinct: true,
+                },
+            ],
+            views: vec![ViewSpec { name: "triple rand*".into(), source: 1, leg: 0 }],
+        };
+        let mut spec = paper(
+            "tiny-triple",
+            "unit-test 3-redundant scenario",
+            TopologySpec::Synthetic { hosts: 5, edge_loss: 0.02 },
+            MethodsSpec::Custom(set),
+        );
+        spec.days = 0.05;
+        spec.horizon_days = 0.05;
+        spec.calibration.flat_load = true;
+        spec.validate().expect("custom spec validates");
+        let out = spec.run(3, None);
+        assert_eq!(out.names, vec!["direct", "triple rand", "triple rand*"]);
+        assert_eq!(out.loss.depth(), 3);
+        let t = out.summary("triple rand").unwrap();
+        assert!(t.pairs > 100, "the 3-leg method must actually probe");
+        let curve = out.loss.best_of_first_pct(out.index_of("triple rand").unwrap());
+        assert_eq!(curve.len(), 3);
+        assert!(
+            curve.windows(2).all(|w| w[1] <= w[0]),
+            "redundancy can only help: {curve:?}"
+        );
+        assert!(
+            (curve[2] - t.totlp).abs() < 1e-9,
+            "best-of-first-k equals end-to-end loss"
+        );
+        // The view mirrors the first leg of the triple.
+        let v = out.summary("triple rand*").unwrap();
+        assert_eq!(v.pairs, t.pairs);
+        // And the spec round-trips through JSON with a stable digest.
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.digest(), spec.digest());
+    }
+
+    #[test]
+    fn invalid_custom_methods_fail_at_resolve_time_with_named_fields() {
+        use crate::method::{MethodSpec, MethodSetSpec, ViewSpec};
+        use overlay::RouteTag;
+        let mut spec = ScenarioRegistry::builtin().get("ron2003").unwrap().clone();
+        spec.methods = MethodsSpec::Custom(MethodSetSpec {
+            methods: vec![MethodSpec {
+                name: "m".into(),
+                legs: vec![RouteTag::Direct],
+                gap_ms: 0.0,
+                distinct: false,
+            }],
+            views: vec![ViewSpec { name: "v".into(), source: 0, leg: 2 }],
+        });
+        let e = spec.validate().unwrap_err();
+        assert!(e.contains("`methods`") && e.contains("leg 2"), "got: {e}");
+        // The registry refuses it too — nothing reaches the runner.
+        assert!(ScenarioRegistry::empty().register(spec).is_err());
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Regenerates `scenarios/triple-redundant.json` (the checked-in
+//! k-redundant example CI smokes end to end). The file is the *output*
+//! of this spec, so editing either side without the other fails the
+//! non-ignored guard below.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo test -p mpath-core --test gen_scenario_file -- --ignored --nocapture
+//! ```
+
+use mpath_core::{
+    Calibration, ImpairmentPlan, MethodSetSpec, MethodSpec, MethodsSpec, ScenarioSpec,
+    TopologySpec, ViewSpec,
+};
+use overlay::RouteTag;
+
+fn triple_redundant() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "triple-redundant".to_string(),
+        summary: "3- and 4-redundant probes the paper never ran: what does the k-th copy buy?"
+            .to_string(),
+        topology: TopologySpec::Ron2003,
+        methods: MethodsSpec::Custom(MethodSetSpec {
+            methods: vec![
+                MethodSpec {
+                    name: "loss".into(),
+                    legs: vec![RouteTag::Loss],
+                    gap_ms: 0.0,
+                    distinct: false,
+                },
+                MethodSpec {
+                    name: "direct rand".into(),
+                    legs: vec![RouteTag::Direct, RouteTag::Rand],
+                    gap_ms: 0.0,
+                    distinct: true,
+                },
+                MethodSpec {
+                    name: "direct rand rand".into(),
+                    legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Rand],
+                    gap_ms: 0.0,
+                    distinct: true,
+                },
+                MethodSpec {
+                    name: "dr lat loss".into(),
+                    legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Lat, RouteTag::Loss],
+                    gap_ms: 0.0,
+                    distinct: true,
+                },
+            ],
+            views: vec![ViewSpec { name: "direct*".into(), source: 1, leg: 0 }],
+        }),
+        days: 7.0,
+        horizon_days: 7.0,
+        round_trip: false,
+        impairments: ImpairmentPlan::none(),
+        calibration: Calibration::default(),
+    }
+}
+
+#[test]
+#[ignore = "generator: prints the JSON for scenarios/triple-redundant.json"]
+fn dump_triple_redundant() {
+    let spec = triple_redundant();
+    spec.validate().expect("checked-in scenario must validate");
+    println!("{}", serde_json::to_string(&spec).unwrap());
+}
+
+#[test]
+fn checked_in_file_matches_the_generator() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/triple-redundant.json");
+    let text = std::fs::read_to_string(path).expect("scenarios/triple-redundant.json exists");
+    let on_disk: ScenarioSpec = serde_json::from_str(&text).expect("file parses");
+    on_disk.validate().expect("file validates");
+    let expected = triple_redundant();
+    assert_eq!(on_disk, expected, "regenerate with the ignored test in this file");
+    assert_eq!(on_disk.digest(), expected.digest());
+    assert_eq!(on_disk.methods.build().max_legs(), 4, "the set reaches the wire cap");
+}

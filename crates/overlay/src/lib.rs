@@ -36,4 +36,4 @@ pub use node::{Delivered, NodeConfig, OverlayNode, Transmit};
 pub use prober::{ProbeSend, Prober, ProberConfig};
 pub use stats::{LossWindow, PathStats};
 pub use table::{LinkStateTable, Policy, RemoteMetric, Route};
-pub use wire::{MeasureKind, MetricEntry, Packet, RouteTag, WireError};
+pub use wire::{MeasureKind, MetricEntry, Packet, RouteTag, WireError, MAX_PROBE_LEGS};

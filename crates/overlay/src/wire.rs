@@ -11,7 +11,21 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use netsim::HostId;
+use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Wire-level cap on redundant probe legs per measurement: the
+/// [`Packet::Measure`] `leg` field ranges over `0..MAX_PROBE_LEGS`, and
+/// every layer above (the collector's probe records, method specs in
+/// scenario files) sizes itself to the same bound. Four copies already
+/// sit past the paper's diminishing-returns knee; raising this is a
+/// wire-format version bump, not a silent widening.
+pub const MAX_PROBE_LEGS: usize = 4;
+
+/// Version byte of the [`Packet::Measure`] encoding. Version 2 added
+/// k-leg redundancy (leg indices up to [`MAX_PROBE_LEGS`]); decoders
+/// reject other versions loudly instead of misreading the fields.
+pub const MEASURE_WIRE_VERSION: u8 = 2;
 
 /// Per-peer metric summary piggybacked on probe packets (the overlay's
 /// link-state dissemination).
@@ -28,7 +42,10 @@ pub struct MetricEntry {
 }
 
 /// Which routing decision a measurement leg used (Table 4 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Serializes as its variant name (`"Direct"`, `"Rand"`, …) so scenario
+/// files can spell out per-leg route tactics in method specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[repr(u8)]
 pub enum RouteTag {
     /// The direct Internet path.
@@ -151,6 +168,10 @@ pub enum WireError {
     BadTag(u8),
     /// A length field exceeded sanity bounds.
     BadLength(usize),
+    /// A measure carried an unknown encoding version.
+    BadVersion(u8),
+    /// A measure's leg index was at or beyond [`MAX_PROBE_LEGS`].
+    BadLeg(u8),
     /// Forwarding nesting exceeded the one-intermediate design.
     TooDeep,
 }
@@ -161,6 +182,10 @@ impl fmt::Display for WireError {
             WireError::Truncated => write!(f, "truncated packet"),
             WireError::BadTag(t) => write!(f, "unknown packet tag {t}"),
             WireError::BadLength(l) => write!(f, "implausible length {l}"),
+            WireError::BadVersion(v) => write!(f, "unknown measure encoding version {v}"),
+            WireError::BadLeg(l) => {
+                write!(f, "leg index {l} out of range (max {})", MAX_PROBE_LEGS - 1)
+            }
             WireError::TooDeep => write!(f, "forwarding nested too deep"),
         }
     }
@@ -245,7 +270,9 @@ impl Packet {
                 inner.encode_into(buf);
             }
             Packet::Measure { id, method, leg, origin, target, route, kind, sent_local_us } => {
+                debug_assert!((*leg as usize) < MAX_PROBE_LEGS, "leg {leg} exceeds the wire cap");
                 buf.put_u8(TAG_MEASURE);
+                buf.put_u8(MEASURE_WIRE_VERSION);
                 buf.put_u64(*id);
                 buf.put_u8(*method);
                 buf.put_u8(*leg);
@@ -312,12 +339,21 @@ impl Packet {
                 Ok(Packet::Forward { target, inner })
             }
             TAG_MEASURE => {
-                if buf.remaining() < 8 + 1 + 1 + 2 + 2 + 1 + 1 + 8 {
+                if buf.remaining() < 1 + 8 + 1 + 1 + 2 + 2 + 1 + 1 + 8 {
                     return Err(WireError::Truncated);
+                }
+                let version = buf.get_u8();
+                if version != MEASURE_WIRE_VERSION {
+                    return Err(WireError::BadVersion(version));
                 }
                 let id = buf.get_u64();
                 let method = buf.get_u8();
                 let leg = buf.get_u8();
+                if leg as usize >= MAX_PROBE_LEGS {
+                    // A corrupt or hostile leg index: reject at the wire,
+                    // mirroring the collector's `malformed_receives`.
+                    return Err(WireError::BadLeg(leg));
+                }
                 let origin = HostId(buf.get_u16());
                 let target = HostId(buf.get_u16());
                 let tag = buf.get_u8();
@@ -464,6 +500,63 @@ mod tests {
             p = Packet::Forward { target: HostId(1), inner: Box::new(p) };
         }
         assert_eq!(Packet::decode(&p.encode()), Err(WireError::TooDeep));
+    }
+
+    fn measure(leg: u8) -> Packet {
+        Packet::Measure {
+            id: 1,
+            method: 4,
+            leg,
+            origin: HostId(2),
+            target: HostId(5),
+            route: RouteTag::Loss,
+            kind: MeasureKind::OneWay,
+            sent_local_us: 99,
+        }
+    }
+
+    #[test]
+    fn measure_round_trips_every_leg_up_to_the_cap() {
+        for leg in 0..MAX_PROBE_LEGS as u8 {
+            let p = measure(leg);
+            assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn measure_rejects_out_of_range_leg() {
+        // Encode a valid measure, then corrupt the leg byte in place
+        // (tag, version, id×8, method, then leg).
+        let mut raw = measure(0).encode().to_vec();
+        raw[1 + 1 + 8 + 1] = MAX_PROBE_LEGS as u8;
+        assert_eq!(Packet::decode(&raw), Err(WireError::BadLeg(MAX_PROBE_LEGS as u8)));
+        raw[1 + 1 + 8 + 1] = 255;
+        assert_eq!(Packet::decode(&raw), Err(WireError::BadLeg(255)));
+    }
+
+    #[test]
+    fn measure_rejects_unknown_version() {
+        let mut raw = measure(0).encode().to_vec();
+        raw[1] = MEASURE_WIRE_VERSION + 1;
+        assert_eq!(Packet::decode(&raw), Err(WireError::BadVersion(MEASURE_WIRE_VERSION + 1)));
+        raw[1] = 0;
+        assert_eq!(Packet::decode(&raw), Err(WireError::BadVersion(0)));
+    }
+
+    #[test]
+    fn route_tag_serde_round_trips_as_variant_names() {
+        for (tag, name) in [
+            (RouteTag::Direct, "\"Direct\""),
+            (RouteTag::Rand, "\"Rand\""),
+            (RouteTag::Lat, "\"Lat\""),
+            (RouteTag::Loss, "\"Loss\""),
+        ] {
+            let json = serde_json::to_string(&tag).unwrap();
+            assert_eq!(json, name);
+            let back: RouteTag = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, tag);
+        }
+        assert!(serde_json::from_str::<RouteTag>("\"Fastest\"").is_err());
     }
 
     #[test]

@@ -1,21 +1,26 @@
 //! The central measurement collector (§4.1, streaming form).
 //!
 //! Hosts feed send and receive events in (true-)time order. The collector
-//! pairs receives with sends by probe id, resolves each probe pair once
-//! its receive window expires, and applies the paper's host-failure rule:
-//! a host that stops sending probes for more than `fail_gap` (90 s) is
-//! considered crashed, and samples toward it during the gap are discarded
-//! rather than counted as network loss.
+//! matches receives with sends by probe id, resolves each probe (one to
+//! [`MAX_PROBE_LEGS`] redundant legs) once its receive window expires,
+//! and applies the paper's host-failure rule: a host that stops sending
+//! probes for more than `fail_gap` (90 s) is considered crashed, and
+//! samples toward it during the gap are discarded rather than counted as
+//! network loss.
 //!
 //! ## Hot-path layout
 //!
-//! Millions of pairs per campaign flow through `on_send` → `on_recv` →
+//! Millions of probes per campaign flow through `on_send` → `on_recv` →
 //! `advance`, so the matcher avoids the obvious `HashMap<u64,
-//! PendingPair>` + deadline `BinaryHeap` shape:
+//! PendingProbe>` + deadline `BinaryHeap` shape:
 //!
-//! * pair state lives in a **slab** (`Vec<Option<PendingPair>>` plus a
-//!   free list), so the per-pair bytes are reused and receives touch one
-//!   contiguous allocation;
+//! * probe state lives in a **slab** (`Vec<Option<PendingProbe>>` plus a
+//!   free list), so the per-probe bytes are reused and receives touch one
+//!   contiguous allocation. Legs are an inline `[PendingLeg;
+//!   MAX_PROBE_LEGS]` with a 2-bit state machine per slot instead of
+//!   nested `Option`s — the 4-leg record is *smaller* than the old
+//!   2-leg `[Option<PendingLeg>; 2]`, whose inner `Option<RecvEvent>`
+//!   cost 40 niche-less bytes per leg;
 //! * the id → slot index goes through a **64-bit Fx hash** ([`FxU64`])
 //!   instead of SipHash — probe ids are already uniform random u64s, so
 //!   a single multiply is enough;
@@ -29,7 +34,7 @@
 //! * [`Collector::drain_into`] swaps the caller's buffer with the
 //!   internal one instead of allocating a fresh `Vec` per sweep.
 
-use crate::record::{LegOutcome, PairOutcome, RecvEvent, SendEvent};
+use crate::record::{LegOutcome, PairOutcome, RecvEvent, SendEvent, MAX_PROBE_LEGS};
 use netsim::{HostId, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
@@ -76,10 +81,16 @@ pub struct CollectorStats {
     pub discarded: u64,
     /// Receive events that arrived after their pair's window closed.
     pub late_receives: u64,
-    /// Receive events that matched an open pair but referenced a leg
-    /// that does not exist (`leg >= 2`) or was never sent. These used to
-    /// be dropped silently; a corrupt host log now shows up here.
+    /// Receive events that matched an open probe but referenced a leg
+    /// that cannot exist (`leg >= MAX_PROBE_LEGS`) or was never sent.
+    /// These used to be dropped silently; a corrupt host log now shows
+    /// up here.
     pub malformed_receives: u64,
+    /// Send events whose leg index was at or beyond [`MAX_PROBE_LEGS`] —
+    /// impossible from the experiment driver (method specs validate
+    /// their leg counts) and rejected at the wire for live traffic, so
+    /// any count here means a corrupt host log.
+    pub malformed_sends: u64,
 }
 
 impl CollectorStats {
@@ -89,6 +100,7 @@ impl CollectorStats {
         self.discarded += other.discarded;
         self.late_receives += other.late_receives;
         self.malformed_receives += other.malformed_receives;
+        self.malformed_sends += other.malformed_sends;
     }
 }
 
@@ -113,21 +125,29 @@ impl Default for CollectorConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+/// Per-leg state machine: a slot is untouched, sent, or sent+received.
+/// Encoded as a plain byte (not nested `Option`s) so the inline leg
+/// array stays compact and branch-predictable.
+const LEG_UNSENT: u8 = 0;
+const LEG_SENT: u8 = 1;
+const LEG_RECEIVED: u8 = 2;
+
+#[derive(Debug, Clone, Copy, Default)]
 struct PendingLeg {
     route: u8,
+    state: u8,
     sent_local_us: i64,
-    recv: Option<RecvEvent>,
+    recv_local_us: i64,
 }
 
 #[derive(Debug)]
-struct PendingPair {
+struct PendingProbe {
     id: u64,
     method: u8,
     src: HostId,
     dst: HostId,
     first_sent: SimTime,
-    legs: [Option<PendingLeg>; 2],
+    legs: [PendingLeg; MAX_PROBE_LEGS],
 }
 
 #[derive(Debug, Clone, Default)]
@@ -183,10 +203,10 @@ type SlotIdx = u32;
 /// Streaming collector; see module docs.
 pub struct Collector {
     cfg: CollectorConfig,
-    /// Probe id → slab slot of the open pair.
+    /// Probe id → slab slot of the open probe.
     index: FxMap<SlotIdx>,
-    /// Pair slab; freed slots are recycled via `free`.
-    slots: Vec<Option<PendingPair>>,
+    /// Probe slab; freed slots are recycled via `free`.
+    slots: Vec<Option<PendingProbe>>,
     free: Vec<SlotIdx>,
     /// Expiry ring, nondecreasing in deadline (constant receive window
     /// over time-ordered sends). Replaces the old deadline heap.
@@ -199,6 +219,7 @@ pub struct Collector {
     resolved: u64,
     late_receives: u64,
     malformed_receives: u64,
+    malformed_sends: u64,
 }
 
 impl Collector {
@@ -217,6 +238,7 @@ impl Collector {
             resolved: 0,
             late_receives: 0,
             malformed_receives: 0,
+            malformed_sends: 0,
         }
     }
 
@@ -226,23 +248,29 @@ impl Collector {
     /// into deadline order.
     pub fn on_send(&mut self, e: SendEvent) {
         self.activity[e.src.idx()].on_send(e.sent, self.cfg.fail_gap);
-        let leg = PendingLeg { route: e.route, sent_local_us: e.sent_local_us, recv: None };
+        if e.leg as usize >= MAX_PROBE_LEGS {
+            // A leg the wire format cannot carry: only a corrupt host
+            // log can produce it. Count it loudly (the liveness signal
+            // above still stands — the host did send *something*).
+            self.malformed_sends += 1;
+            return;
+        }
         let idx = *self.index.entry(e.id).or_insert_with(|| {
-            let pair = PendingPair {
+            let probe = PendingProbe {
                 id: e.id,
                 method: e.method,
                 src: e.src,
                 dst: e.dst,
                 first_sent: e.sent,
-                legs: [None, None],
+                legs: [PendingLeg::default(); MAX_PROBE_LEGS],
             };
             let idx = match self.free.pop() {
                 Some(i) => {
-                    self.slots[i as usize] = Some(pair);
+                    self.slots[i as usize] = Some(probe);
                     i
                 }
                 None => {
-                    self.slots.push(Some(pair));
+                    self.slots.push(Some(probe));
                     (self.slots.len() - 1) as SlotIdx
                 }
             };
@@ -259,10 +287,9 @@ impl Collector {
             }
             idx
         });
-        let pair = self.slots[idx as usize].as_mut().expect("indexed slot is occupied");
-        if let Some(slot) = pair.legs.get_mut(e.leg as usize) {
-            *slot = Some(leg);
-        }
+        let probe = self.slots[idx as usize].as_mut().expect("indexed slot is occupied");
+        probe.legs[e.leg as usize] =
+            PendingLeg { route: e.route, state: LEG_SENT, sent_local_us: e.sent_local_us, recv_local_us: 0 };
     }
 
     /// Ingests a receive event.
@@ -271,9 +298,12 @@ impl Collector {
             self.late_receives += 1;
             return;
         };
-        let pair = self.slots[idx as usize].as_mut().expect("indexed slot is occupied");
-        match pair.legs.get_mut(e.leg as usize) {
-            Some(Some(leg)) => leg.recv = Some(e),
+        let probe = self.slots[idx as usize].as_mut().expect("indexed slot is occupied");
+        match probe.legs.get_mut(e.leg as usize) {
+            Some(leg) if leg.state != LEG_UNSENT => {
+                leg.state = LEG_RECEIVED;
+                leg.recv_local_us = e.recv_local_us;
+            }
             // A receive for a leg that can't exist or was never sent:
             // count it instead of losing it invisibly.
             _ => self.malformed_receives += 1,
@@ -318,14 +348,15 @@ impl Collector {
         self.batch = batch;
     }
 
-    fn resolve(&mut self, p: PendingPair, now: SimTime) -> PairOutcome {
+    fn resolve(&mut self, p: PendingProbe, now: SimTime) -> PairOutcome {
         self.resolved += 1;
-        let mk = |leg: &Option<PendingLeg>| {
-            leg.map(|l| LegOutcome {
+        let mk = |l: PendingLeg| match l.state {
+            LEG_UNSENT => None,
+            state => Some(LegOutcome {
                 route: l.route,
-                lost: l.recv.is_none(),
-                one_way_us: l.recv.map(|r| r.recv_local_us - l.sent_local_us),
-            })
+                lost: state != LEG_RECEIVED,
+                one_way_us: (state == LEG_RECEIVED).then(|| l.recv_local_us - l.sent_local_us),
+            }),
         };
         // §4.1 host-failure filter: if the destination host's measurement
         // process was silent around the send instant, the sample tells us
@@ -340,7 +371,7 @@ impl Collector {
             src: p.src,
             dst: p.dst,
             sent: p.first_sent,
-            legs: [mk(&p.legs[0]), mk(&p.legs[1])],
+            legs: p.legs.map(mk),
             discarded,
         }
     }
@@ -386,6 +417,7 @@ impl Collector {
             discarded: self.discarded,
             late_receives: self.late_receives,
             malformed_receives: self.malformed_receives,
+            malformed_sends: self.malformed_sends,
         }
     }
 
@@ -523,6 +555,46 @@ mod tests {
         let mut total = CollectorStats::default();
         total.merge(&c.stats());
         assert_eq!(total.malformed_receives, 2);
+    }
+
+    #[test]
+    fn four_leg_probe_resolves_all_legs() {
+        let mut c = Collector::new(4, cfg());
+        for t in 0..40 {
+            heartbeat(&mut c, &[0, 1], t);
+        }
+        for leg in 0..MAX_PROBE_LEGS as u8 {
+            let mut e = send(51, leg, 0, 1, 5);
+            e.route = leg;
+            c.on_send(e);
+        }
+        // Legs 1 and 3 arrive, 0 and 2 are lost.
+        c.on_recv(recv(51, 1, 5_030_000));
+        c.on_recv(recv(51, 3, 5_055_000));
+        c.advance(SimTime::from_secs(120));
+        let outs = c.drain();
+        let o = outs.iter().find(|o| o.id == 51).unwrap();
+        assert_eq!(o.leg_count(), MAX_PROBE_LEGS);
+        assert!(o.legs[0].unwrap().lost && o.legs[2].unwrap().lost);
+        assert!(!o.legs[1].unwrap().lost && !o.legs[3].unwrap().lost);
+        assert_eq!(o.legs[3].unwrap().route, 3, "per-leg route tags survive");
+        assert!(!o.all_lost());
+        assert!(o.prefix_all_lost(1) && !o.prefix_all_lost(2));
+        assert_eq!(o.best_one_way_us(), Some(30_000));
+        assert_eq!(c.stats().malformed_receives, 0);
+    }
+
+    #[test]
+    fn out_of_range_send_leg_is_counted_not_recorded() {
+        let mut c = Collector::new(4, cfg());
+        heartbeat(&mut c, &[0, 1], 0);
+        c.on_send(send(52, MAX_PROBE_LEGS as u8, 0, 1, 1));
+        assert_eq!(c.stats().malformed_sends, 1);
+        assert_eq!(c.pending_len(), 2, "only the heartbeats are pending");
+        // The stat merges like the others.
+        let mut total = CollectorStats::default();
+        total.merge(&c.stats());
+        assert_eq!(total.malformed_sends, 1);
     }
 
     #[test]

@@ -3,14 +3,20 @@
 use netsim::{HostId, SimTime};
 use serde::{Deserialize, Serialize};
 
+/// Maximum redundant legs per probe, mirroring the wire format's cap
+/// (`overlay::wire::MAX_PROBE_LEGS` — the crates are siblings, so the
+/// value is duplicated here and pinned equal by a cross-crate test in
+/// `mpath-core`). Probe records size their leg arrays to this bound.
+pub const MAX_PROBE_LEGS: usize = 4;
+
 /// A measurement packet leaving its origin host.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SendEvent {
-    /// Random 64-bit probe identifier, shared by both legs of a pair.
+    /// Random 64-bit probe identifier, shared by every leg of a probe.
     pub id: u64,
     /// Method registry index.
     pub method: u8,
-    /// Leg within the pair (0 or 1).
+    /// Leg within the probe (`0..MAX_PROBE_LEGS`).
     pub leg: u8,
     /// Measured path source.
     pub src: HostId,
@@ -30,7 +36,7 @@ pub struct SendEvent {
 pub struct RecvEvent {
     /// Echoed probe identifier.
     pub id: u64,
-    /// Leg within the pair.
+    /// Leg within the probe (`0..MAX_PROBE_LEGS`).
     pub leg: u8,
     /// True (simulator) receive instant.
     pub recv: SimTime,
@@ -60,7 +66,10 @@ pub struct LegOutcome {
     pub one_way_us: Option<i64>,
 }
 
-/// A fully resolved probe pair (or single-packet probe).
+/// A fully resolved probe: one to [`MAX_PROBE_LEGS`] redundant legs
+/// sharing a probe id. Two-leg probes are the paper's pairs; the name
+/// survives the k-leg generalization because every downstream consumer
+/// still thinks in "pairs observed".
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PairOutcome {
     /// Probe identifier.
@@ -73,17 +82,27 @@ pub struct PairOutcome {
     pub dst: HostId,
     /// True send instant of the first leg.
     pub sent: SimTime,
-    /// Outcome per leg; single-packet methods use only slot 0.
-    pub legs: [Option<LegOutcome>; 2],
+    /// Outcome per leg; single-packet methods use only slot 0, the
+    /// paper's pairs slots 0–1.
+    pub legs: [Option<LegOutcome>; MAX_PROBE_LEGS],
     /// True when the §4.1 host-failure filter discards this sample.
     pub discarded: bool,
 }
 
 impl PairOutcome {
-    /// True when every present leg was lost (the pair failed end-to-end).
+    /// True when every present leg was lost (the probe failed
+    /// end-to-end).
     pub fn all_lost(&self) -> bool {
+        self.prefix_all_lost(MAX_PROBE_LEGS)
+    }
+
+    /// True when the first `j` leg slots hold at least one leg and every
+    /// present one was lost — "the application sent j copies and none
+    /// arrived". `prefix_all_lost(1)` is the paper's first-packet loss;
+    /// `prefix_all_lost(MAX_PROBE_LEGS)` is [`all_lost`](Self::all_lost).
+    pub fn prefix_all_lost(&self, j: usize) -> bool {
         let mut any = false;
-        for l in self.legs.iter().flatten() {
+        for l in self.legs.iter().take(j).flatten() {
             any = true;
             if !l.lost {
                 return false;
@@ -102,7 +121,18 @@ impl PairOutcome {
             .min()
     }
 
-    /// Number of legs present (1 or 2).
+    /// The smallest observed one-way time across the first `j` legs —
+    /// what an application sending only j copies would have seen.
+    pub fn best_of_first_one_way_us(&self, j: usize) -> Option<i64> {
+        self.legs
+            .iter()
+            .take(j)
+            .flatten()
+            .filter_map(|l| l.one_way_us)
+            .min()
+    }
+
+    /// Number of legs present (1 to [`MAX_PROBE_LEGS`]).
     pub fn leg_count(&self) -> usize {
         self.legs.iter().flatten().count()
     }
@@ -116,7 +146,11 @@ mod tests {
         Some(LegOutcome { route: 0, lost, one_way_us: one_way })
     }
 
-    fn pair(legs: [Option<LegOutcome>; 2]) -> PairOutcome {
+    fn pair(first_two: [Option<LegOutcome>; 2]) -> PairOutcome {
+        probe([first_two[0], first_two[1], None, None])
+    }
+
+    fn probe(legs: [Option<LegOutcome>; MAX_PROBE_LEGS]) -> PairOutcome {
         PairOutcome {
             id: 1,
             method: 0,
@@ -139,6 +173,23 @@ mod tests {
     #[test]
     fn empty_pair_is_not_lost() {
         assert!(!pair([None, None]).all_lost());
+    }
+
+    #[test]
+    fn four_leg_probe_generalizes_the_pair_predicates() {
+        let p = probe([leg(true, None), leg(true, None), leg(false, Some(40_000)), leg(true, None)]);
+        assert!(!p.all_lost(), "the third copy arrived");
+        assert_eq!(p.leg_count(), 4);
+        assert!(p.prefix_all_lost(1), "first copy lost");
+        assert!(p.prefix_all_lost(2), "first two copies lost");
+        assert!(!p.prefix_all_lost(3), "three copies include the arrival");
+        assert!(!p.prefix_all_lost(4));
+        assert_eq!(p.best_one_way_us(), Some(40_000));
+        assert_eq!(p.best_of_first_one_way_us(2), None);
+        assert_eq!(p.best_of_first_one_way_us(3), Some(40_000));
+        let dead = probe([leg(true, None); MAX_PROBE_LEGS]);
+        assert!(dead.all_lost());
+        assert!(!probe([None; MAX_PROBE_LEGS]).prefix_all_lost(4), "no legs, no loss");
     }
 
     #[test]

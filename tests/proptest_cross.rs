@@ -50,7 +50,7 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
         (
             any::<u64>(),
             any::<u8>(),
-            0u8..2,
+            0u8..mpath::overlay::MAX_PROBE_LEGS as u8,
             any::<u16>(),
             any::<u16>(),
             arb_route_tag(),

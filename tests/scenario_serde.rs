@@ -3,7 +3,11 @@
 //! fields (typos), missing fields, bad enum variants — must fail with a
 //! readable error instead of silently deserializing to defaults.
 
-use mpath::core::{builtin_specs, ScenarioSpec};
+use mpath::core::{
+    builtin_specs, MethodSetSpec, MethodSpec, MethodsSpec, ScenarioSpec, ViewSpec, MAX_PROBE_LEGS,
+};
+use mpath::overlay::RouteTag;
+use proptest::prelude::*;
 
 #[test]
 fn every_builtin_round_trips_through_json() {
@@ -75,6 +79,164 @@ fn wrong_type_is_rejected() {
     let json = builtin_json("ron2003").replace("\"days\":14.0", "\"days\":\"fourteen\"");
     let err = serde_json::from_str::<ScenarioSpec>(&json).unwrap_err().to_string();
     assert!(err.contains("expected number"), "got: {err}");
+}
+
+// ------------------------------------------------ method specs as data
+
+/// A scenario whose method set is fully user-defined, k-leg probes
+/// included.
+fn custom_scenario() -> ScenarioSpec {
+    let mut spec = builtin_specs().into_iter().find(|s| s.name == "ron2003").expect("builtin");
+    spec.name = "custom-methods".to_string();
+    spec.methods = MethodsSpec::Custom(MethodSetSpec {
+        methods: vec![
+            MethodSpec {
+                name: "direct".into(),
+                legs: vec![RouteTag::Direct],
+                gap_ms: 0.0,
+                distinct: false,
+            },
+            MethodSpec {
+                name: "quad".into(),
+                legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Lat, RouteTag::Loss],
+                gap_ms: 5.0,
+                distinct: true,
+            },
+        ],
+        views: vec![ViewSpec { name: "quad*".into(), source: 1, leg: 0 }],
+    });
+    spec
+}
+
+fn custom_json() -> String {
+    serde_json::to_string(&custom_scenario()).expect("serialize")
+}
+
+#[test]
+fn custom_method_scenario_round_trips() {
+    let spec = custom_scenario();
+    spec.validate().expect("custom scenario validates");
+    let back: ScenarioSpec = serde_json::from_str(&custom_json()).expect("reload");
+    assert_eq!(spec, back);
+    assert_eq!(spec.digest(), back.digest());
+    assert_eq!(back.methods.build().max_legs(), 4);
+}
+
+#[test]
+fn unknown_method_spec_field_is_a_readable_error() {
+    let json = custom_json().replace("\"gap_ms\":", "\"gap_mss\":");
+    let err = serde_json::from_str::<ScenarioSpec>(&json).unwrap_err().to_string();
+    assert!(err.contains("unknown field `gap_mss`"), "got: {err}");
+    assert!(err.contains("MethodSpec"), "error must name the nested struct: {err}");
+}
+
+#[test]
+fn unknown_route_tag_is_rejected() {
+    let json = custom_json().replace("\"Lat\"", "\"Fastest\"");
+    let err = serde_json::from_str::<ScenarioSpec>(&json).unwrap_err().to_string();
+    assert!(err.contains("unknown variant `Fastest`"), "got: {err}");
+}
+
+#[test]
+fn view_leg_beyond_k_is_rejected_at_validation() {
+    let mut spec = custom_scenario();
+    if let MethodsSpec::Custom(set) = &mut spec.methods {
+        set.views[0].leg = MAX_PROBE_LEGS as u8;
+    }
+    let err = spec.validate().unwrap_err();
+    assert!(err.contains("leg 4") && err.contains("quad"), "got: {err}");
+}
+
+#[test]
+fn too_many_legs_are_rejected_at_validation() {
+    let mut spec = custom_scenario();
+    if let MethodsSpec::Custom(set) = &mut spec.methods {
+        set.methods[1].legs.push(RouteTag::Direct);
+    }
+    let err = spec.validate().unwrap_err();
+    assert!(err.contains("1 to 4 legs"), "got: {err}");
+}
+
+#[test]
+fn duplicate_method_names_are_rejected_at_validation() {
+    let mut spec = custom_scenario();
+    if let MethodsSpec::Custom(set) = &mut spec.methods {
+        set.views[0].name = "quad".into();
+    }
+    let err = spec.validate().unwrap_err();
+    assert!(err.contains("duplicate") && err.contains("quad"), "got: {err}");
+}
+
+fn arb_method_set() -> impl Strategy<Value = MethodSetSpec> {
+    // The vendored proptest has no `prop_flat_map`, so generate plain
+    // data — per-method (leg count, per-leg tag bit-pattern, gap,
+    // distinct) plus raw view references — and derive a valid set in one
+    // map. Names are index-derived, so uniqueness holds by construction;
+    // view sources and legs are taken modulo the ranges they reference.
+    (
+        proptest::collection::vec(
+            (0usize..MAX_PROBE_LEGS, any::<u8>(), 0.0f64..100.0, any::<bool>()),
+            1..8,
+        ),
+        proptest::collection::vec((any::<u8>(), any::<u8>()), 0..4),
+    )
+        .prop_map(|(raw_methods, raw_views)| {
+            let tag = |bits: u8| match bits & 3 {
+                0 => RouteTag::Direct,
+                1 => RouteTag::Rand,
+                2 => RouteTag::Lat,
+                _ => RouteTag::Loss,
+            };
+            let methods: Vec<MethodSpec> = raw_methods
+                .into_iter()
+                .enumerate()
+                .map(|(i, (extra_legs, pattern, gap_ms, distinct))| {
+                    let legs: Vec<RouteTag> =
+                        (0..=extra_legs).map(|j| tag(pattern >> (2 * j))).collect();
+                    MethodSpec {
+                        name: format!("m{i}"),
+                        distinct: distinct && legs.len() >= 2,
+                        legs,
+                        gap_ms,
+                    }
+                })
+                .collect();
+            let views = raw_views
+                .into_iter()
+                .enumerate()
+                .map(|(i, (src, leg))| {
+                    let source = (src as usize % methods.len()) as u8;
+                    let leg = (leg as usize % methods[source as usize].legs.len()) as u8;
+                    ViewSpec { name: format!("v{i}"), source, leg }
+                })
+                .collect();
+            MethodSetSpec { methods, views }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any valid generated method set survives dump → reload with a
+    /// fingerprint-identical scenario spec (the digest is the identity
+    /// every output and report comparison keys on).
+    #[test]
+    fn any_valid_method_set_survives_dump_reload(set in arb_method_set()) {
+        prop_assert!(set.validate().is_ok(), "generator must emit valid sets: {:?}",
+            set.validate());
+        let mut spec = custom_scenario();
+        spec.methods = MethodsSpec::Custom(set);
+        prop_assert!(spec.validate().is_ok());
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: ScenarioSpec = serde_json::from_str(&json).expect("reload");
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(back.digest(), spec.digest(), "digest must survive the round trip");
+        // And the built sets agree on shape.
+        let a = spec.methods.build();
+        let b = back.methods.build();
+        prop_assert_eq!(a.names(), b.names());
+        prop_assert_eq!(a.max_legs(), b.max_legs());
+    }
 }
 
 #[test]

@@ -100,6 +100,51 @@ fn dense_correlated() -> ScenarioSpec {
     spec
 }
 
+/// A k-leg (3- and 4-redundant) custom method set: the generalized
+/// probe driver, collector records and best-of-first-j accumulators
+/// must hold the same byte-identity invariant as the paper's pairs.
+fn k_leg_spec() -> ScenarioSpec {
+    use mpath::core::{MethodSetSpec, MethodSpec, MethodsSpec, ViewSpec};
+    use mpath::overlay::RouteTag;
+    let mut spec = scenario("ron-narrow");
+    spec.name = "k-leg-custom".to_string();
+    spec.methods = MethodsSpec::Custom(MethodSetSpec {
+        methods: vec![
+            MethodSpec {
+                name: "direct".into(),
+                legs: vec![RouteTag::Direct],
+                gap_ms: 0.0,
+                distinct: false,
+            },
+            MethodSpec {
+                name: "triple".into(),
+                legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Rand],
+                gap_ms: 10.0,
+                distinct: true,
+            },
+            MethodSpec {
+                name: "quad".into(),
+                legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Lat, RouteTag::Loss],
+                gap_ms: 0.0,
+                distinct: true,
+            },
+        ],
+        views: vec![ViewSpec { name: "triple*".into(), source: 1, leg: 0 }],
+    });
+    spec.validate().expect("k-leg spec must be valid");
+    spec
+}
+
+#[test]
+fn k_leg_custom_methods_shard_equals_sequential() {
+    let seq = assert_equivalent_spec(&k_leg_spec());
+    assert_eq!(seq.loss.depth(), 4, "the deep accumulator must engage");
+    let quad = seq.index_of("quad").expect("quad is measured");
+    let curve = seq.loss.best_of_first_pct(quad);
+    assert_eq!(curve.len(), 4);
+    assert!(curve.windows(2).all(|w| w[1] <= w[0]), "redundancy can only help: {curve:?}");
+}
+
 #[test]
 fn ron2003_sharded_equals_sequential() {
     assert_equivalent("ron2003");
@@ -195,6 +240,38 @@ fn env_shard_count_is_equivalent_too() {
         auto.fingerprint(),
         "MPATH_SHARDS={:?} must not change results",
         std::env::var("MPATH_SHARDS").ok()
+    );
+}
+
+/// Golden seed-1 fingerprints for the three paper campaigns at a fixed
+/// 30-simulated-minute duration. Recorded *before* the k-leg probe
+/// refactor: the pair pipeline must be a true special case of the k-leg
+/// pipeline, so these values must never move unless the simulator or a
+/// paper spec changes intentionally. Re-record like the stress goldens:
+///
+/// ```text
+/// cargo test --test sharding_equivalence golden -- --nocapture
+/// ```
+#[test]
+fn golden_paper_campaign_fingerprints() {
+    let golden: &[(&str, u64)] = &[
+        ("ron2003", 0xbf1b301118588f9d),
+        ("ron-narrow", 0x2dccce190878f0df),
+        ("ron-wide", 0x76de32708ad3e0fe),
+    ];
+    let mut failures = Vec::new();
+    for (name, expected) in golden {
+        let out = scenario(name).run(1, Some(SimDuration::from_mins(30)));
+        let got = out.fingerprint();
+        println!("(\"{name}\", {got:#018x}),");
+        if got != *expected {
+            failures.push(format!("{name}: expected {expected:#018x}, got {got:#018x}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "paper campaigns drifted (re-record only if the drift is intentional):\n{}",
+        failures.join("\n")
     );
 }
 

@@ -219,7 +219,23 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
             _ => VariantKind::Unit,
         };
         if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
-            return Err("mini serde_derive: explicit discriminants are not supported".into());
+            // Explicit discriminant (`Variant = 3`): legal only on
+            // fieldless variants, where it does not affect the serde
+            // form (unit variants serialize by name). Skip the
+            // expression through the next top-level comma.
+            if !matches!(kind, VariantKind::Unit) {
+                return Err(
+                    "mini serde_derive: discriminants on non-unit variants are not supported"
+                        .into(),
+                );
+            }
+            i += 1;
+            while i < toks.len() {
+                if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                i += 1;
+            }
         }
         variants.push(Variant { name, kind });
         // Skip the trailing comma.
