@@ -179,6 +179,56 @@ impl Histogram {
     }
 }
 
+// Versioned wire format (v1): slices computed on one host must merge on
+// another with the exact semantics of the in-memory path, so the full
+// private state crosses the wire and unknown fields or versions are
+// rejected loudly instead of being guessed at.
+impl serde::Serialize for Histogram {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("v".into(), serde::Value::Int(1)),
+            ("zeros".into(), self.zeros.to_value()),
+            ("bins".into(), self.bins.to_value()),
+            ("count".into(), self.count.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Histogram {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Map(entries) = v else {
+            return Err(serde::Error::new(format!("Histogram: expected map, found {}", v.kind())));
+        };
+        for (k, _) in entries {
+            if !matches!(k.as_str(), "v" | "zeros" | "bins" | "count") {
+                return Err(serde::Error::new(format!("Histogram: unknown field `{k}`")));
+            }
+        }
+        let version = u32::from_value(v.field("v")?)?;
+        if version != 1 {
+            return Err(serde::Error::new(format!(
+                "Histogram: unsupported wire version {version} (this build speaks 1)"
+            )));
+        }
+        let h = Histogram {
+            zeros: u64::from_value(v.field("zeros")?)?,
+            bins: Vec::<u64>::from_value(v.field("bins")?)?,
+            count: u64::from_value(v.field("count")?)?,
+        };
+        if h.bins.is_empty() {
+            return Err(serde::Error::new("Histogram: bins must be non-empty"));
+        }
+        let binned: u64 = h.bins.iter().sum();
+        if h.count != h.zeros + binned {
+            return Err(serde::Error::new(format!(
+                "Histogram: count {} != zeros {} + binned {binned}",
+                h.count, h.zeros
+            )));
+        }
+        Ok(h)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,7 +15,7 @@ use netsim::HostId;
 use trace::PairOutcome;
 
 /// Counters for one (method, src, dst) cell.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
 pub struct Cell {
     /// Probe pairs observed.
     pub pairs: u64,
@@ -352,6 +352,78 @@ impl LossAccum {
             .into_iter()
             .map(|(s, d, us)| (HostId(s), HostId(d), us / 1_000.0))
             .collect()
+    }
+}
+
+// Versioned wire format (v1): every private counter (and the exact f64
+// bit pattern of each latency sum, via serde_json's shortest-round-trip
+// float writer) crosses the wire, so a deserialized accumulator merges
+// byte-identically to one that never left memory. Unknown fields and
+// versions are rejected loudly.
+impl serde::Serialize for LossAccum {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("v".into(), serde::Value::Int(1)),
+            ("n".into(), self.n.to_value()),
+            ("methods".into(), self.methods.to_value()),
+            ("max_legs".into(), self.max_legs.to_value()),
+            ("cells".into(), self.cells.to_value()),
+            ("deep".into(), self.deep.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for LossAccum {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Map(entries) = v else {
+            return Err(serde::Error::new(format!("LossAccum: expected map, found {}", v.kind())));
+        };
+        for (k, _) in entries {
+            if !matches!(k.as_str(), "v" | "n" | "methods" | "max_legs" | "cells" | "deep") {
+                return Err(serde::Error::new(format!("LossAccum: unknown field `{k}`")));
+            }
+        }
+        let version = u32::from_value(v.field("v")?)?;
+        if version != 1 {
+            return Err(serde::Error::new(format!(
+                "LossAccum: unsupported wire version {version} (this build speaks 1)"
+            )));
+        }
+        let a = LossAccum {
+            n: usize::from_value(v.field("n")?)?,
+            methods: usize::from_value(v.field("methods")?)?,
+            cells: Vec::<Cell>::from_value(v.field("cells")?)?,
+            max_legs: usize::from_value(v.field("max_legs")?)?,
+            deep: Vec::<u64>::from_value(v.field("deep")?)?,
+        };
+        if a.max_legs == 0 {
+            return Err(serde::Error::new("LossAccum: max_legs must be >= 1"));
+        }
+        let cells = a.n * a.n * a.methods;
+        if a.cells.len() != cells {
+            return Err(serde::Error::new(format!(
+                "LossAccum: {} cells for shape n={} methods={} (want {cells})",
+                a.cells.len(),
+                a.n,
+                a.methods
+            )));
+        }
+        // The depth extension exists exactly when max_legs > 2 (the
+        // pair-era digest invariant depends on this).
+        let deep = if a.max_legs > 2 { cells * a.max_legs } else { 0 };
+        if a.deep.len() != deep {
+            return Err(serde::Error::new(format!(
+                "LossAccum: {} deep counters for max_legs={} (want {deep})",
+                a.deep.len(),
+                a.max_legs
+            )));
+        }
+        for c in &a.cells {
+            if !c.lat_sum_us.is_finite() {
+                return Err(serde::Error::new("LossAccum: non-finite latency sum"));
+            }
+        }
+        Ok(a)
     }
 }
 

@@ -15,7 +15,7 @@ use crate::cdf::Histogram;
 use netsim::SimDuration;
 use trace::PairOutcome;
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
 struct OpenWin {
     window_idx: u64,
     sent: u32,
@@ -165,6 +165,78 @@ impl WindowAccum {
     /// Total closed windows for a method.
     pub fn window_count(&self, method: u8) -> u64 {
         self.windows[method as usize]
+    }
+}
+
+// Versioned wire format (v1). The open windows cross the wire too —
+// full fidelity, not just the closed statistics — even though slice
+// results arrive finished (slices close every window at their boundary):
+// a round-tripped accumulator must be indistinguishable from the
+// original in *every* state, or the serde-fidelity proptests could not
+// pin the wire format to the in-memory merge semantics.
+impl serde::Serialize for WindowAccum {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("v".into(), serde::Value::Int(1)),
+            ("width_us".into(), self.width_us.to_value()),
+            ("n".into(), self.n.to_value()),
+            ("open".into(), self.open.to_value()),
+            ("hist".into(), self.hist.to_value()),
+            ("thresholds".into(), self.thresholds.to_value()),
+            ("windows".into(), self.windows.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for WindowAccum {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Map(entries) = v else {
+            return Err(serde::Error::new(format!(
+                "WindowAccum: expected map, found {}",
+                v.kind()
+            )));
+        };
+        for (k, _) in entries {
+            if !matches!(
+                k.as_str(),
+                "v" | "width_us" | "n" | "open" | "hist" | "thresholds" | "windows"
+            ) {
+                return Err(serde::Error::new(format!("WindowAccum: unknown field `{k}`")));
+            }
+        }
+        let version = u32::from_value(v.field("v")?)?;
+        if version != 1 {
+            return Err(serde::Error::new(format!(
+                "WindowAccum: unsupported wire version {version} (this build speaks 1)"
+            )));
+        }
+        let w = WindowAccum {
+            width_us: u64::from_value(v.field("width_us")?)?,
+            n: usize::from_value(v.field("n")?)?,
+            open: Vec::<OpenWin>::from_value(v.field("open")?)?,
+            hist: Vec::<Histogram>::from_value(v.field("hist")?)?,
+            thresholds: Vec::<[u64; 10]>::from_value(v.field("thresholds")?)?,
+            windows: Vec::<u64>::from_value(v.field("windows")?)?,
+        };
+        if w.width_us == 0 {
+            return Err(serde::Error::new("WindowAccum: width_us must be > 0"));
+        }
+        let methods = w.hist.len();
+        if w.thresholds.len() != methods || w.windows.len() != methods {
+            return Err(serde::Error::new(format!(
+                "WindowAccum: per-method lengths disagree (hist {methods}, thresholds {}, windows {})",
+                w.thresholds.len(),
+                w.windows.len()
+            )));
+        }
+        if w.open.len() != w.n * w.n * methods {
+            return Err(serde::Error::new(format!(
+                "WindowAccum: {} open cells for shape n={} methods={methods}",
+                w.open.len(),
+                w.n
+            )));
+        }
+        Ok(w)
     }
 }
 

@@ -1,0 +1,211 @@
+//! Serde-fidelity property tests: an accumulator that crossed the wire
+//! must be indistinguishable — to the bit — from one that never left
+//! the process.
+//!
+//! This is the invariant the distributed campaign runner leans on: a
+//! worker streams random outcomes into a private accumulator, ships it
+//! as JSON, and the coordinator merges the deserialized copy into a
+//! sibling. If any counter, histogram bucket, open-window fragment or
+//! f64 latency sum loses precision in transit, the merged digest here
+//! diverges from the never-serialized path long before a campaign
+//! fingerprint would.
+//!
+//! Every property runs the same shape: random outcomes → accumulate →
+//! JSON round-trip → merge into a sibling → [`Fnv`] digest equals the
+//! digest of merging the originals directly. Outcomes include 3- and
+//! 4-leg probes so the `max_legs > 2` best-of-first-j extension (the
+//! k-leg depth guard) crosses the wire too, not just the paper's pairs.
+
+use analysis::{Fnv, Histogram, LossAccum, WindowAccum};
+use netsim::{HostId, NetCounters, SimDuration, SimTime};
+use proptest::prelude::*;
+use trace::record::MAX_PROBE_LEGS;
+use trace::{CollectorStats, LegOutcome, PairOutcome};
+
+const HOSTS: u16 = 4;
+const METHODS: u8 = 3;
+
+fn arb_leg() -> impl Strategy<Value = LegOutcome> {
+    (0u8..4, any::<bool>(), any::<Option<i64>>()).prop_map(|(route, lost, one_way)| LegOutcome {
+        route,
+        lost,
+        // Lost legs never observed a one-way time.
+        one_way_us: if lost { None } else { one_way },
+    })
+}
+
+fn arb_outcome() -> impl Strategy<Value = PairOutcome> {
+    (
+        any::<u64>(),
+        0..METHODS,
+        0..HOSTS,
+        0..HOSTS,
+        0u64..3_600_000_000, // send instants inside one hour
+        1usize..=MAX_PROBE_LEGS,
+        proptest::collection::vec(arb_leg(), MAX_PROBE_LEGS..MAX_PROBE_LEGS + 1),
+    )
+        .prop_map(|(id, method, src, dst_raw, sent_us, present, legs)| {
+            let dst = if dst_raw == src { (src + 1) % HOSTS } else { dst_raw };
+            let mut slots = [None; MAX_PROBE_LEGS];
+            for (slot, leg) in slots.iter_mut().zip(&legs).take(present) {
+                *slot = Some(*leg);
+            }
+            PairOutcome {
+                id,
+                method,
+                src: HostId(src),
+                dst: HostId(dst),
+                sent: SimTime::from_micros(sent_us),
+                legs: slots,
+                // Deterministic-but-arbitrary sprinkling of §4.1 discards.
+                discarded: id % 11 == 0,
+            }
+        })
+}
+
+fn digest(write: impl FnOnce(&mut Fnv)) -> u64 {
+    let mut fnv = Fnv::new();
+    write(&mut fnv);
+    fnv.finish()
+}
+
+fn round_trip<T: serde::Serialize + serde::Deserialize>(v: &T) -> T {
+    let json = serde_json::to_string(v).expect("accumulators always serialize");
+    serde_json::from_str(&json).expect("own JSON must parse")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn loss_accum_merges_identically_after_the_wire(
+        depth in 2usize..=MAX_PROBE_LEGS,
+        a in proptest::collection::vec(arb_outcome(), 0..80),
+        b in proptest::collection::vec(arb_outcome(), 0..80),
+    ) {
+        let feed = |outs: &[PairOutcome]| {
+            let mut acc = LossAccum::with_depth(HOSTS as usize, METHODS as usize, depth);
+            for o in outs {
+                acc.on_outcome(o);
+            }
+            acc
+        };
+        // Never-serialized reference merge.
+        let mut local = feed(&a);
+        local.merge(&feed(&b));
+        // The distributed path: both sides cross the wire first.
+        let mut wired = round_trip(&feed(&a));
+        wired.merge(&round_trip(&feed(&b)));
+        prop_assert_eq!(
+            digest(|f| local.digest(f)),
+            digest(|f| wired.digest(f)),
+            "depth {} merge diverged after JSON round-trip", depth
+        );
+        // The k-leg depth guard: the deep best-of-first-j curve itself
+        // must survive, not just the digest fold.
+        prop_assert_eq!(local.depth(), wired.depth());
+        if depth > 2 {
+            for m in 0..METHODS {
+                prop_assert_eq!(
+                    local.best_of_first_pct(m),
+                    wired.best_of_first_pct(m)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_accum_round_trips_open_windows_exactly(
+        a in proptest::collection::vec(arb_outcome(), 0..80),
+        b in proptest::collection::vec(arb_outcome(), 0..80),
+    ) {
+        let feed = |outs: &[PairOutcome]| {
+            let mut acc =
+                WindowAccum::new(HOSTS as usize, METHODS as usize, SimDuration::from_mins(20));
+            for o in outs {
+                acc.on_outcome(o);
+            }
+            acc
+        };
+        // Round-trip *before* finish: the open-window fragments must
+        // cross the wire with full fidelity, so closing them afterwards
+        // lands on identical statistics.
+        let mut direct = feed(&a);
+        let mut wired = round_trip(&direct);
+        direct.finish();
+        wired.finish();
+        prop_assert_eq!(
+            digest(|f| direct.digest(f)),
+            digest(|f| wired.digest(f)),
+            "open windows lost fidelity in transit"
+        );
+        // And the slice-shaped merge (finished sides only).
+        let mut other = feed(&b);
+        other.finish();
+        direct.merge(&other);
+        wired.merge(&round_trip(&other));
+        prop_assert_eq!(digest(|f| direct.digest(f)), digest(|f| wired.digest(f)));
+    }
+
+    #[test]
+    fn histogram_round_trips_and_merges_exactly(
+        a in proptest::collection::vec(-0.5f64..1.5, 0..200),
+        b in proptest::collection::vec(-0.5f64..1.5, 0..200),
+    ) {
+        let feed = |vals: &[f64]| {
+            let mut h = Histogram::new(50);
+            for &v in vals {
+                h.push(v);
+            }
+            h
+        };
+        let mut local = feed(&a);
+        local.merge(&feed(&b));
+        let mut wired = round_trip(&feed(&a));
+        wired.merge(&round_trip(&feed(&b)));
+        prop_assert_eq!(digest(|f| local.digest(f)), digest(|f| wired.digest(f)));
+    }
+
+    #[test]
+    fn net_counters_round_trip_and_merge(
+        a in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        b in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+    ) {
+        let mk = |(sent, delivered, dropped_outage, dropped_congestion): (u32, u32, u32, u32)| {
+            NetCounters {
+                sent: sent as u64,
+                delivered: delivered as u64,
+                dropped_outage: dropped_outage as u64,
+                dropped_congestion: dropped_congestion as u64,
+            }
+        };
+        let (ca, cb) = (mk(a), mk(b));
+        prop_assert_eq!(round_trip(&ca), ca);
+        let mut local = ca;
+        local.merge(&cb);
+        let mut wired = round_trip(&ca);
+        wired.merge(&round_trip(&cb));
+        prop_assert_eq!(local, wired);
+    }
+
+    #[test]
+    fn collector_stats_round_trip_and_merge(
+        a in proptest::collection::vec(any::<u32>(), 5..6),
+        b in proptest::collection::vec(any::<u32>(), 5..6),
+    ) {
+        let mk = |v: &[u32]| CollectorStats {
+            resolved: v[0] as u64,
+            discarded: v[1] as u64,
+            late_receives: v[2] as u64,
+            malformed_receives: v[3] as u64,
+            malformed_sends: v[4] as u64,
+        };
+        let (sa, sb) = (mk(&a), mk(&b));
+        prop_assert_eq!(round_trip(&sa), sa);
+        let mut local = sa;
+        local.merge(&sb);
+        let mut wired = round_trip(&sa);
+        wired.merge(&round_trip(&sb));
+        prop_assert_eq!(local, wired);
+    }
+}

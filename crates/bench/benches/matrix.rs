@@ -22,12 +22,14 @@ fn k_leg_scenario() -> ScenarioSpec {
                 legs: vec![RouteTag::Direct],
                 gap_ms: 0.0,
                 distinct: false,
+                all_prior: false,
             },
             MethodSpec {
                 name: "quad".into(),
                 legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Lat, RouteTag::Loss],
                 gap_ms: 0.0,
                 distinct: true,
+                all_prior: false,
             },
         ],
         views: vec![ViewSpec { name: "quad*".into(), source: 1, leg: 0 }],

@@ -8,6 +8,9 @@
 //! repro --scenario-file PATH      [--days F] [--seed N] [--shards N]
 //! repro --dump-scenario NAME
 //! repro --matrix NAME[,NAME...] --seeds N [--days F] [--seed N] [--shards N]
+//! repro --serve ADDR --scenario NAME [--days F] [--seed N] [--slice-mins F]
+//! repro --serve ADDR --scenario-file PATH [--days F] [--seed N] [--slice-mins F]
+//! repro --worker ADDR
 //!
 //! ARTIFACT: all | headline | table5 | table6 | table7
 //!         | fig2 | fig3 | fig4 | fig5 | fig6 | fec
@@ -31,6 +34,19 @@
 //!                    direct row, best-of-first-j loss for j=1..k)
 //! --seeds N          seed count for --matrix (cells use seeds
 //!                    --seed, --seed+1, ..., --seed+N-1; default 3)
+//!
+//! --serve ADDR       run one scenario as a distributed campaign:
+//!                    listen on ADDR, lease slices to workers, merge in
+//!                    slice order. The printed report and fingerprint
+//!                    are byte-identical to a local run of the same
+//!                    scenario (any --shards value)
+//! --worker ADDR      join the coordinator at ADDR, simulate leased
+//!                    slices until the campaign is done
+//! --slice-mins F     override the scenario's slice width (minutes).
+//!                    Applies to --serve and plain --scenario runs
+//!                    alike; both sides of a fingerprint comparison
+//!                    must use the same value, since the slice plan
+//!                    shapes the RNG universes
 //! ```
 //!
 //! Output shows measured values next to the published ones. Absolute
@@ -41,7 +57,10 @@ use analysis::{render_table5, render_table6, render_table7, scenario_stamp, Tabl
 use mpath_bench::paper;
 use mpath_bench::{fec_sweep, FecSweepConfig};
 use mpath_core::model::DesignModel;
-use mpath_core::{report, ExperimentOutput, ScenarioRegistry, ScenarioSpec};
+use mpath_core::{
+    report, serve_campaign, CampaignJob, ExperimentOutput, ScenarioRegistry, ScenarioSpec,
+    ServeOptions, WorkerOptions,
+};
 use netsim::SimDuration;
 use std::fs;
 use std::path::PathBuf;
@@ -59,6 +78,9 @@ struct Args {
     dump_scenario: Option<String>,
     matrix: Vec<String>,
     seeds: usize,
+    serve: Option<String>,
+    worker: Option<String>,
+    slice_mins: Option<f64>,
 }
 
 /// The value of a flag, or a usage error (never an index panic).
@@ -87,6 +109,9 @@ fn parse_args() -> Args {
         dump_scenario: None,
         matrix: Vec::new(),
         seeds: 3,
+        serve: None,
+        worker: None,
+        slice_mins: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut saw_scenario_flag = false;
@@ -138,6 +163,19 @@ fn parse_args() -> Args {
                 args.seeds =
                     value_of(&argv, &mut i, "--seeds").parse().expect("--seeds takes an integer");
             }
+            "--serve" => {
+                args.serve = Some(value_of(&argv, &mut i, "--serve").to_string());
+            }
+            "--worker" => {
+                args.worker = Some(value_of(&argv, &mut i, "--worker").to_string());
+            }
+            "--slice-mins" => {
+                args.slice_mins = Some(
+                    value_of(&argv, &mut i, "--slice-mins")
+                        .parse()
+                        .expect("--slice-mins takes a number"),
+                );
+            }
             a if !a.starts_with('-') => {
                 args.artifact = a.to_string();
                 args.artifact_explicit = true;
@@ -169,20 +207,54 @@ fn parse_args() -> Args {
         eprintln!("--seeds only applies to --matrix");
         std::process::exit(2);
     }
+    if let Some(mins) = args.slice_mins {
+        if !(mins.is_finite() && mins > 0.0) {
+            eprintln!("--slice-mins must be a positive number, got {mins}");
+            std::process::exit(2);
+        }
+        if args.serve.is_none() && args.scenarios.is_empty() && args.scenario_file.is_none() {
+            // The override shapes the slice plan; outside scenario or
+            // serve mode it would be silently ignored.
+            eprintln!("--slice-mins only applies to --serve, --scenario, or --scenario-file");
+            std::process::exit(2);
+        }
+    }
+    if args.worker.is_some()
+        && (!args.scenarios.is_empty()
+            || args.scenario_file.is_some()
+            || args.days.is_some()
+            || args.slice_mins.is_some())
+    {
+        // A worker takes the whole campaign definition from the
+        // coordinator's Job message; local overrides would be ignored.
+        eprintln!("--worker takes the campaign from the coordinator; drop the scenario flags");
+        std::process::exit(2);
+    }
+    if args.serve.is_some() {
+        let sources = usize::from(!args.scenarios.is_empty()) + usize::from(args.scenario_file.is_some());
+        if sources != 1 || args.scenarios.len() > 1 {
+            eprintln!("--serve needs exactly one campaign: --scenario NAME or --scenario-file PATH");
+            std::process::exit(2);
+        }
+    }
     // Exactly one mode: a fixed precedence order would silently drop
-    // half of a conflicting request.
+    // half of a conflicting request. (`--serve` is the mode; its
+    // scenario source rides along and is checked above.)
+    let serving = args.serve.is_some();
     let modes = [
         args.artifact_explicit,
         args.list_scenarios,
-        !args.scenarios.is_empty(),
-        args.scenario_file.is_some(),
+        !serving && !args.scenarios.is_empty(),
+        !serving && args.scenario_file.is_some(),
         args.dump_scenario.is_some(),
         !args.matrix.is_empty(),
+        serving,
+        args.worker.is_some(),
     ];
     if modes.iter().filter(|m| **m).count() > 1 {
         eprintln!(
             "pick one mode: ARTIFACT, --list-scenarios, --scenario, --scenario-file, \
-             --dump-scenario, or --matrix"
+             --dump-scenario, --matrix, --serve, or --worker"
         );
         std::process::exit(2);
     }
@@ -273,17 +345,63 @@ fn check_days_within_horizon(spec: &ScenarioSpec, args: &Args) {
 /// method in registry order — a custom spec may carry any method set,
 /// and the paper renderers would silently drop the rows they don't
 /// know.
-fn run_scenario(spec: &ScenarioSpec, args: &Args) {
-    // `--days` scales the run; without it the spec's own campaign
-    // length runs in full, so an edited `days` field in a scenario file
-    // does what it says. The caller has already checked `--days`
-    // against the spec horizon (see `check_days_within_horizon`).
+/// The campaign a scenario run (local or distributed) pins down:
+/// `--days` scales the run; without it the spec's own campaign length
+/// runs in full. `--slice-mins` overrides the slice width on *both*
+/// paths, so a distributed run and its local fingerprint witness share
+/// one slice plan.
+fn campaign_job(spec: &ScenarioSpec, args: &Args) -> CampaignJob {
     let duration = args
         .days
         .map(|d| SimDuration::from_secs_f64(d * 86_400.0))
         .unwrap_or_else(|| spec.paper_duration());
-    eprintln!("[repro] running scenario `{}` for {duration} simulated...", spec.name);
-    let out = spec.run_sharded(args.seed, Some(duration), args.shards);
+    let mut job = CampaignJob::new(spec.clone(), args.seed, duration);
+    if let Some(mins) = args.slice_mins {
+        job.slice_width_us = SimDuration::from_secs_f64(mins * 60.0).as_micros();
+    }
+    job
+}
+
+/// Runs the campaign as the distributed coordinator and returns the
+/// merged output (byte-identical to the local path below).
+fn serve_campaign_mode(addr: &str, job: CampaignJob) -> ExperimentOutput {
+    let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
+        eprintln!("cannot listen on {addr}: {e}");
+        std::process::exit(2);
+    });
+    let local = listener.local_addr().expect("bound listener has an address");
+    eprintln!(
+        "[repro] coordinator on {local}: {} slice(s); join with  repro --worker {local}",
+        job.plan().len()
+    );
+    match serve_campaign(listener, job, ServeOptions::default()) {
+        Ok(report) => {
+            eprintln!(
+                "[repro] campaign served: {} slice(s) over {} connection(s), {} re-lease(s), \
+                 {} duplicate(s) ignored",
+                report.slices, report.connections, report.releases, report.duplicates
+            );
+            report.output
+        }
+        Err(e) => {
+            eprintln!("coordinator failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_scenario(spec: &ScenarioSpec, args: &Args) {
+    // The caller has already checked `--days` against the spec horizon
+    // (see `check_days_within_horizon`).
+    let job = campaign_job(spec, args);
+    let out = if let Some(addr) = &args.serve {
+        serve_campaign_mode(addr, job)
+    } else {
+        eprintln!("[repro] running scenario `{}` for {} simulated...", spec.name, job.duration());
+        let mut cfg = job.config();
+        cfg.shards = args.shards;
+        mpath_core::shard::run_sharded(job.spec.topology(job.seed), cfg)
+    };
     let stamp = scenario_stamp(&out.scenario, out.spec_digest);
     if spec.round_trip {
         // Round-trip scenarios measure RTTs; use the Table 7 layout so
@@ -626,6 +744,24 @@ fn do_headline(lab: &mut Lab) {
 fn main() {
     let args = parse_args();
     let registry = ScenarioRegistry::builtin();
+
+    if let Some(addr) = &args.worker {
+        eprintln!("[repro] worker joining coordinator at {addr}...");
+        match mpath_core::run_worker(addr.clone(), WorkerOptions::default()) {
+            Ok(r) => {
+                eprintln!(
+                    "[repro] worker done: {} slice(s) simulated{}",
+                    r.slices_run,
+                    if r.coordinator_closed { " (coordinator closed; campaign finished)" } else { "" }
+                );
+            }
+            Err(e) => {
+                eprintln!("worker failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     if args.list_scenarios {
         do_list_scenarios(&registry);

@@ -1,0 +1,842 @@
+//! Distributed campaign runner: slices over TCP, byte-identical merge.
+//!
+//! [`crate::shard`] proved that a campaign is a pure function of
+//! `(spec, seed, duration, slice_width)`: the slice plan is computed
+//! from the configuration alone, every slice simulates independently,
+//! and an index-ordered merge is bit-stable. This module stretches that
+//! invariant across *processes and hosts*: a *coordinator*
+//! ([`serve_campaign`]) owns the slice plan and farms slice **indices**
+//! to *workers* ([`run_worker`]) over a small TCP protocol; each worker
+//! rebuilds the identical plan locally from the [`CampaignJob`] it
+//! received at handshake, simulates the leased slice, and ships the
+//! [`ExperimentOutput`] back. The coordinator merges results in slice
+//! order with [`crate::report::merge_outputs`] — the same fold the
+//! in-process sharded runner uses — so the distributed report is
+//! byte-identical to `run_sharded` on one machine, for any number of
+//! workers, joining and leaving in any order.
+//!
+//! # Wire format
+//!
+//! Every message is one *frame*: a 4-byte big-endian length prefix
+//! followed by that many bytes of UTF-8 JSON encoding a [`Msg`]
+//! (externally tagged, like every serde type in this workspace).
+//! Numbers that must survive the trip exactly (accumulator counters,
+//! f64 latency sums) ride the same serde impls the on-disk scenario
+//! files use: floats are printed with round-trip precision, so a
+//! deserialized output merges to the same bits as one that never left
+//! the process. Two version numbers are pinned at handshake and
+//! rejected loudly on mismatch: [`PROTO_VERSION`] (the message grammar)
+//! and [`crate::experiment::OUTPUT_WIRE_VERSION`] (the output schema).
+//!
+//! # Protocol
+//!
+//! ```text
+//! worker                          coordinator
+//!   | -- Hello{proto, output_wire} -> |       handshake
+//!   | <- Job{job} | Deny{reason} ---- |
+//!   | -- Ready ---------------------> |       lease loop
+//!   | <- Lease{slice} | Wait | Done - |
+//!   | -- Heartbeat{slice} ----------> |       while simulating
+//!   | -- Result{slice, output} -----> |
+//!   | -- Ready ---------------------> |       ... until Done
+//! ```
+//!
+//! # Failure semantics
+//!
+//! Leases expire. A worker that dies mid-slice (its connection drops)
+//! has its leases zeroed immediately; one that merely stalls stops
+//! heartbeating and its lease times out. Either way the next `Ready`
+//! from any worker re-leases the slice. Because slice `k` is a pure
+//! function of the job, *duplicate* results — the original worker was
+//! slow, not dead, and both finish — are byte-identical, and the
+//! coordinator keeps the first copy per slice index and counts the rest
+//! ([`ServeReport::duplicates`]). Re-leasing therefore never risks the
+//! merge: the result buffer is slice-indexed and idempotent.
+//!
+//! Workers treat a vanished coordinator *after* handshake as "campaign
+//! finished without me" and exit cleanly
+//! ([`WorkerReport::coordinator_closed`]): the coordinator only exits
+//! once every slice has resolved, so there is nothing left to do.
+
+use crate::experiment::{ExperimentConfig, ExperimentOutput, OUTPUT_WIRE_VERSION};
+use crate::report;
+use crate::scenario::ScenarioSpec;
+use crate::shard::SlicePlan;
+use netsim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::{oneshot, Notify};
+
+/// Version of the message grammar; bumped on any incompatible change.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Ceiling on a single frame body. A length prefix beyond this is
+/// treated as a corrupt stream, not an allocation request.
+const MAX_FRAME: usize = 64 << 20;
+
+/// Everything a worker needs to rebuild the campaign bit-for-bit.
+///
+/// The coordinator sends this once at handshake; afterwards leases are
+/// bare slice indices. Both sides derive the same [`SlicePlan`] from
+/// it, because the plan is a pure function of the experiment
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignJob {
+    /// The scenario to run (conditions, methods, impairments).
+    pub spec: ScenarioSpec,
+    /// Master campaign seed.
+    pub seed: u64,
+    /// Campaign duration in microseconds.
+    pub duration_us: u64,
+    /// Slice width override in microseconds; `0` keeps the width the
+    /// spec's calibration declares. Both sides must agree — it shapes
+    /// the slice plan.
+    pub slice_width_us: u64,
+}
+
+impl CampaignJob {
+    /// A job running `spec` for `duration` with the spec's own slice
+    /// width.
+    pub fn new(spec: ScenarioSpec, seed: u64, duration: SimDuration) -> CampaignJob {
+        CampaignJob { spec, seed, duration_us: duration.as_micros(), slice_width_us: 0 }
+    }
+
+    /// Campaign duration.
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_micros(self.duration_us)
+    }
+
+    /// Semantic validation; wire-received jobs must pass before
+    /// [`Self::config`] (which panics on bad specs) runs.
+    pub fn validate(&self) -> Result<(), String> {
+        self.spec.validate()?;
+        if self.duration_us == 0 {
+            return Err(format!("job for `{}`: zero duration", self.spec.name));
+        }
+        let horizon = SimDuration::from_secs_f64(self.spec.horizon_days * 86_400.0);
+        if self.duration() > horizon {
+            return Err(format!(
+                "job for `{}`: duration {} outruns the {}-day impairment horizon",
+                self.spec.name,
+                self.duration(),
+                self.spec.horizon_days
+            ));
+        }
+        Ok(())
+    }
+
+    /// The experiment configuration this job pins down.
+    pub fn config(&self) -> ExperimentConfig {
+        let mut cfg = self.spec.config(self.seed, Some(self.duration()));
+        if self.slice_width_us > 0 {
+            cfg.slice_width = SimDuration::from_micros(self.slice_width_us);
+        }
+        cfg
+    }
+
+    /// The slice plan every participant derives identically.
+    pub fn plan(&self) -> SlicePlan {
+        SlicePlan::new(&self.config())
+    }
+
+    /// Simulates slice `k` of the plan — exactly what the in-process
+    /// sharded runner would compute for that slot.
+    ///
+    /// # Panics
+    ///
+    /// If `k` is outside the plan (callers bounds-check leases first).
+    pub fn run_slice_index(&self, k: usize) -> ExperimentOutput {
+        let cfg = self.config();
+        let plan = SlicePlan::new(&cfg);
+        let s = plan.slices()[k];
+        let mut c = cfg;
+        c.seed = s.seed;
+        c.duration = s.duration;
+        crate::experiment::run_slice(self.spec.topology(self.seed), c, s.start)
+    }
+}
+
+/// A protocol message. See the module docs for the exchange order.
+#[derive(Serialize, Deserialize)]
+pub enum Msg {
+    /// Worker's opening move: both version pins.
+    Hello {
+        /// The worker's [`PROTO_VERSION`].
+        proto: u32,
+        /// The worker's [`OUTPUT_WIRE_VERSION`].
+        output_wire: u32,
+    },
+    /// Coordinator's answer to a compatible `Hello`.
+    Job {
+        /// The campaign to rebuild locally.
+        job: Box<CampaignJob>,
+    },
+    /// Coordinator's answer to an incompatible `Hello` (or any other
+    /// reason to turn a worker away). The connection closes after it.
+    Deny {
+        /// Human-readable refusal.
+        reason: String,
+    },
+    /// Worker is idle and wants a slice.
+    Ready,
+    /// Grant: simulate this slice index.
+    Lease {
+        /// Index into the shared [`SlicePlan`].
+        slice: u64,
+    },
+    /// No slice available right now; ask again after `poll_ms`.
+    Wait {
+        /// Suggested back-off before the next `Ready`.
+        poll_ms: u64,
+    },
+    /// Every slice has resolved; the worker can exit.
+    Done,
+    /// Worker liveness while a slice simulates; extends the lease.
+    Heartbeat {
+        /// The slice being worked on.
+        slice: u64,
+    },
+    /// A finished slice.
+    Result {
+        /// The slice index this output belongs to.
+        slice: u64,
+        /// The slice's full output state.
+        output: Box<ExperimentOutput>,
+    },
+}
+
+impl Msg {
+    /// Variant name for protocol-error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Msg::Hello { .. } => "Hello",
+            Msg::Job { .. } => "Job",
+            Msg::Deny { .. } => "Deny",
+            Msg::Ready => "Ready",
+            Msg::Lease { .. } => "Lease",
+            Msg::Wait { .. } => "Wait",
+            Msg::Done => "Done",
+            Msg::Heartbeat { .. } => "Heartbeat",
+            Msg::Result { .. } => "Result",
+        }
+    }
+}
+
+impl std::fmt::Debug for Msg {
+    // Hand-written: `ExperimentOutput` is accumulator state with no
+    // Debug of its own, and protocol errors only need the variant.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.kind())
+    }
+}
+
+fn proto_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Encodes `msg` as one frame (length prefix included).
+pub fn encode_msg(msg: &Msg) -> Vec<u8> {
+    let json = serde_json::to_string(msg).expect("protocol messages always serialize");
+    let mut buf = Vec::with_capacity(4 + json.len());
+    buf.extend_from_slice(&(json.len() as u32).to_be_bytes());
+    buf.extend_from_slice(json.as_bytes());
+    buf
+}
+
+fn decode_body(body: &[u8]) -> io::Result<Msg> {
+    let text = std::str::from_utf8(body).map_err(|e| proto_err(format!("frame not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| proto_err(format!("bad frame: {e}")))
+}
+
+fn frame_len(prefix: [u8; 4]) -> io::Result<usize> {
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(proto_err(format!("frame length {len} exceeds cap {MAX_FRAME}")));
+    }
+    Ok(len)
+}
+
+/// Sends one frame on an async stream.
+pub async fn send_msg(stream: &mut TcpStream, msg: &Msg) -> io::Result<()> {
+    stream.write_all(&encode_msg(msg)).await
+}
+
+/// Receives one frame from an async stream. `Ok(None)` is a clean
+/// close — EOF *between* frames; EOF inside a frame is an error.
+pub async fn recv_msg(stream: &mut TcpStream) -> io::Result<Option<Msg>> {
+    let mut prefix = [0u8; 4];
+    let n = stream.read(&mut prefix).await?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n < 4 {
+        stream.read_exact(&mut prefix[n..]).await?;
+    }
+    let len = frame_len(prefix)?;
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).await?;
+    decode_body(&body).map(Some)
+}
+
+/// Blocking [`send_msg`] for plain `std` sockets — lets tests (and any
+/// non-async tool) speak the protocol without the runtime.
+pub fn write_msg_blocking<W: Write>(w: &mut W, msg: &Msg) -> io::Result<()> {
+    w.write_all(&encode_msg(msg))
+}
+
+/// Blocking [`recv_msg`]; same clean-close contract.
+pub fn read_msg_blocking<R: Read>(r: &mut R) -> io::Result<Option<Msg>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut prefix[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed mid-frame"));
+        }
+        filled += n;
+    }
+    let len = frame_len(prefix)?;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    decode_body(&body).map(Some)
+}
+
+/// Coordinator tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// A lease not refreshed (by heartbeat or result) within this span
+    /// is considered abandoned and re-issued on the next `Ready`.
+    pub lease_timeout: Duration,
+    /// Ceiling on the back-off hint sent with [`Msg::Wait`].
+    pub poll_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { lease_timeout: Duration::from_secs(30), poll_ms: 200 }
+    }
+}
+
+/// What a finished [`serve_campaign`] hands back.
+pub struct ServeReport {
+    /// The merged campaign output — byte-identical to a local
+    /// `run_sharded` of the same job.
+    pub output: ExperimentOutput,
+    /// Slices in the plan.
+    pub slices: usize,
+    /// Worker connections accepted over the campaign.
+    pub connections: u64,
+    /// Leases re-issued after a timeout or worker disconnect.
+    pub releases: u64,
+    /// Duplicate slice results received and ignored.
+    pub duplicates: u64,
+}
+
+/// Worker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerOptions {
+    /// Heartbeat cadence while a slice simulates. Must beat the
+    /// coordinator's [`ServeOptions::lease_timeout`] comfortably.
+    pub heartbeat: Duration,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions { heartbeat: Duration::from_secs(2) }
+    }
+}
+
+/// What a finished [`run_worker`] hands back.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerReport {
+    /// Slices this worker simulated and delivered.
+    pub slices_run: u64,
+    /// True when the exit was the coordinator vanishing after handshake
+    /// (campaign finished elsewhere) rather than an explicit
+    /// [`Msg::Done`].
+    pub coordinator_closed: bool,
+}
+
+enum SliceState {
+    Unleased,
+    Leased { deadline: Instant, holder: u64 },
+    Done,
+}
+
+struct CoordState {
+    slices: Vec<SliceState>,
+    results: Vec<Option<ExperimentOutput>>,
+    pending: usize,
+    connections: u64,
+    releases: u64,
+    duplicates: u64,
+}
+
+struct Coord {
+    job: CampaignJob,
+    expected_digest: u64,
+    opts: ServeOptions,
+    state: Mutex<CoordState>,
+    done: Notify,
+}
+
+impl Coord {
+    fn new(job: CampaignJob, slices: usize, opts: ServeOptions) -> Coord {
+        let expected_digest = job.spec.digest();
+        Coord {
+            job,
+            expected_digest,
+            opts,
+            state: Mutex::new(CoordState {
+                slices: (0..slices).map(|_| SliceState::Unleased).collect(),
+                results: (0..slices).map(|_| None).collect(),
+                pending: slices,
+                connections: 0,
+                releases: 0,
+                duplicates: 0,
+            }),
+            done: Notify::new(),
+        }
+    }
+
+    fn next_conn(&self) -> u64 {
+        let mut st = self.state.lock().unwrap();
+        st.connections += 1;
+        st.connections
+    }
+
+    /// Answers a `Ready`: first unleased slice, else the most-overdue
+    /// expired lease, else a back-off hint, else `Done`.
+    fn grant_at(&self, conn: u64, now: Instant) -> Msg {
+        let mut st = self.state.lock().unwrap();
+        if st.pending == 0 {
+            return Msg::Done;
+        }
+        let deadline = now + self.opts.lease_timeout;
+        if let Some(k) = st.slices.iter().position(|s| matches!(s, SliceState::Unleased)) {
+            st.slices[k] = SliceState::Leased { deadline, holder: conn };
+            return Msg::Lease { slice: k as u64 };
+        }
+        let mut expired: Option<(usize, Instant)> = None;
+        let mut nearest: Option<Instant> = None;
+        for (k, s) in st.slices.iter().enumerate() {
+            if let SliceState::Leased { deadline: d, .. } = s {
+                if *d <= now {
+                    if expired.is_none_or(|(_, best)| *d < best) {
+                        expired = Some((k, *d));
+                    }
+                } else if nearest.is_none_or(|near| *d < near) {
+                    nearest = Some(*d);
+                }
+            }
+        }
+        if let Some((k, _)) = expired {
+            st.releases += 1;
+            st.slices[k] = SliceState::Leased { deadline, holder: conn };
+            return Msg::Lease { slice: k as u64 };
+        }
+        let mut poll_ms = self.opts.poll_ms;
+        if let Some(near) = nearest {
+            let until = near.saturating_duration_since(now).as_millis() as u64;
+            poll_ms = poll_ms.min(until.max(10));
+        }
+        Msg::Wait { poll_ms: poll_ms.max(10) }
+    }
+
+    /// Extends a live lease the heartbeating connection still holds.
+    /// Stale heartbeats (the slice was re-leased or finished) are
+    /// ignored.
+    fn heartbeat_at(&self, conn: u64, slice: usize, now: Instant) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(SliceState::Leased { deadline, holder }) = st.slices.get_mut(slice) {
+            if *holder == conn {
+                *deadline = now + self.opts.lease_timeout;
+            }
+        }
+    }
+
+    /// Records a slice result idempotently: the first copy per index
+    /// wins, later copies only bump [`ServeReport::duplicates`].
+    fn record(&self, slice: usize, output: ExperimentOutput) -> io::Result<()> {
+        if output.spec_digest != self.expected_digest {
+            return Err(proto_err(format!(
+                "result for slice {slice} ran digest {:#018x}, campaign is {:#018x}",
+                output.spec_digest, self.expected_digest
+            )));
+        }
+        let mut st = self.state.lock().unwrap();
+        let Some(slot) = st.results.get_mut(slice) else {
+            return Err(proto_err(format!("result for slice {slice} outside the plan")));
+        };
+        if slot.is_some() {
+            st.duplicates += 1;
+            return Ok(());
+        }
+        *slot = Some(output);
+        st.slices[slice] = SliceState::Done;
+        st.pending -= 1;
+        if st.pending == 0 {
+            self.done.notify_waiters();
+        }
+        Ok(())
+    }
+
+    /// Expires every lease `conn` held, so the next `Ready` from any
+    /// worker re-issues those slices immediately.
+    fn release_all_at(&self, conn: u64, now: Instant) {
+        let mut st = self.state.lock().unwrap();
+        for s in st.slices.iter_mut() {
+            if let SliceState::Leased { deadline, holder } = s {
+                if *holder == conn {
+                    *deadline = now;
+                }
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.state.lock().unwrap().pending == 0
+    }
+}
+
+async fn drive_conn(stream: &mut TcpStream, coord: &Coord, conn: u64) -> io::Result<()> {
+    let hello = recv_msg(stream).await?;
+    let (proto, output_wire) = match hello {
+        Some(Msg::Hello { proto, output_wire }) => (proto, output_wire),
+        Some(other) => return Err(proto_err(format!("expected Hello, got {}", other.kind()))),
+        None => return Ok(()),
+    };
+    if proto != PROTO_VERSION || output_wire != OUTPUT_WIRE_VERSION {
+        let reason = format!(
+            "version mismatch: coordinator speaks proto {PROTO_VERSION} / output v{OUTPUT_WIRE_VERSION}, \
+             worker offered proto {proto} / output v{output_wire}"
+        );
+        send_msg(stream, &Msg::Deny { reason: reason.clone() }).await?;
+        return Err(proto_err(reason));
+    }
+    send_msg(stream, &Msg::Job { job: Box::new(coord.job.clone()) }).await?;
+    loop {
+        let Some(msg) = recv_msg(stream).await? else { return Ok(()) };
+        match msg {
+            Msg::Ready => {
+                let grant = coord.grant_at(conn, Instant::now());
+                let done = matches!(grant, Msg::Done);
+                send_msg(stream, &grant).await?;
+                if done {
+                    return Ok(());
+                }
+            }
+            Msg::Heartbeat { slice } => coord.heartbeat_at(conn, slice as usize, Instant::now()),
+            Msg::Result { slice, output } => coord.record(slice as usize, *output)?,
+            other => {
+                return Err(proto_err(format!("unexpected {} from worker", other.kind())));
+            }
+        }
+    }
+}
+
+async fn serve_conn(mut stream: TcpStream, coord: Arc<Coord>) {
+    let conn = coord.next_conn();
+    let res = drive_conn(&mut stream, &coord, conn).await;
+    // Dropping the leases *after* the connection ends covers every exit:
+    // clean Done (no leases left), worker death (re-lease now), protocol
+    // error (ditto).
+    coord.release_all_at(conn, Instant::now());
+    if let Err(e) = res {
+        eprintln!("mpath coordinator: worker connection {conn} failed: {e}");
+    }
+}
+
+/// Runs a campaign as the coordinator: accepts workers on `listener`,
+/// leases slices until every index has a result, and merges in slice
+/// order.
+///
+/// Takes a *blocking* [`std::net::TcpListener`] so callers can bind
+/// port 0 first and advertise the resolved address before the runtime
+/// spins up; the listener is switched to nonblocking internally.
+///
+/// The returned report's output is byte-identical to running the same
+/// [`CampaignJob`] locally at any shard count — that is the whole point,
+/// and `tests/distributed_equivalence.rs` holds it to the fingerprint.
+pub fn serve_campaign(
+    listener: std::net::TcpListener,
+    job: CampaignJob,
+    opts: ServeOptions,
+) -> io::Result<ServeReport> {
+    job.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let slices = job.plan().len();
+    let coord = Arc::new(Coord::new(job, slices, opts));
+    tokio::runtime::block_on(async {
+        let listener = TcpListener::from_std(listener)?;
+        while !coord.finished() {
+            tokio::select! {
+                _ = coord.done.notified() => {}
+                accepted = listener.accept() => {
+                    let (stream, _peer) = accepted?;
+                    tokio::spawn(serve_conn(stream, coord.clone()));
+                }
+            }
+        }
+        io::Result::Ok(())
+    })?;
+    let mut st = coord.state.lock().unwrap();
+    let outputs: Vec<ExperimentOutput> =
+        st.results.iter_mut().map(|slot| slot.take().expect("every slice resolved")).collect();
+    Ok(ServeReport {
+        output: report::merge_outputs(outputs),
+        slices,
+        connections: st.connections,
+        releases: st.releases,
+        duplicates: st.duplicates,
+    })
+}
+
+/// Treats connection loss after handshake as the campaign ending: the
+/// coordinator only goes away once every slice has resolved.
+fn closed_cleanly(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::WriteZero
+    )
+}
+
+/// Runs the worker side: connect, handshake, then lease slices until
+/// the coordinator says [`Msg::Done`] (or vanishes — see
+/// [`WorkerReport::coordinator_closed`]).
+///
+/// Each leased slice simulates on a dedicated OS thread while the
+/// worker's runtime thread keeps heartbeats flowing, so a long slice
+/// never reads as a dead worker.
+pub fn run_worker<A: std::net::ToSocketAddrs + Send + 'static>(
+    addr: A,
+    opts: WorkerOptions,
+) -> io::Result<WorkerReport> {
+    tokio::runtime::block_on(async move {
+        let mut stream = TcpStream::connect(addr).await?;
+        send_msg(
+            &mut stream,
+            &Msg::Hello { proto: PROTO_VERSION, output_wire: OUTPUT_WIRE_VERSION },
+        )
+        .await?;
+        let job = match recv_msg(&mut stream).await? {
+            Some(Msg::Job { job }) => *job,
+            Some(Msg::Deny { reason }) => return Err(proto_err(reason)),
+            Some(other) => return Err(proto_err(format!("expected Job, got {}", other.kind()))),
+            None => return Err(proto_err("coordinator closed during handshake")),
+        };
+        job.validate().map_err(proto_err)?;
+        let plan_len = job.plan().len() as u64;
+        let mut slices_run = 0u64;
+        let closed = |e: io::Error, slices_run: u64| {
+            if closed_cleanly(&e) {
+                Ok(WorkerReport { slices_run, coordinator_closed: true })
+            } else {
+                Err(e)
+            }
+        };
+        loop {
+            if let Err(e) = send_msg(&mut stream, &Msg::Ready).await {
+                return closed(e, slices_run);
+            }
+            let grant = match recv_msg(&mut stream).await {
+                Ok(Some(msg)) => msg,
+                Ok(None) => return Ok(WorkerReport { slices_run, coordinator_closed: true }),
+                Err(e) => return closed(e, slices_run),
+            };
+            match grant {
+                Msg::Done => return Ok(WorkerReport { slices_run, coordinator_closed: false }),
+                Msg::Wait { poll_ms } => {
+                    tokio::time::sleep(Duration::from_millis(poll_ms.clamp(1, 10_000))).await;
+                }
+                Msg::Lease { slice } => {
+                    if slice >= plan_len {
+                        return Err(proto_err(format!(
+                            "lease {slice} outside the {plan_len}-slice plan"
+                        )));
+                    }
+                    let k = slice as usize;
+                    let (tx, mut rx) = oneshot::channel();
+                    let job_for_slice = job.clone();
+                    let compute = std::thread::spawn(move || {
+                        let _ = tx.send(job_for_slice.run_slice_index(k));
+                    });
+                    let output = loop {
+                        match tokio::time::timeout(opts.heartbeat, &mut rx).await {
+                            Ok(Ok(output)) => break Ok(output),
+                            Ok(Err(_)) => {
+                                break Err(proto_err(format!("slice {slice} simulation panicked")))
+                            }
+                            Err(_elapsed) => {
+                                if let Err(e) = send_msg(&mut stream, &Msg::Heartbeat { slice }).await
+                                {
+                                    break Err(e);
+                                }
+                            }
+                        }
+                    };
+                    let output = match output {
+                        Ok(out) => out,
+                        Err(e) => {
+                            drop(rx); // unblocks the compute thread's send
+                            let _ = compute.join();
+                            return closed(e, slices_run);
+                        }
+                    };
+                    let _ = compute.join();
+                    if let Err(e) =
+                        send_msg(&mut stream, &Msg::Result { slice, output: Box::new(output) }).await
+                    {
+                        return closed(e, slices_run);
+                    }
+                    slices_run += 1;
+                }
+                other => {
+                    return Err(proto_err(format!("expected a grant, got {}", other.kind())));
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioRegistry;
+    use crate::shard::run_sharded;
+    use std::io::Cursor;
+
+    fn small_job() -> CampaignJob {
+        let spec = ScenarioRegistry::builtin().get("ron-narrow").expect("builtin").clone();
+        CampaignJob {
+            spec,
+            seed: 42,
+            duration_us: SimDuration::from_mins(20).as_micros(),
+            slice_width_us: SimDuration::from_mins(5).as_micros(),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_blocking_helpers() {
+        let mut wire = Vec::new();
+        write_msg_blocking(&mut wire, &Msg::Hello { proto: 7, output_wire: 9 }).unwrap();
+        write_msg_blocking(&mut wire, &Msg::Lease { slice: 3 }).unwrap();
+        write_msg_blocking(&mut wire, &Msg::Ready).unwrap();
+        let mut r = Cursor::new(wire);
+        match read_msg_blocking(&mut r).unwrap().unwrap() {
+            Msg::Hello { proto, output_wire } => {
+                assert_eq!((proto, output_wire), (7, 9));
+            }
+            other => panic!("got {}", other.kind()),
+        }
+        assert!(matches!(read_msg_blocking(&mut r).unwrap().unwrap(), Msg::Lease { slice: 3 }));
+        assert!(matches!(read_msg_blocking(&mut r).unwrap().unwrap(), Msg::Ready));
+        assert!(read_msg_blocking(&mut r).unwrap().is_none(), "clean EOF between frames");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_clean_close() {
+        let mut wire = encode_msg(&Msg::Ready);
+        wire.truncate(wire.len() - 1);
+        let mut r = Cursor::new(wire);
+        let err = read_msg_blocking(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut r = Cursor::new(u32::MAX.to_be_bytes().to_vec());
+        let err = read_msg_blocking(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn job_round_trips_and_plans_identically() {
+        let job = small_job();
+        let json = serde_json::to_string(&Msg::Job { job: Box::new(job.clone()) }).unwrap();
+        let back = match serde_json::from_str::<Msg>(&json).unwrap() {
+            Msg::Job { job } => *job,
+            other => panic!("got {}", other.kind()),
+        };
+        assert_eq!(back, job);
+        assert_eq!(back.plan().slices(), job.plan().slices());
+        assert_eq!(job.plan().len(), 4);
+    }
+
+    #[test]
+    fn grant_walks_plan_then_backs_off_then_relieves_expired() {
+        let job = small_job();
+        let opts =
+            ServeOptions { lease_timeout: Duration::from_millis(100), ..ServeOptions::default() };
+        let coord = Coord::new(job.clone(), 3, opts);
+        let t0 = Instant::now();
+        assert!(matches!(coord.grant_at(1, t0), Msg::Lease { slice: 0 }));
+        assert!(matches!(coord.grant_at(2, t0), Msg::Lease { slice: 1 }));
+        assert!(matches!(coord.grant_at(2, t0), Msg::Lease { slice: 2 }));
+        // Plan exhausted, all leases live: back off.
+        assert!(matches!(coord.grant_at(3, t0), Msg::Wait { .. }));
+        // Heartbeats keep conn 2's leases alive past the timeout;
+        // conn 1 went silent, so slice 0 is the one re-issued.
+        let later = t0 + Duration::from_millis(150);
+        coord.heartbeat_at(2, 1, later);
+        coord.heartbeat_at(2, 2, later);
+        assert!(matches!(coord.grant_at(3, later), Msg::Lease { slice: 0 }));
+        assert_eq!(coord.state.lock().unwrap().releases, 1);
+        // A worker disconnect expires its leases with no wait at all.
+        coord.release_all_at(2, later);
+        assert!(matches!(coord.grant_at(3, later), Msg::Lease { .. }));
+    }
+
+    #[test]
+    fn record_is_idempotent_and_bounds_checked() {
+        let job = small_job();
+        let coord = Coord::new(job.clone(), 2, ServeOptions::default());
+        let out0 = job.run_slice_index(0);
+        let out0_dup = job.run_slice_index(0);
+        coord.record(0, out0).unwrap();
+        coord.record(0, out0_dup).unwrap();
+        {
+            let st = coord.state.lock().unwrap();
+            assert_eq!(st.duplicates, 1);
+            assert_eq!(st.pending, 1);
+        }
+        let err = coord.record(7, job.run_slice_index(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Wrong-campaign results are turned away before touching slots.
+        let mut foreign = job.clone();
+        foreign.seed = 43;
+        let mut alien = foreign.run_slice_index(1);
+        alien.spec_digest ^= 1;
+        assert!(coord.record(1, alien).is_err());
+    }
+
+    #[test]
+    fn loopback_worker_matches_local_sharded_run() {
+        let job = small_job();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let serve_job = job.clone();
+        let coordinator = std::thread::spawn(move || {
+            serve_campaign(listener, serve_job, ServeOptions::default()).unwrap()
+        });
+        let worker = std::thread::spawn(move || {
+            run_worker(addr, WorkerOptions::default()).unwrap()
+        });
+        let report = coordinator.join().unwrap();
+        let wr = worker.join().unwrap();
+        let local = run_sharded(job.spec.topology(job.seed), job.config());
+        assert_eq!(report.output.fingerprint(), local.fingerprint());
+        assert_eq!(report.slices, 4);
+        assert_eq!(wr.slices_run, 4);
+        assert_eq!(report.duplicates, 0);
+    }
+}

@@ -198,6 +198,98 @@ impl ExperimentOutput {
     }
 }
 
+/// Wire version of the distributed result format. Bump when any
+/// accumulator's serde layout changes incompatibly; a coordinator and
+/// worker disagreeing on this value must fail loudly, never merge.
+pub const OUTPUT_WIRE_VERSION: u32 = 1;
+
+// Versioned wire format (v1): the exact in-memory state crosses the
+// wire — every accumulator cell and the bit patterns of every f64 sum —
+// so a slice result computed on another host merges byte-identically to
+// one computed locally. `duration` travels as integer microseconds.
+impl serde::Serialize for ExperimentOutput {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("v".into(), serde::Value::Int(OUTPUT_WIRE_VERSION as i64)),
+            ("scenario".into(), self.scenario.to_value()),
+            ("spec_digest".into(), self.spec_digest.to_value()),
+            ("names".into(), self.names.to_value()),
+            ("loss".into(), self.loss.to_value()),
+            ("win20".into(), self.win20.to_value()),
+            ("win60".into(), self.win60.to_value()),
+            ("net".into(), self.net.to_value()),
+            ("overlay_probes".into(), self.overlay_probes.to_value()),
+            ("measure_legs".into(), self.measure_legs.to_value()),
+            ("collector".into(), self.collector.to_value()),
+            ("route_usage".into(), self.route_usage.to_value()),
+            ("n".into(), self.n.to_value()),
+            ("duration_us".into(), self.duration.as_micros().to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for ExperimentOutput {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Map(entries) = v else {
+            return Err(serde::Error::new(format!(
+                "ExperimentOutput: expected map, found {}",
+                v.kind()
+            )));
+        };
+        const FIELDS: [&str; 14] = [
+            "v",
+            "scenario",
+            "spec_digest",
+            "names",
+            "loss",
+            "win20",
+            "win60",
+            "net",
+            "overlay_probes",
+            "measure_legs",
+            "collector",
+            "route_usage",
+            "n",
+            "duration_us",
+        ];
+        for (k, _) in entries {
+            if !FIELDS.contains(&k.as_str()) {
+                return Err(serde::Error::new(format!("ExperimentOutput: unknown field `{k}`")));
+            }
+        }
+        let version = u32::from_value(v.field("v")?)?;
+        if version != OUTPUT_WIRE_VERSION {
+            return Err(serde::Error::new(format!(
+                "ExperimentOutput: unsupported wire version {version} (this build speaks \
+                 {OUTPUT_WIRE_VERSION})"
+            )));
+        }
+        let out = ExperimentOutput {
+            scenario: String::from_value(v.field("scenario")?)?,
+            spec_digest: u64::from_value(v.field("spec_digest")?)?,
+            names: Vec::<String>::from_value(v.field("names")?)?,
+            loss: LossAccum::from_value(v.field("loss")?)?,
+            win20: WindowAccum::from_value(v.field("win20")?)?,
+            win60: WindowAccum::from_value(v.field("win60")?)?,
+            net: NetCounters::from_value(v.field("net")?)?,
+            overlay_probes: u64::from_value(v.field("overlay_probes")?)?,
+            measure_legs: u64::from_value(v.field("measure_legs")?)?,
+            collector: CollectorStats::from_value(v.field("collector")?)?,
+            route_usage: <[(u64, u64); 4]>::from_value(v.field("route_usage")?)?,
+            n: usize::from_value(v.field("n")?)?,
+            duration: SimDuration::from_micros(u64::from_value(v.field("duration_us")?)?),
+        };
+        if out.loss.n() != out.n {
+            return Err(serde::Error::new(format!(
+                "ExperimentOutput: loss accumulator is {}-host but n={}",
+                out.loss.n(),
+                out.n
+            )));
+        }
+        Ok(out)
+    }
+}
+
 enum Ev {
     /// Overlay timer for one host.
     NodeTimer(u16),
@@ -207,8 +299,22 @@ enum Ev {
     Arrive { to: u16, packet: Packet },
     /// The delayed second leg of a dd probe.
     Leg { src: u16, dst: u16, id: u64, method: u8, leg: u8, tag: RouteTag, exclude: Option<Route> },
+    /// A delayed leg of an `all_prior` probe: carries every route the
+    /// earlier legs actually took, and (unlike [`Ev::Leg`]) chains — the
+    /// handler schedules the next leg so it can append its own route.
+    DiverseLeg { src: u16, dst: u16, id: u64, method: u8, leg: u8, prior: Vec<Route> },
     /// Collector sweep.
     Sweep,
+}
+
+/// Which previously-used routes a measurement leg must steer around.
+enum Avoid<'a> {
+    /// First leg, or a non-`distinct` copy: no constraint.
+    None,
+    /// §3.2 pairwise diversity: avoid the first copy's path only.
+    First(Route),
+    /// Full diversity (`all_prior`): avoid every prior leg's path.
+    Prior(&'a [Route]),
 }
 
 fn policy_for(tag: RouteTag) -> Policy {
@@ -320,7 +426,7 @@ impl Runner {
         method: u8,
         leg: u8,
         tag: RouteTag,
-        exclude: Option<Route>,
+        avoid: Avoid<'_>,
     ) -> Route {
         let kind = if self.cfg.round_trip { MeasureKind::Request } else { MeasureKind::OneWay };
         let sent_local_us = self.local(src, now);
@@ -336,11 +442,12 @@ impl Runner {
         });
         self.measure_legs += 1;
         let node = &mut self.nodes[src as usize];
-        let route = match exclude {
+        let route = match avoid {
+            Avoid::None => node.route(HostId(dst), policy_for(tag), now),
             // §3.2: the second copy of a multi-path pair travels a
             // distinct path.
-            Some(first) => node.route_diverse(HostId(dst), policy_for(tag), now, first),
-            None => node.route(HostId(dst), policy_for(tag), now),
+            Avoid::First(first) => node.route_diverse(HostId(dst), policy_for(tag), now, first),
+            Avoid::Prior(prior) => node.route_avoiding(HostId(dst), policy_for(tag), now, prior),
         };
         let pkt = Packet::Measure {
             id,
@@ -383,7 +490,44 @@ impl Runner {
             dst += 1;
         }
         let id = self.rng.next_u64();
-        let first_route = self.send_measure(now, h, dst, id, midx as u8, 0, method.legs[0], None);
+        let first_route =
+            self.send_measure(now, h, dst, id, midx as u8, 0, method.legs[0], Avoid::None);
+        if method.all_prior && method.legs.len() > 1 {
+            // Full diversity: every copy steers around every earlier
+            // copy's actual route, not just the first one's.
+            if method.gap == SimDuration::ZERO {
+                let mut prior = vec![first_route];
+                for (leg, &tag) in method.legs.iter().enumerate().skip(1) {
+                    let r = self.send_measure(
+                        now,
+                        h,
+                        dst,
+                        id,
+                        midx as u8,
+                        leg as u8,
+                        tag,
+                        Avoid::Prior(&prior),
+                    );
+                    prior.push(r);
+                }
+            } else {
+                // Delayed legs chain through DiverseLeg: each handler
+                // appends its route before scheduling the next, so every
+                // leg sees all actual predecessors.
+                self.q.push(
+                    now + method.gap,
+                    Ev::DiverseLeg {
+                        src: h,
+                        dst,
+                        id,
+                        method: midx as u8,
+                        leg: 1,
+                        prior: vec![first_route],
+                    },
+                );
+            }
+            return;
+        }
         // Redundant copies: leg i rides i gaps behind the first. §3.2's
         // path diversity generalizes as "every later copy avoids the
         // first copy's path" — copies beyond the second may still share
@@ -391,7 +535,16 @@ impl Runner {
         for (leg, &tag) in method.legs.iter().enumerate().skip(1) {
             let exclude = if method.distinct { Some(first_route) } else { None };
             if method.gap == SimDuration::ZERO {
-                self.send_measure(now, h, dst, id, midx as u8, leg as u8, tag, exclude);
+                self.send_measure(
+                    now,
+                    h,
+                    dst,
+                    id,
+                    midx as u8,
+                    leg as u8,
+                    tag,
+                    exclude.map_or(Avoid::None, Avoid::First),
+                );
             } else {
                 self.q.push(
                     now + method.gap * leg as u64,
@@ -534,7 +687,42 @@ impl Runner {
                 Ev::Arrive { to, packet } => self.on_arrive(now, to, packet),
                 Ev::Leg { src, dst, id, method, leg, tag, exclude } => {
                     if self.net.host_up(HostId(src), now) {
-                        self.send_measure(now, src, dst, id, method, leg, tag, exclude);
+                        self.send_measure(
+                            now,
+                            src,
+                            dst,
+                            id,
+                            method,
+                            leg,
+                            tag,
+                            exclude.map_or(Avoid::None, Avoid::First),
+                        );
+                    }
+                }
+                Ev::DiverseLeg { src, dst, id, method, leg, mut prior } => {
+                    let m = &self.cfg.methods.methods[method as usize];
+                    let tag = m.legs[leg as usize];
+                    let gap = m.gap;
+                    let legs = m.legs.len() as u8;
+                    if self.net.host_up(HostId(src), now) {
+                        let r = self.send_measure(
+                            now,
+                            src,
+                            dst,
+                            id,
+                            method,
+                            leg,
+                            tag,
+                            Avoid::Prior(&prior),
+                        );
+                        prior.push(r);
+                    }
+                    let next = leg + 1;
+                    if next < legs {
+                        self.q.push(
+                            now + gap,
+                            Ev::DiverseLeg { src, dst, id, method, leg: next, prior },
+                        );
                     }
                 }
                 Ev::Sweep => {
@@ -593,7 +781,7 @@ pub fn run_experiment(topo: Topology, cfg: ExperimentConfig) -> ExperimentOutput
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::method::MethodSet;
+    use crate::method::{Method, MethodSet};
 
     fn quick_cfg(methods: MethodSet, seed: u64, mins: u64) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::new(methods);
@@ -687,6 +875,48 @@ mod tests {
         assert_eq!(a.pairs, b.pairs);
         assert!((a.lp1 - b.lp1).abs() < 1e-9);
         assert_eq!(b.lp2, None, "views are single-packet");
+    }
+
+    fn k_leg_set(all_prior: bool, legs: Vec<RouteTag>, gap_ms: u64) -> MethodSet {
+        let mut m = Method::redundant("k!", legs, SimDuration::from_millis(gap_ms));
+        m.all_prior = all_prior;
+        MethodSet { methods: vec![m], views: Vec::new() }
+    }
+
+    #[test]
+    fn two_leg_all_prior_is_exactly_pairwise_diversity() {
+        // With two legs "avoid all prior routes" degenerates to "avoid
+        // the first route", and the avoiding router consumes RNG draws
+        // identically — the whole run must be bit-equal, which is what
+        // keeps the knob's default off-state away from the goldens.
+        let run = |all_prior| {
+            let set = k_leg_set(all_prior, vec![RouteTag::Direct, RouteTag::Rand], 10);
+            let topo = Topology::synthetic(5, 0.01, 37);
+            run_experiment(topo, quick_cfg(set, 37, 60)).fingerprint()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn four_leg_all_prior_steers_later_legs_off_prior_paths() {
+        let run = |all_prior, gap_ms| {
+            let legs =
+                vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Rand, RouteTag::Rand];
+            let topo = Topology::synthetic(5, 0.01, 41);
+            run_experiment(topo, quick_cfg(k_leg_set(all_prior, legs, gap_ms), 41, 60))
+        };
+        let pairwise = run(false, 10).fingerprint();
+        let full = run(true, 10);
+        assert_ne!(
+            pairwise,
+            full.fingerprint(),
+            "legs 3 and 4 must route around *all* predecessors, not just leg 1"
+        );
+        assert_eq!(full.fingerprint(), run(true, 10).fingerprint(), "and deterministically");
+        // The gap-0 sequential path exercises the same avoidance inline.
+        let seq = run(true, 0);
+        assert!(seq.summary("k!").unwrap().pairs > 30);
+        assert!(seq.measure_legs >= 4 * seq.summary("k!").unwrap().pairs);
     }
 
     #[test]

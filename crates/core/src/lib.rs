@@ -17,6 +17,10 @@
 //!   partitioned into independent workload slices executed on N worker
 //!   threads, with a merge that is byte-identical to the sequential
 //!   run for every shard count;
+//! * [`distrib`] — the same slices farmed to worker *processes* over a
+//!   small TCP protocol (length-prefixed JSON frames, leases with
+//!   timeout and re-issue, idempotent slice-indexed merge), extending
+//!   the byte-identity guarantee across hosts;
 //! * [`scenario`] — the declarative scenario API: serde-serializable
 //!   [`ScenarioSpec`]s (testbed, methods,
 //!   impairment plan, calibration) and the open [`ScenarioRegistry`]
@@ -33,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod distrib;
 pub mod experiment;
 pub mod matrix;
 pub mod method;
@@ -41,6 +46,10 @@ pub mod report;
 pub mod scenario;
 pub mod shard;
 
+pub use distrib::{
+    run_worker, serve_campaign, CampaignJob, ServeOptions, ServeReport, WorkerOptions,
+    WorkerReport,
+};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentOutput};
 pub use matrix::{render_matrix, run_matrix, MatrixCell, MatrixOutput, MatrixScenario};
 pub use method::{Method, MethodSet, MethodSetSpec, MethodSpec, View, ViewSpec, MAX_PROBE_LEGS};

@@ -200,12 +200,14 @@ mod tests {
                     legs: vec![RouteTag::Direct],
                     gap_ms: 0.0,
                     distinct: false,
+                    all_prior: false,
                 },
                 MethodSpec {
                     name: "triple".into(),
                     legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Rand],
                     gap_ms: 0.0,
                     distinct: true,
+                    all_prior: false,
                 },
             ],
             views: Vec::new(),

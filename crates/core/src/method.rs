@@ -33,24 +33,47 @@ pub struct Method {
     /// from the first copy's (§3.2 multi-path pairs: true; the
     /// same-path dd probes: false).
     pub distinct: bool,
+    /// Strengthens `distinct` for k > 2 probes: every copy avoids the
+    /// paths of **all** earlier copies, not just the first copy's.
+    /// False is the historical behavior (and the serde default), where
+    /// copies beyond the second may share a detour with each other.
+    pub all_prior: bool,
 }
 
 impl Method {
     /// A single-packet method.
     pub fn single(name: &str, tag: RouteTag) -> Method {
-        Method { name: name.to_string(), legs: vec![tag], gap: SimDuration::ZERO, distinct: false }
+        Method {
+            name: name.to_string(),
+            legs: vec![tag],
+            gap: SimDuration::ZERO,
+            distinct: false,
+            all_prior: false,
+        }
     }
 
     /// A 2-redundant multi-path pair: copies must use distinct paths.
     pub fn pair(name: &str, a: RouteTag, b: RouteTag, gap: SimDuration) -> Method {
-        Method { name: name.to_string(), legs: vec![a, b], gap, distinct: true }
+        Method {
+            name: name.to_string(),
+            legs: vec![a, b],
+            gap,
+            distinct: true,
+            all_prior: false,
+        }
     }
 
     /// A k-redundant multi-path probe: one copy per tag, consecutive
     /// copies `gap` apart, every copy after the first on a path distinct
     /// from the first copy's.
     pub fn redundant(name: &str, legs: Vec<RouteTag>, gap: SimDuration) -> Method {
-        Method { name: name.to_string(), legs, gap, distinct: true }
+        Method { name: name.to_string(), legs, gap, distinct: true, all_prior: false }
+    }
+
+    /// A k-redundant probe under full diversity: every copy avoids the
+    /// paths of all earlier copies (best effort on small meshes).
+    pub fn redundant_diverse(name: &str, legs: Vec<RouteTag>, gap: SimDuration) -> Method {
+        Method { name: name.to_string(), legs, gap, distinct: true, all_prior: true }
     }
 
     /// A same-path pair (direct direct / dd 10 ms / dd 20 ms).
@@ -60,6 +83,7 @@ impl Method {
             legs: vec![RouteTag::Direct, RouteTag::Direct],
             gap,
             distinct: false,
+            all_prior: false,
         }
     }
 }
@@ -147,6 +171,14 @@ impl MethodSet {
             }
             if m.distinct && m.legs.len() < 2 {
                 return Err(format!("method `{}` is `distinct` but sends a single copy", m.name));
+            }
+            if m.all_prior && !m.distinct {
+                // all_prior is a strengthening of distinct; alone it
+                // would promise diversity the first copy never asked for.
+                return Err(format!(
+                    "method `{}` sets `all_prior` without `distinct`",
+                    m.name
+                ));
             }
             // Leg i departs i gaps after the first copy, but the
             // collector resolves the probe one receive window (60 s by
@@ -264,7 +296,7 @@ impl MethodSet {
 ///
 /// The gap is carried in milliseconds (`gap_ms`) rather than an opaque
 /// duration so hand-written files stay readable.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodSpec {
     /// Display name (must be unique across the set, views included).
     pub name: String,
@@ -274,6 +306,55 @@ pub struct MethodSpec {
     pub gap_ms: f64,
     /// Whether copies after the first must avoid the first copy's path.
     pub distinct: bool,
+    /// Full-diversity strengthening of `distinct`: every copy avoids
+    /// **all** earlier copies' paths. Optional in files and omitted from
+    /// JSON when false, so every pre-existing spec keeps its canonical
+    /// serialization — and therefore its digest and goldens.
+    pub all_prior: bool,
+}
+
+// Hand-written so the `all_prior` key only exists on the wire when it
+// is true: the derive would emit `"all_prior":false` into every spec,
+// shifting ScenarioSpec::digest for all existing scenarios and
+// invalidating their golden fingerprints.
+impl serde::Serialize for MethodSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("legs".to_string(), self.legs.to_value()),
+            ("gap_ms".to_string(), self.gap_ms.to_value()),
+            ("distinct".to_string(), self.distinct.to_value()),
+        ];
+        if self.all_prior {
+            fields.push(("all_prior".to_string(), self.all_prior.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl serde::Deserialize for MethodSpec {
+    fn from_value(v: &serde::Value) -> Result<MethodSpec, serde::Error> {
+        let serde::Value::Map(entries) = v else {
+            return Err(serde::Error::new("MethodSpec: expected a map"));
+        };
+        const FIELDS: [&str; 5] = ["name", "legs", "gap_ms", "distinct", "all_prior"];
+        for (key, _) in entries {
+            if !FIELDS.contains(&key.as_str()) {
+                return Err(serde::Error::new(format!("MethodSpec: unknown field `{key}`")));
+            }
+        }
+        let all_prior = match entries.iter().find(|(key, _)| key == "all_prior") {
+            Some((_, val)) => bool::from_value(val)?,
+            None => false,
+        };
+        Ok(MethodSpec {
+            name: Deserialize::from_value(v.field("name")?)?,
+            legs: Deserialize::from_value(v.field("legs")?)?,
+            gap_ms: Deserialize::from_value(v.field("gap_ms")?)?,
+            distinct: Deserialize::from_value(v.field("distinct")?)?,
+            all_prior,
+        })
+    }
 }
 
 /// Serde form of an inferred single-packet view.
@@ -335,6 +416,7 @@ impl MethodSetSpec {
                     legs: m.legs.clone(),
                     gap: SimDuration::from_micros((m.gap_ms * 1_000.0).round() as u64),
                     distinct: m.distinct,
+                    all_prior: m.all_prior,
                 })
                 .collect(),
             views: self
@@ -431,12 +513,14 @@ mod tests {
                     legs: vec![RouteTag::Direct],
                     gap_ms: 0.0,
                     distinct: false,
+                    all_prior: false,
                 },
                 MethodSpec {
                     name: "triple".into(),
                     legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Loss],
                     gap_ms: 10.0,
                     distinct: true,
+                    all_prior: false,
                 },
             ],
             views: vec![ViewSpec { name: "triple[0]*".into(), source: 1, leg: 0 }],
@@ -485,6 +569,68 @@ mod tests {
             .map(|i| ViewSpec { name: format!("v{i}"), source: 1, leg: 0 })
             .collect();
         assert!(oversize.validate().unwrap_err().contains("u8 method-id space"));
+    }
+
+    #[test]
+    fn all_prior_requires_distinct() {
+        let mut s = triple_spec();
+        s.methods[1].all_prior = true;
+        s.methods[1].distinct = false;
+        assert!(s.validate().unwrap_err().contains("all_prior"));
+        s.methods[1].distinct = true;
+        assert!(s.validate().is_ok(), "all_prior + distinct is the valid combination");
+    }
+
+    #[test]
+    fn all_prior_is_omitted_from_the_wire_when_false() {
+        // Existing scenario files (and their digests) predate the knob:
+        // a false `all_prior` must serialize to the exact historical JSON.
+        let spec = MethodSpec {
+            name: "dd".into(),
+            legs: vec![RouteTag::Direct, RouteTag::Direct],
+            gap_ms: 0.0,
+            distinct: false,
+            all_prior: false,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(
+            json,
+            r#"{"name":"dd","legs":["Direct","Direct"],"gap_ms":0.0,"distinct":false}"#
+        );
+        let back: MethodSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn all_prior_round_trips_when_set() {
+        let spec = MethodSpec {
+            name: "r3!".into(),
+            legs: vec![RouteTag::Rand; 3],
+            gap_ms: 10.0,
+            distinct: true,
+            all_prior: true,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains(r#""all_prior":true"#));
+        let back: MethodSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        // Unknown keys still rejected (strict wire).
+        assert!(serde_json::from_str::<MethodSpec>(
+            r#"{"name":"x","legs":["Rand"],"gap_ms":0,"distinct":false,"al_prior":true}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn redundant_diverse_constructor_sets_both_flags() {
+        let m = Method::redundant_diverse(
+            "r4!",
+            vec![RouteTag::Rand; 4],
+            SimDuration::from_millis(10),
+        );
+        assert!(m.distinct && m.all_prior);
+        let set = MethodSet { methods: vec![m], views: Vec::new() };
+        assert!(set.validate().is_ok());
     }
 
     #[test]

@@ -760,12 +760,14 @@ mod tests {
                     legs: vec![RouteTag::Direct],
                     gap_ms: 0.0,
                     distinct: false,
+                    all_prior: false,
                 },
                 MethodSpec {
                     name: "triple rand".into(),
                     legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Rand],
                     gap_ms: 0.0,
                     distinct: true,
+                    all_prior: false,
                 },
             ],
             views: vec![ViewSpec { name: "triple rand*".into(), source: 1, leg: 0 }],
@@ -816,6 +818,7 @@ mod tests {
                 legs: vec![RouteTag::Direct],
                 gap_ms: 0.0,
                 distinct: false,
+                all_prior: false,
             }],
             views: vec![ViewSpec { name: "v".into(), source: 0, leg: 2 }],
         });

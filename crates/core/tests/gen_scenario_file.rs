@@ -28,24 +28,28 @@ fn triple_redundant() -> ScenarioSpec {
                     legs: vec![RouteTag::Loss],
                     gap_ms: 0.0,
                     distinct: false,
+                    all_prior: false,
                 },
                 MethodSpec {
                     name: "direct rand".into(),
                     legs: vec![RouteTag::Direct, RouteTag::Rand],
                     gap_ms: 0.0,
                     distinct: true,
+                    all_prior: false,
                 },
                 MethodSpec {
                     name: "direct rand rand".into(),
                     legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Rand],
                     gap_ms: 0.0,
                     distinct: true,
+                    all_prior: false,
                 },
                 MethodSpec {
                     name: "dr lat loss".into(),
                     legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Lat, RouteTag::Loss],
                     gap_ms: 0.0,
                     distinct: true,
+                    all_prior: false,
                 },
             ],
             views: vec![ViewSpec { name: "direct*".into(), source: 1, leg: 0 }],

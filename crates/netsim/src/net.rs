@@ -38,7 +38,7 @@ impl Delivery {
 }
 
 /// Aggregate flow counters for a run.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetCounters {
     /// Packets offered to the network.
     pub sent: u64,

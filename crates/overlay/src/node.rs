@@ -257,6 +257,18 @@ impl OverlayNode {
         self.table.route_diverse(dst, policy, now, &mut self.rng, exclude)
     }
 
+    /// Selects a route to `dst` distinct from every route in `avoid`
+    /// (leg k of a k-redundant probe under full prior-leg diversity).
+    pub fn route_avoiding(
+        &mut self,
+        dst: HostId,
+        policy: Policy,
+        now: SimTime,
+        avoid: &[Route],
+    ) -> Route {
+        self.table.route_avoiding(dst, policy, now, &mut self.rng, avoid)
+    }
+
     /// Wraps `packet` for the chosen route: direct packets go straight to
     /// the destination, indirect ones are encapsulated for the
     /// intermediate hop.

@@ -182,30 +182,53 @@ impl LinkStateTable {
         rng: &mut Rng,
         exclude: Route,
     ) -> Route {
+        // One excluded route is the k = 2 case of full diversity; the
+        // avoiding path consumes RNG draws identically, so historical
+        // results are bit-preserved.
+        self.route_avoiding(dst, policy, now, rng, &[exclude])
+    }
+
+    /// Selects a route toward `dst` distinct from *every* route in
+    /// `avoid` — leg k of a k-redundant probe under full (all prior
+    /// legs) diversity. With one entry this is exactly
+    /// [`Self::route_diverse`]. Best effort: when the mesh offers no
+    /// unused path, a random detour (possibly colliding) is taken, as in
+    /// the 2-leg case.
+    pub fn route_avoiding(
+        &self,
+        dst: HostId,
+        policy: Policy,
+        now: SimTime,
+        rng: &mut Rng,
+        avoid: &[Route],
+    ) -> Route {
         debug_assert_ne!(dst, self.me);
+        if avoid.is_empty() {
+            return self.route(dst, policy, now, rng);
+        }
         let candidate = match policy {
             Policy::Direct => Route::Direct,
-            Policy::Random => self.random_excluding(dst, rng, exclude),
-            Policy::MinLoss => self.argmin_excluding(dst, now, exclude, |mine, rm| {
+            Policy::Random => self.random_avoiding(dst, rng, avoid),
+            Policy::MinLoss => self.argmin_avoiding(dst, now, avoid, |mine, rm| {
                 1.0 - (1.0 - mine.loss_estimate()) * (1.0 - rm.loss)
             }),
-            Policy::MinLat => self.argmin_excluding(dst, now, exclude, |mine, rm| {
+            Policy::MinLat => self.argmin_avoiding(dst, now, avoid, |mine, rm| {
                 mine.latency_us().unwrap_or(f64::INFINITY) + rm.lat_us
             }),
         };
-        if candidate == exclude {
+        if avoid.contains(&candidate) {
             // Direct policy with direct excluded, or a degenerate mesh:
             // force a random detour (any diversity beats none).
-            self.random_excluding(dst, rng, exclude)
+            self.random_avoiding(dst, rng, avoid)
         } else {
             candidate
         }
     }
 
-    fn random_excluding(&self, dst: HostId, rng: &mut Rng, exclude: Route) -> Route {
+    fn random_avoiding(&self, dst: HostId, rng: &mut Rng, avoid: &[Route]) -> Route {
         for _ in 0..8 {
             let r = self.random_via(dst, rng);
-            if r != exclude {
+            if !avoid.contains(&r) {
                 return r;
             }
         }
@@ -214,16 +237,16 @@ impl LinkStateTable {
     }
 
     /// Best route by `score` (lower is better) among direct and one-hop
-    /// candidates, skipping `exclude`. No hysteresis: when a route is
-    /// excluded the question is "what is the best *other* path", not
-    /// "is a detour worth the risk".
-    fn argmin_excluding<F>(&self, dst: HostId, now: SimTime, exclude: Route, score: F) -> Route
+    /// candidates, skipping everything in `avoid`. No hysteresis: when
+    /// routes are excluded the question is "what is the best *other*
+    /// path", not "is a detour worth the risk".
+    fn argmin_avoiding<F>(&self, dst: HostId, now: SimTime, avoid: &[Route], score: F) -> Route
     where
         F: Fn(&PathStats, &RemoteMetric) -> f64,
     {
         let mut best = None;
         let mut best_score = f64::INFINITY;
-        if exclude != Route::Direct {
+        if !avoid.contains(&Route::Direct) {
             let d = &self.direct[dst.idx()];
             if !d.is_dead() {
                 // Score direct as a one-hop with a perfect second hop.
@@ -239,7 +262,7 @@ impl LinkStateTable {
                 continue;
             }
             let kh = HostId(k as u16);
-            if exclude == Route::Via(kh) {
+            if avoid.contains(&Route::Via(kh)) {
                 continue;
             }
             let mine = &self.direct[k];
@@ -256,7 +279,7 @@ impl LinkStateTable {
                 best = Some(Route::Via(kh));
             }
         }
-        best.unwrap_or(exclude) // caller resolves the collision
+        best.unwrap_or(avoid[0]) // caller resolves the collision
     }
 
     fn random_via(&self, dst: HostId, rng: &mut Rng) -> Route {
@@ -643,5 +666,78 @@ mod diverse_tests {
         let mut rng = Rng::new(6);
         let r = t.route_diverse(HostId(3), Policy::MinLoss, now, &mut rng, Route::Direct);
         assert_eq!(r, Route::Via(HostId(2)), "dead hop 1 must be skipped");
+    }
+
+    #[test]
+    fn avoiding_empty_is_plain_routing() {
+        let mut t = table(5);
+        let now = SimTime::from_secs(50);
+        feed_direct(&mut t, 4, 0, 100, 10);
+        feed_direct(&mut t, 1, 0, 100, 30);
+        vector_from(&mut t, 1, 4, 0.0, 30, now);
+        let mut rng_a = Rng::new(7);
+        let mut rng_b = Rng::new(7);
+        let plain = t.route(HostId(4), Policy::MinLoss, now, &mut rng_a);
+        let avoiding = t.route_avoiding(HostId(4), Policy::MinLoss, now, &mut rng_b, &[]);
+        assert_eq!(plain, avoiding);
+    }
+
+    #[test]
+    fn all_prior_legs_stay_disjoint_in_a_rich_mesh() {
+        // 6-node mesh toward host 5: direct plus intermediates 1..=4 all
+        // usable, ranked by loss. Successive legs of a 4-redundant probe
+        // under full diversity must each take a route none of the prior
+        // legs used — in particular legs 3 and 4, which `route_diverse`
+        // (first-leg-only exclusion) cannot guarantee.
+        let mut t = table(6);
+        let now = SimTime::from_secs(50);
+        feed_direct(&mut t, 5, 0, 100, 10);
+        feed_direct(&mut t, 1, 1, 99, 10);
+        feed_direct(&mut t, 2, 2, 98, 10);
+        feed_direct(&mut t, 3, 3, 97, 10);
+        feed_direct(&mut t, 4, 4, 96, 10);
+        for k in 1..=4 {
+            vector_from(&mut t, k, 5, 0.0, 10, now);
+        }
+        let mut rng = Rng::new(8);
+        let mut used = vec![t.route(HostId(5), Policy::MinLoss, now, &mut rng)];
+        for leg in 2..=4 {
+            let r = t.route_avoiding(HostId(5), Policy::MinLoss, now, &mut rng, &used);
+            assert!(
+                !used.contains(&r),
+                "leg {leg} reused a prior route {r:?} (used: {used:?})"
+            );
+            used.push(r);
+        }
+        // Deterministic ranking: direct, then intermediates in loss order.
+        assert_eq!(
+            used,
+            vec![
+                Route::Direct,
+                Route::Via(HostId(1)),
+                Route::Via(HostId(2)),
+                Route::Via(HostId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn exhausted_mesh_falls_back_to_a_detour() {
+        // 3-node mesh: only two distinct routes to host 2 exist. A third
+        // leg cannot be disjoint; it must still return *a* route.
+        let mut t = table(3);
+        let now = SimTime::from_secs(50);
+        feed_direct(&mut t, 2, 0, 100, 10);
+        feed_direct(&mut t, 1, 0, 100, 10);
+        vector_from(&mut t, 1, 2, 0.0, 10, now);
+        let mut rng = Rng::new(9);
+        let r = t.route_avoiding(
+            HostId(2),
+            Policy::MinLoss,
+            now,
+            &mut rng,
+            &[Route::Direct, Route::Via(HostId(1))],
+        );
+        assert_eq!(r, Route::Via(HostId(1)), "only detour in a 3-node mesh");
     }
 }

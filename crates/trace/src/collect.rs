@@ -73,7 +73,7 @@ type FxMap<V> = HashMap<u64, V, BuildHasherDefault<FxU64>>;
 /// Because every probe pair belongs to exactly one slice, the merged
 /// numbers equal what a single collector fed the union of events would
 /// have produced.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CollectorStats {
     /// Probe pairs resolved (each pair exactly once).
     pub resolved: u64,

@@ -1,0 +1,248 @@
+//! The distributed equivalence harness: a campaign served by
+//! `serve_campaign` to TCP workers must produce a **byte-identical**
+//! report to the in-process `shards = 1` sequential run — for any
+//! worker count, and under injected faults.
+//!
+//! Three layers of proof:
+//!
+//! * loopback fleets of 1, 2 and 4 real workers on two scenarios,
+//!   compared by [`ExperimentOutput::fingerprint`] *and* the rendered
+//!   table text (the user-visible artifact);
+//! * fault injection with hand-driven fake workers speaking the
+//!   blocking protocol helpers: a worker killed mid-slice (lease
+//!   re-issued on disconnect), a stalled worker that never heartbeats
+//!   (lease times out), and a duplicated slice result (deduped by slice
+//!   index) — the campaign must still finish and still match the
+//!   sequential bits;
+//! * handshake policing: a version-skewed worker is denied without
+//!   damaging the campaign.
+//!
+//! Timeouts here are aggressively short (`lease_timeout` 250 ms,
+//! heartbeats every 50 ms) so the failure paths run in test time; the
+//! heartbeat thread keeps honest-but-slow slices alive.
+
+use mpath::core::distrib::{read_msg_blocking, write_msg_blocking, Msg, PROTO_VERSION};
+use mpath::core::experiment::OUTPUT_WIRE_VERSION;
+use mpath::core::{
+    report, run_worker, serve_campaign, CampaignJob, ExperimentOutput, ScenarioRegistry,
+    ScenarioSpec, ServeOptions, ServeReport, WorkerOptions, WorkerReport,
+};
+use mpath::netsim::SimDuration;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+fn job(name: &str) -> CampaignJob {
+    let spec = ScenarioRegistry::builtin().get(name).expect("builtin scenario").clone();
+    CampaignJob {
+        spec,
+        seed: 42,
+        duration_us: SimDuration::from_mins(40).as_micros(),
+        slice_width_us: SimDuration::from_mins(10).as_micros(),
+    }
+}
+
+/// The in-process reference: the same job, sequentially.
+fn sequential(j: &CampaignJob) -> ExperimentOutput {
+    let mut cfg = j.config();
+    cfg.shards = 1;
+    mpath::core::run_experiment(j.spec.topology(j.seed), cfg)
+}
+
+fn rendered(spec: &ScenarioSpec, out: &ExperimentOutput) -> String {
+    if spec.round_trip {
+        analysis::render_table7(&report::table7(out))
+    } else {
+        analysis::render_table5("distributed", &report::table5(out))
+    }
+}
+
+fn fast_serve() -> ServeOptions {
+    ServeOptions { lease_timeout: Duration::from_millis(250), poll_ms: 50 }
+}
+
+fn fast_worker() -> WorkerOptions {
+    WorkerOptions { heartbeat: Duration::from_millis(50) }
+}
+
+/// Binds a loopback coordinator and returns its join handle + address.
+fn spawn_coordinator(
+    j: &CampaignJob,
+) -> (std::thread::JoinHandle<ServeReport>, SocketAddr) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let serve_job = j.clone();
+    let handle = std::thread::spawn(move || {
+        serve_campaign(listener, serve_job, fast_serve()).expect("campaign serves")
+    });
+    (handle, addr)
+}
+
+fn spawn_workers(addr: SocketAddr, count: usize) -> Vec<std::thread::JoinHandle<WorkerReport>> {
+    (0..count)
+        .map(|_| std::thread::spawn(move || run_worker(addr, fast_worker()).expect("worker runs")))
+        .collect()
+}
+
+fn distributed(j: &CampaignJob, workers: usize) -> (ServeReport, Vec<WorkerReport>) {
+    let (coordinator, addr) = spawn_coordinator(j);
+    let handles = spawn_workers(addr, workers);
+    let report = coordinator.join().expect("coordinator thread");
+    let worker_reports = handles.into_iter().map(|h| h.join().expect("worker thread")).collect();
+    (report, worker_reports)
+}
+
+/// A fake worker's handshake: speak the blocking protocol far enough to
+/// hold a `Job`, ready to misbehave.
+fn fake_handshake(addr: SocketAddr) -> TcpStream {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write_msg_blocking(
+        &mut s,
+        &Msg::Hello { proto: PROTO_VERSION, output_wire: OUTPUT_WIRE_VERSION },
+    )
+    .unwrap();
+    match read_msg_blocking(&mut s).unwrap() {
+        Some(Msg::Job { .. }) => s,
+        other => panic!("expected Job, got {other:?}"),
+    }
+}
+
+/// Sends `Ready` and insists on a `Lease`, retrying through `Wait`s.
+fn lease_slice(s: &mut TcpStream) -> u64 {
+    loop {
+        write_msg_blocking(s, &Msg::Ready).unwrap();
+        match read_msg_blocking(s).unwrap() {
+            Some(Msg::Lease { slice }) => return slice,
+            Some(Msg::Wait { poll_ms }) => {
+                std::thread::sleep(Duration::from_millis(poll_ms.clamp(1, 100)));
+            }
+            other => panic!("expected a grant, got {other:?}"),
+        }
+    }
+}
+
+fn assert_distributed_equivalent(name: &str) {
+    let j = job(name);
+    let seq = sequential(&j);
+    assert!(seq.measure_legs > 0, "{name}: the reference run must move traffic");
+    for workers in [1usize, 2, 4] {
+        let (rep, worker_reports) = distributed(&j, workers);
+        assert_eq!(
+            rep.output.fingerprint(),
+            seq.fingerprint(),
+            "{name}: {workers} worker(s) diverged from the sequential run"
+        );
+        assert_eq!(
+            rendered(&j.spec, &rep.output),
+            rendered(&j.spec, &seq),
+            "{name}: rendered report differs at {workers} worker(s)"
+        );
+        assert_eq!(rep.slices, 4, "{name}: 40 min / 10 min slices");
+        assert_eq!(rep.connections, workers as u64);
+        // Conservation: every slice result delivered by some worker is
+        // either the recorded copy or a counted duplicate.
+        let delivered: u64 = worker_reports.iter().map(|w| w.slices_run).sum();
+        assert_eq!(delivered, rep.slices as u64 + rep.duplicates, "{name}: slice conservation");
+    }
+}
+
+#[test]
+fn ron_narrow_distributed_equals_sequential() {
+    assert_distributed_equivalent("ron-narrow");
+}
+
+#[test]
+fn correlated_outages_distributed_equals_sequential() {
+    // The scripted shared-risk schedule must compile identically in
+    // every worker process, not just every worker thread.
+    assert_distributed_equivalent("correlated-outages");
+}
+
+#[test]
+fn killed_worker_and_duplicate_result_still_merge_to_sequential_bits() {
+    let j = job("ron-narrow");
+    let (coordinator, addr) = spawn_coordinator(&j);
+
+    // Fault 1 — killed mid-slice: take a lease, then vanish. The
+    // disconnect must zero the lease so the slice is re-issued at once.
+    {
+        let mut victim = fake_handshake(addr);
+        let slice = lease_slice(&mut victim);
+        assert_eq!(slice, 0, "an empty plan leases slice 0 first");
+        // Dropping the stream here is the kill: no result, no goodbye.
+    }
+
+    // Fault 2 — duplicated result: an overeager worker delivers slice 1
+    // twice. Slice k is a pure function of the job, so both copies are
+    // byte-identical and the coordinator must keep exactly one.
+    {
+        let mut eager = fake_handshake(addr);
+        let slice = lease_slice(&mut eager);
+        let first = j.run_slice_index(slice as usize);
+        let second = j.run_slice_index(slice as usize);
+        write_msg_blocking(&mut eager, &Msg::Result { slice, output: Box::new(first) }).unwrap();
+        write_msg_blocking(&mut eager, &Msg::Result { slice, output: Box::new(second) }).unwrap();
+    }
+
+    // Honest workers finish whatever is left, including the re-leased
+    // casualty of fault 1.
+    let workers = spawn_workers(addr, 2);
+    let rep = coordinator.join().expect("coordinator thread");
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    assert!(rep.releases >= 1, "the killed worker's lease must be re-issued");
+    assert_eq!(rep.duplicates, 1, "the duplicated slice must be counted, not merged");
+    assert_eq!(
+        rep.output.fingerprint(),
+        sequential(&j).fingerprint(),
+        "faults must never leak into the merged bits"
+    );
+}
+
+#[test]
+fn stalled_worker_times_out_and_the_slice_is_re_leased() {
+    let j = job("ron-narrow");
+    let (coordinator, addr) = spawn_coordinator(&j);
+
+    // The staller takes a lease and then simply stops: no heartbeats,
+    // no result, but the connection stays open — only the lease
+    // timeout can free the slice.
+    let mut staller = fake_handshake(addr);
+    let stalled_slice = lease_slice(&mut staller);
+
+    let workers = spawn_workers(addr, 1);
+    let rep = coordinator.join().expect("coordinator thread");
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    drop(staller);
+    assert!(rep.releases >= 1, "slice {stalled_slice} must be re-leased after the timeout");
+    assert_eq!(rep.output.fingerprint(), sequential(&j).fingerprint());
+}
+
+#[test]
+fn version_skewed_worker_is_denied_without_harming_the_campaign() {
+    let j = job("ron-narrow");
+    let (coordinator, addr) = spawn_coordinator(&j);
+
+    let mut skewed = TcpStream::connect(addr).expect("connect");
+    write_msg_blocking(
+        &mut skewed,
+        &Msg::Hello { proto: PROTO_VERSION + 1, output_wire: OUTPUT_WIRE_VERSION },
+    )
+    .unwrap();
+    match read_msg_blocking(&mut skewed).unwrap() {
+        Some(Msg::Deny { reason }) => {
+            assert!(reason.contains("version mismatch"), "unhelpful denial: {reason}");
+        }
+        other => panic!("expected Deny, got {other:?}"),
+    }
+    drop(skewed);
+
+    let workers = spawn_workers(addr, 1);
+    let rep = coordinator.join().expect("coordinator thread");
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    assert_eq!(rep.output.fingerprint(), sequential(&j).fingerprint());
+}

@@ -95,12 +95,14 @@ fn custom_scenario() -> ScenarioSpec {
                 legs: vec![RouteTag::Direct],
                 gap_ms: 0.0,
                 distinct: false,
+                all_prior: false,
             },
             MethodSpec {
                 name: "quad".into(),
                 legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Lat, RouteTag::Loss],
                 gap_ms: 5.0,
                 distinct: true,
+                all_prior: false,
             },
         ],
         views: vec![ViewSpec { name: "quad*".into(), source: 1, leg: 0 }],
@@ -175,7 +177,7 @@ fn arb_method_set() -> impl Strategy<Value = MethodSetSpec> {
     // view sources and legs are taken modulo the ranges they reference.
     (
         proptest::collection::vec(
-            (0usize..MAX_PROBE_LEGS, any::<u8>(), 0.0f64..100.0, any::<bool>()),
+            (0usize..MAX_PROBE_LEGS, any::<u8>(), 0.0f64..100.0, any::<bool>(), any::<bool>()),
             1..8,
         ),
         proptest::collection::vec((any::<u8>(), any::<u8>()), 0..4),
@@ -190,12 +192,15 @@ fn arb_method_set() -> impl Strategy<Value = MethodSetSpec> {
             let methods: Vec<MethodSpec> = raw_methods
                 .into_iter()
                 .enumerate()
-                .map(|(i, (extra_legs, pattern, gap_ms, distinct))| {
+                .map(|(i, (extra_legs, pattern, gap_ms, distinct, all_prior))| {
                     let legs: Vec<RouteTag> =
                         (0..=extra_legs).map(|j| tag(pattern >> (2 * j))).collect();
+                    let distinct = distinct && legs.len() >= 2;
                     MethodSpec {
                         name: format!("m{i}"),
-                        distinct: distinct && legs.len() >= 2,
+                        distinct,
+                        // `all_prior` is only valid on distinct sets.
+                        all_prior: all_prior && distinct,
                         legs,
                         gap_ms,
                     }

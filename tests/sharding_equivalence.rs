@@ -115,18 +115,21 @@ fn k_leg_spec() -> ScenarioSpec {
                 legs: vec![RouteTag::Direct],
                 gap_ms: 0.0,
                 distinct: false,
+                all_prior: false,
             },
             MethodSpec {
                 name: "triple".into(),
                 legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Rand],
                 gap_ms: 10.0,
                 distinct: true,
+                all_prior: false,
             },
             MethodSpec {
                 name: "quad".into(),
                 legs: vec![RouteTag::Direct, RouteTag::Rand, RouteTag::Lat, RouteTag::Loss],
                 gap_ms: 0.0,
                 distinct: true,
+                all_prior: false,
             },
         ],
         views: vec![ViewSpec { name: "triple*".into(), source: 1, leg: 0 }],

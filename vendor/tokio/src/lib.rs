@@ -1,11 +1,12 @@
 //! Vendored mini-tokio.
 //!
 //! A small, dependency-free async runtime exposing the subset of the
-//! tokio API the workspace's live driver uses: [`net::UdpSocket`],
-//! [`sync::mpsc`] / [`sync::oneshot`] / [`sync::Notify`], [`time`]
-//! (sleep / sleep_until / timeout), [`spawn`], [`task::JoinHandle`], the
-//! [`select!`] macro, and the `#[tokio::main]` / `#[tokio::test]`
-//! attribute macros.
+//! tokio API the workspace's live driver and distributed campaign
+//! runner use: [`net::UdpSocket`], [`net::TcpListener`] /
+//! [`net::TcpStream`], [`sync::mpsc`] / [`sync::oneshot`] /
+//! [`sync::Notify`], [`time`] (sleep / sleep_until / timeout),
+//! [`spawn`], [`task::JoinHandle`], the [`select!`] macro, and the
+//! `#[tokio::main]` / `#[tokio::test]` attribute macros.
 //!
 //! ## Design
 //!

@@ -1,10 +1,16 @@
-//! Async UDP sockets over nonblocking `std::net`.
+//! Async UDP and TCP sockets over nonblocking `std::net`.
 
 use crate::runtime::with_shared;
 use std::future::poll_fn;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::task::{Context, Poll};
+
+fn pend_on_io_tick<T>(cx: &mut Context<'_>) -> Poll<T> {
+    let waker = cx.waker().clone();
+    with_shared(|shared| shared.register_io(waker));
+    Poll::Pending
+}
 
 /// An async UDP socket.
 ///
@@ -31,9 +37,7 @@ impl UdpSocket {
     }
 
     fn pend_on_io<T>(&self, cx: &mut Context<'_>) -> Poll<T> {
-        let waker = cx.waker().clone();
-        with_shared(|shared| shared.register_io(waker));
-        Poll::Pending
+        pend_on_io_tick(cx)
     }
 
     /// Sends `buf` to `target`.
@@ -61,5 +65,141 @@ impl UdpSocket {
             Err(e) => Poll::Ready(Err(e)),
         })
         .await
+    }
+}
+
+/// An async TCP listener.
+///
+/// Same reactor model as [`UdpSocket`]: a nonblocking
+/// [`std::net::TcpListener`] whose pending `accept` registers with the
+/// runtime's I/O tick. `accept` is cancel-safe — dropping the future (as
+/// `select!` does) never consumes a connection.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds a listener to `addr`.
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        TcpListener::from_std(std::net::TcpListener::bind(addr)?)
+    }
+
+    /// Wraps an already-bound blocking listener (it is switched to
+    /// nonblocking mode). Lets callers bind on port 0 *before* entering
+    /// the runtime and hand the resolved address to peers.
+    pub fn from_std(inner: std::net::TcpListener) -> io::Result<TcpListener> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// The listener's locally bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Accepts one inbound connection.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        poll_fn(|cx| match self.inner.accept() {
+            Ok((stream, addr)) => match TcpStream::from_std(stream) {
+                Ok(s) => Poll::Ready(Ok((s, addr))),
+                Err(e) => Poll::Ready(Err(e)),
+            },
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => pend_on_io_tick(cx),
+            // A peer that connected and reset before we accepted is not
+            // the listener's failure; keep accepting.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => pend_on_io_tick(cx),
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+}
+
+/// An async TCP stream.
+///
+/// Exposes the byte-stream subset the workspace's length-prefixed
+/// framing needs: `read`, `read_exact`, `write_all`. Partial progress in
+/// `read_exact`/`write_all` is kept across polls, so the futures are
+/// *not* cancel-safe mid-frame (matching tokio's documented contract) —
+/// callers own a stream per task and never race two reads.
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Connects to `addr`.
+    ///
+    /// The TCP handshake itself runs in blocking mode (a bounded,
+    /// kernel-level wait), then the stream switches to nonblocking for
+    /// all subsequent I/O — sparing the reactor a poll-for-writability
+    /// dance it has no epoll to back.
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        let inner = std::net::TcpStream::connect(addr)?;
+        TcpStream::from_std(inner)
+    }
+
+    /// Wraps an already-connected blocking stream (switched to
+    /// nonblocking mode).
+    pub fn from_std(inner: std::net::TcpStream) -> io::Result<TcpStream> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    /// The stream's local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// The remote peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Reads some bytes into `buf`; `Ok(0)` means the peer closed.
+    pub async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        poll_fn(|cx| match (&self.inner).read(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => pend_on_io_tick(cx),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => pend_on_io_tick(cx),
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+
+    /// Reads exactly `buf.len()` bytes; an early close yields
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = self.read(&mut buf[filled..]).await?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ));
+            }
+            filled += n;
+        }
+        Ok(())
+    }
+
+    /// Writes all of `buf`.
+    pub async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut written = 0;
+        while written < buf.len() {
+            let n = poll_fn(|cx| match (&self.inner).write(&buf[written..]) {
+                Ok(n) => Poll::Ready(Ok(n)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => pend_on_io_tick(cx),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => pend_on_io_tick(cx),
+                Err(e) => Poll::Ready(Err(e)),
+            })
+            .await?;
+            if n == 0 {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "wrote 0 bytes"));
+            }
+            written += n;
+        }
+        Ok(())
     }
 }
