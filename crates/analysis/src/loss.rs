@@ -111,12 +111,12 @@ impl LossAccum {
         if o.all_lost() {
             c.pairs_lost += 1;
         }
-        if let Some(l1) = o.legs[0] {
+        if let Some(l1) = o.leg(0) {
             c.l1_sent += 1;
             if l1.lost {
                 c.l1_lost += 1;
             }
-            if let Some(l2) = o.legs[1] {
+            if let Some(l2) = o.leg(1) {
                 if l1.lost {
                     c.first_lost_with_second += 1;
                     if l2.lost {
@@ -125,7 +125,7 @@ impl LossAccum {
                 }
             }
         }
-        if let Some(l2) = o.legs[1] {
+        if let Some(l2) = o.leg(1) {
             c.l2_sent += 1;
             if l2.lost {
                 c.l2_lost += 1;
@@ -443,15 +443,15 @@ mod tests {
         let mk = |x: Option<(bool, Option<i64>)>| {
             x.map(|(lost, ow)| LegOutcome { route: 0, lost, one_way_us: ow })
         };
-        PairOutcome {
-            id: 0,
+        PairOutcome::from_legs(
+            0,
             method,
-            src: HostId(src),
-            dst: HostId(dst),
-            sent: SimTime::ZERO,
-            legs: [mk(legs[0]), mk(legs[1]), None, None],
+            HostId(src),
+            HostId(dst),
+            SimTime::ZERO,
+            [mk(legs[0]), mk(legs[1]), None, None],
             discarded,
-        }
+        )
     }
 
     #[test]
@@ -562,15 +562,7 @@ mod tests {
         let legs = lost.map(|l| {
             Some(LegOutcome { route: 0, lost: l, one_way_us: if l { None } else { Some(1_000) } })
         });
-        PairOutcome {
-            id: 0,
-            method,
-            src: HostId(0),
-            dst: HostId(1),
-            sent: SimTime::ZERO,
-            legs,
-            discarded: false,
-        }
+        PairOutcome::from_legs(0, method, HostId(0), HostId(1), SimTime::ZERO, legs, false)
     }
 
     #[test]

@@ -27,6 +27,14 @@ struct OpenWin {
 #[derive(Debug)]
 pub struct WindowAccum {
     width_us: u64,
+    /// Start (µs) and index of the most recently computed window — pure
+    /// strength reduction: outcomes arrive in near-time-order, so a
+    /// range check replaces the per-outcome u64 division almost always.
+    /// Not serialized (it is derivable and never observable): a
+    /// round-tripped accumulator starts at window 0, which is exactly
+    /// what `(0, 0)` encodes.
+    cached_start_us: u64,
+    cached_idx: u64,
     n: usize,
     open: Vec<OpenWin>,
     hist: Vec<Histogram>,
@@ -41,6 +49,8 @@ impl WindowAccum {
         assert!(width.as_micros() > 0);
         WindowAccum {
             width_us: width.as_micros(),
+            cached_start_us: 0,
+            cached_idx: 0,
             n,
             open: vec![OpenWin::default(); n * n * methods],
             hist: (0..methods).map(|_| Histogram::new(200)).collect(),
@@ -77,7 +87,19 @@ impl WindowAccum {
         let cell = o.method as usize * self.n * self.n
             + o.src.idx() * self.n
             + o.dst.idx();
-        let idx = o.sent.as_micros() / self.width_us;
+        let sent_us = o.sent.as_micros();
+        // Same-window fast path: a wrapping range check against the
+        // cached window start. `wrapping_sub` sends out-of-order sends
+        // (sent < cached start) far above `width_us`, into the slow
+        // path, so the cache can never mis-assign a window.
+        let idx = if sent_us.wrapping_sub(self.cached_start_us) < self.width_us {
+            self.cached_idx
+        } else {
+            let idx = sent_us / self.width_us;
+            self.cached_start_us = idx * self.width_us;
+            self.cached_idx = idx;
+            idx
+        };
         if self.open[cell].used && self.open[cell].window_idx != idx {
             self.close(cell);
             self.open[cell] = OpenWin::default();
@@ -212,6 +234,8 @@ impl serde::Deserialize for WindowAccum {
         }
         let w = WindowAccum {
             width_us: u64::from_value(v.field("width_us")?)?,
+            cached_start_us: 0,
+            cached_idx: 0,
             n: usize::from_value(v.field("n")?)?,
             open: Vec::<OpenWin>::from_value(v.field("open")?)?,
             hist: Vec::<Histogram>::from_value(v.field("hist")?)?,
@@ -247,20 +271,20 @@ mod tests {
     use trace::LegOutcome;
 
     fn outcome(method: u8, src: u16, dst: u16, t_secs: u64, lost: bool) -> PairOutcome {
-        PairOutcome {
-            id: 0,
+        PairOutcome::from_legs(
+            0,
             method,
-            src: HostId(src),
-            dst: HostId(dst),
-            sent: SimTime::from_secs(t_secs),
-            legs: [
+            HostId(src),
+            HostId(dst),
+            SimTime::from_secs(t_secs),
+            [
                 Some(LegOutcome { route: 0, lost, one_way_us: if lost { None } else { Some(1) } }),
                 None,
                 None,
                 None,
             ],
-            discarded: false,
-        }
+            false,
+        )
     }
 
     #[test]

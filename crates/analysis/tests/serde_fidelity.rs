@@ -50,16 +50,16 @@ fn arb_outcome() -> impl Strategy<Value = PairOutcome> {
             for (slot, leg) in slots.iter_mut().zip(&legs).take(present) {
                 *slot = Some(*leg);
             }
-            PairOutcome {
+            PairOutcome::from_legs(
                 id,
                 method,
-                src: HostId(src),
-                dst: HostId(dst),
-                sent: SimTime::from_micros(sent_us),
-                legs: slots,
+                HostId(src),
+                HostId(dst),
+                SimTime::from_micros(sent_us),
+                slots,
                 // Deterministic-but-arbitrary sprinkling of §4.1 discards.
-                discarded: id % 11 == 0,
-            }
+                id % 11 == 0,
+            )
         })
 }
 
@@ -190,8 +190,8 @@ proptest! {
 
     #[test]
     fn collector_stats_round_trip_and_merge(
-        a in proptest::collection::vec(any::<u32>(), 5..6),
-        b in proptest::collection::vec(any::<u32>(), 5..6),
+        a in proptest::collection::vec(any::<u32>(), 6..7),
+        b in proptest::collection::vec(any::<u32>(), 6..7),
     ) {
         let mk = |v: &[u32]| CollectorStats {
             resolved: v[0] as u64,
@@ -199,6 +199,7 @@ proptest! {
             late_receives: v[2] as u64,
             malformed_receives: v[3] as u64,
             malformed_sends: v[4] as u64,
+            peak_pending: v[5] as u64,
         };
         let (sa, sb) = (mk(&a), mk(&b));
         prop_assert_eq!(round_trip(&sa), sa);

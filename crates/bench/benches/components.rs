@@ -6,7 +6,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use netsim::{EventQueue, GeParams, GilbertElliott, Rng, SimDuration, SimTime};
 use overlay::{LinkStateTable, MetricEntry, Packet, Policy};
 use std::hint::black_box;
-use trace::{Collector, CollectorConfig, RecvEvent, SendEvent};
+use trace::record::MAX_PROBE_LEGS;
+use trace::{Collector, CollectorConfig, LegOutcome, PairOutcome, RecvEvent, SendEvent};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("components/event_queue");
@@ -167,12 +168,74 @@ fn bench_collector(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_record(c: &mut Criterion) {
+    // The sentinel-coded compact layout: every resolved pair goes
+    // through `from_legs` once and through the Option accessors many
+    // times in the accumulators, so both directions of the packing are
+    // on the campaign's hot path.
+    let mut g = c.benchmark_group("components/record");
+    g.throughput(Throughput::Elements(1_000_000));
+    let mk = |i: u64| {
+        let mut legs = [None; MAX_PROBE_LEGS];
+        let present = 1 + (i % MAX_PROBE_LEGS as u64) as usize;
+        for (j, slot) in legs.iter_mut().enumerate().take(present) {
+            let lost = (i + j as u64).is_multiple_of(9);
+            *slot = Some(LegOutcome {
+                route: (j % 3) as u8,
+                lost,
+                one_way_us: if lost { None } else { Some(40_000 + (i % 5_000) as i64) },
+            });
+        }
+        PairOutcome::from_legs(
+            i,
+            (i % 6) as u8,
+            netsim::HostId((i % 30) as u16),
+            netsim::HostId(((i + 7) % 30) as u16),
+            SimTime::from_millis(i),
+            legs,
+            i.is_multiple_of(97),
+        )
+    };
+    g.bench_function("from_legs_1M", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000_000u64 {
+                acc = acc.wrapping_add(mk(i).id);
+            }
+            black_box(acc)
+        })
+    });
+    let outcomes: Vec<PairOutcome> = (0..1_000_000u64).map(mk).collect();
+    g.bench_function("accessors_1M", |b| {
+        // The accumulators' read mix: first-packet loss, deep
+        // best-of-first-j, and the per-slot Option view.
+        b.iter(|| {
+            let mut lost = 0u64;
+            let mut best = 0i64;
+            for o in &outcomes {
+                if o.prefix_all_lost(1) {
+                    lost += 1;
+                }
+                if let Some(us) = o.best_of_first_one_way_us(2) {
+                    best = best.wrapping_add(us);
+                }
+                if let Some(l) = o.leg(0) {
+                    lost += l.lost as u64;
+                }
+            }
+            black_box((lost, best))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_loss_chain,
     bench_wire,
     bench_routing,
-    bench_collector
+    bench_collector,
+    bench_record
 );
 criterion_main!(benches);

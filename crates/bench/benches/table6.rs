@@ -21,19 +21,21 @@ fn bench_table6(c: &mut Criterion) {
     });
     g.bench_function("window_accum_1M_outcomes", |b| {
         let outcomes: Vec<PairOutcome> = (0..1_000_000u64)
-            .map(|i| PairOutcome {
-                id: i,
-                method: (i % 8) as u8,
-                src: HostId((i % 30) as u16),
-                dst: HostId(((i / 30) % 30) as u16),
-                sent: SimTime::from_millis(i * 37),
-                legs: [
-                    Some(LegOutcome { route: 0, lost: i % 97 == 0, one_way_us: Some(50_000) }),
-                    None,
-                    None,
-                    None,
-                ],
-                discarded: false,
+            .map(|i| {
+                PairOutcome::from_legs(
+                    i,
+                    (i % 8) as u8,
+                    HostId((i % 30) as u16),
+                    HostId(((i / 30) % 30) as u16),
+                    SimTime::from_millis(i * 37),
+                    [
+                        Some(LegOutcome { route: 0, lost: i % 97 == 0, one_way_us: Some(50_000) }),
+                        None,
+                        None,
+                        None,
+                    ],
+                    false,
+                )
             })
             .collect();
         b.iter(|| {

@@ -11,6 +11,7 @@
 //! repro --serve ADDR --scenario NAME [--days F] [--seed N] [--slice-mins F]
 //! repro --serve ADDR --scenario-file PATH [--days F] [--seed N] [--slice-mins F]
 //! repro --worker ADDR
+//! repro --scale-sweep [--max-hosts N] [--mesh-k K] [--sweep-secs F] [--seed N]
 //!
 //! ARTIFACT: all | headline | table5 | table6 | table7
 //!         | fig2 | fig3 | fig4 | fig5 | fig6 | fec
@@ -42,6 +43,19 @@
 //!                    scenario (any --shards value)
 //! --worker ADDR      join the coordinator at ADDR, simulate leased
 //!                    slices until the campaign is done
+//!
+//! --scale-sweep      grow a synthetic sparse-mesh topology from 30
+//!                    hosts (doubling) up to --max-hosts and report,
+//!                    at each step, simulated events/sec, bytes per
+//!                    recorded outcome and the collector's peak open
+//!                    pair count — the "find the knee" tool for
+//!                    scaling the testbed beyond the paper's 30 hosts
+//! --max-hosts N      largest mesh in the sweep (default 3000)
+//! --mesh-k K         probe-mesh degree for the sweep (default 6;
+//!                    bumped by one at any size where hosts x K is
+//!                    odd, since a k-regular graph needs an even
+//!                    product)
+//! --sweep-secs F     simulated seconds per sweep step (default 10)
 //! --slice-mins F     override the scenario's slice width (minutes).
 //!                    Applies to --serve and plain --scenario runs
 //!                    alike; both sides of a fingerprint comparison
@@ -81,6 +95,10 @@ struct Args {
     serve: Option<String>,
     worker: Option<String>,
     slice_mins: Option<f64>,
+    scale_sweep: bool,
+    max_hosts: usize,
+    mesh_k: usize,
+    sweep_secs: f64,
 }
 
 /// The value of a flag, or a usage error (never an index panic).
@@ -112,11 +130,16 @@ fn parse_args() -> Args {
         serve: None,
         worker: None,
         slice_mins: None,
+        scale_sweep: false,
+        max_hosts: 3000,
+        mesh_k: 6,
+        sweep_secs: 10.0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut saw_scenario_flag = false;
     let mut saw_matrix_flag = false;
     let mut saw_seeds_flag = false;
+    let mut saw_sweep_knob = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -176,6 +199,22 @@ fn parse_args() -> Args {
                         .expect("--slice-mins takes a number"),
                 );
             }
+            "--scale-sweep" => args.scale_sweep = true,
+            "--max-hosts" => {
+                saw_sweep_knob = true;
+                args.max_hosts =
+                    value_of(&argv, &mut i, "--max-hosts").parse().expect("--max-hosts takes an integer");
+            }
+            "--mesh-k" => {
+                saw_sweep_knob = true;
+                args.mesh_k =
+                    value_of(&argv, &mut i, "--mesh-k").parse().expect("--mesh-k takes an integer");
+            }
+            "--sweep-secs" => {
+                saw_sweep_knob = true;
+                args.sweep_secs =
+                    value_of(&argv, &mut i, "--sweep-secs").parse().expect("--sweep-secs takes a number");
+            }
             a if !a.starts_with('-') => {
                 args.artifact = a.to_string();
                 args.artifact_explicit = true;
@@ -206,6 +245,28 @@ fn parse_args() -> Args {
         // --seeds would let the user believe they swept N of them.
         eprintln!("--seeds only applies to --matrix");
         std::process::exit(2);
+    }
+    if saw_sweep_knob && !args.scale_sweep {
+        // Same policy as --seeds: a knob that silently does nothing
+        // would let the user believe it took effect.
+        eprintln!("--max-hosts, --mesh-k and --sweep-secs only apply to --scale-sweep");
+        std::process::exit(2);
+    }
+    if args.scale_sweep {
+        if args.max_hosts < 30 || args.max_hosts > 100_000 {
+            eprintln!("--max-hosts must be in 30..=100000, got {}", args.max_hosts);
+            std::process::exit(2);
+        }
+        if args.mesh_k == 0 || args.mesh_k >= 30 {
+            // The sweep starts at 30 hosts, and a k-regular graph needs
+            // k < hosts at every step.
+            eprintln!("--mesh-k must be in 1..30 (the sweep's smallest mesh), got {}", args.mesh_k);
+            std::process::exit(2);
+        }
+        if !(args.sweep_secs.is_finite() && (1.0..=3_600.0).contains(&args.sweep_secs)) {
+            eprintln!("--sweep-secs must be in 1..=3600, got {}", args.sweep_secs);
+            std::process::exit(2);
+        }
     }
     if let Some(mins) = args.slice_mins {
         if !(mins.is_finite() && mins > 0.0) {
@@ -250,11 +311,12 @@ fn parse_args() -> Args {
         !args.matrix.is_empty(),
         serving,
         args.worker.is_some(),
+        args.scale_sweep,
     ];
     if modes.iter().filter(|m| **m).count() > 1 {
         eprintln!(
             "pick one mode: ARTIFACT, --list-scenarios, --scenario, --scenario-file, \
-             --dump-scenario, --matrix, --serve, or --worker"
+             --dump-scenario, --matrix, --serve, --worker, or --scale-sweep"
         );
         std::process::exit(2);
     }
@@ -440,7 +502,8 @@ fn run_scenario(spec: &ScenarioSpec, args: &Args) {
             let mut row = format!("{name:<16}");
             let curve = out.loss.best_of_first_pct(idx as u8);
             for j in 1..=depth {
-                row.push_str(&format!(" {:>7.2}", mpath_core::matrix::best_of_first_point(&curve, j)));
+                let v = mpath_core::matrix::fmt_point(mpath_core::matrix::best_of_first_point(&curve, j));
+                row.push_str(&format!(" {v:>7}"));
             }
             println!("{row}");
         }
@@ -485,6 +548,106 @@ fn run_matrix_mode(registry: &ScenarioRegistry, args: &Args) {
     );
     let m = mpath_core::run_matrix(&specs, &seeds, duration, args.shards);
     print!("{}", mpath_core::render_matrix(&m));
+}
+
+// ------------------------------------------------------------ scale sweep
+
+/// The sweep's mesh sizes: 30 doubling up to (and always including)
+/// `max_hosts`.
+fn sweep_sizes(max_hosts: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut s = 30;
+    while s < max_hosts {
+        sizes.push(s);
+        s *= 2;
+    }
+    sizes.push(max_hosts);
+    sizes
+}
+
+/// Grows a sparse-mesh synthetic topology and measures simulator
+/// throughput at each size — the tool that finds the knee before a real
+/// deployment does. Each step is an ordinary single-slice campaign over
+/// a deterministic `sparse_mesh(n, k, seed)` probe mesh, with one
+/// direct-probing method so the O(hosts²) accumulator grids (not the
+/// method count) dominate the memory story.
+///
+/// The sweep deliberately bypasses `ScenarioSpec` and its 1000-host
+/// validation cap: the cap protects scenario authors from accidentally
+/// quadratic runs, while this mode exists precisely to measure them.
+fn do_scale_sweep(args: &Args) {
+    use mpath_core::method::{Method, RouteTag};
+    use mpath_core::MethodSet;
+
+    let sizes = sweep_sizes(args.max_hosts);
+    let duration = SimDuration::from_secs_f64(args.sweep_secs);
+    eprintln!(
+        "[repro] scale sweep: {} mesh size(s), {} simulated each, mesh degree {} (seed {})",
+        sizes.len(),
+        duration,
+        args.mesh_k,
+        args.seed
+    );
+    println!(
+        "{:>7} {:>7} {:>12} {:>14} {:>10} {:>10} {:>8}",
+        "hosts", "mesh_k", "events/sec", "bytes/outcome", "peak_open", "resolved", "wall_s"
+    );
+    for &n in &sizes {
+        // A k-regular graph needs hosts x k even; odd x odd sizes take
+        // one extra neighbor rather than failing mid-sweep.
+        let k = if (n * args.mesh_k) % 2 == 1 { args.mesh_k + 1 } else { args.mesh_k };
+        let mut params = netsim::Topology::synthetic_params(0.02);
+        params.horizon = duration + SimDuration::from_mins(2);
+        let mut topo = netsim::Topology::synthetic_with(n, 0.02, params, args.seed);
+        topo.set_probe_mesh(netsim::sparse_mesh(n, k, args.seed));
+        let mut cfg = mpath_core::ExperimentConfig::new(MethodSet {
+            methods: vec![Method::single("direct", RouteTag::Direct)],
+            views: Vec::new(),
+        });
+        cfg.duration = duration;
+        cfg.slice_width = duration; // one slice: timing without merge noise
+        cfg.seed = args.seed;
+        cfg.shards = 1;
+        cfg.flat_load = true;
+        // Hold each host's overlay probe budget constant as the mesh
+        // grows (the knob a real deployment turns): the default 15 s
+        // round over n-1 peers is O(n²) probes/sec mesh-wide, and every
+        // probe carries an O(n) link-state vector — O(n³)/sec total,
+        // which is exactly the wall RON-style dissemination hits. With
+        // the interval stretched ∝ n the dissemination cost drops to
+        // O(n²)/sec and the sweep can actually reach thousands of hosts
+        // while still showing the superlinear climb.
+        cfg.node.prober.interval = SimDuration::from_secs_f64(15.0 * n as f64 / 30.0);
+        // Simulated path delays are bounded at a few seconds, so a short
+        // receive window keeps the same outcomes while reporting a
+        // steady-state occupancy instead of "everything ever sent".
+        cfg.collector.receive_window = SimDuration::from_secs(5);
+        // Sweep every simulated second (default: 10 s) so expired pairs
+        // leave the pending set promptly and `peak_open` reports the
+        // steady-state watermark, not "every pair the run ever opened".
+        cfg.sweep_interval = SimDuration::from_secs(1);
+        cfg.scenario = format!("scale-sweep-{n}");
+        let t0 = std::time::Instant::now();
+        let out = mpath_core::shard::run_sharded(topo, cfg);
+        let wall = t0.elapsed().as_secs_f64();
+        // One discrete event per underlay send plus one per delivery;
+        // timers and sweeps ride along free-ish.
+        let events = out.net.sent + out.net.delivered;
+        println!(
+            "{:>7} {:>7} {:>12.0} {:>14} {:>10} {:>10} {:>8.2}",
+            n,
+            k,
+            events as f64 / wall.max(1e-9),
+            std::mem::size_of::<trace::PairOutcome>(),
+            out.collector.peak_pending,
+            out.collector.resolved,
+            wall
+        );
+    }
+    println!(
+        "\nevents = underlay sends + deliveries; bytes/outcome = in-memory size of one \
+         recorded probe-pair outcome; peak_open = collector high-water mark of open pairs"
+    );
 }
 
 // ------------------------------------------------------------- artifacts
@@ -763,6 +926,10 @@ fn main() {
         return;
     }
 
+    if args.scale_sweep {
+        do_scale_sweep(&args);
+        return;
+    }
     if args.list_scenarios {
         do_list_scenarios(&registry);
         return;

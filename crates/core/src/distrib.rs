@@ -116,7 +116,20 @@ impl CampaignJob {
         if self.duration_us == 0 {
             return Err(format!("job for `{}`: zero duration", self.spec.name));
         }
-        let horizon = SimDuration::from_secs_f64(self.spec.horizon_days * 86_400.0);
+        // A nonzero override below one second would explode the shared
+        // slice plan into millions of slices (the plan is O(duration /
+        // width)); reject it here, before both sides derive it.
+        if self.slice_width_us > 0 && self.slice_width_us < 1_000_000 {
+            return Err(format!(
+                "job for `{}`: slice width override {} µs is below the 1-second floor",
+                self.spec.name, self.slice_width_us
+            ));
+        }
+        // The spec's own integer-µs rounding (`ScenarioSpec::horizon`),
+        // NOT a locally rewritten float conversion: coordinator and
+        // worker must agree bit-for-bit on the horizon, or a duration
+        // landing exactly on it validates on one side only.
+        let horizon = self.spec.horizon();
         if self.duration() > horizon {
             return Err(format!(
                 "job for `{}`: duration {} outruns the {}-day impairment horizon",
@@ -757,6 +770,20 @@ mod tests {
         let mut r = Cursor::new(u32::MAX.to_be_bytes().to_vec());
         let err = read_msg_blocking(&mut r).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn sub_second_slice_width_override_is_rejected_before_planning() {
+        // Regression companion to `SlicePlan::new`'s assert: a wire job
+        // must be refused readably before either side derives the plan.
+        let mut job = small_job();
+        job.slice_width_us = 999_999;
+        let err = job.validate().unwrap_err();
+        assert!(err.contains("1-second floor"), "got: {err}");
+        job.slice_width_us = 0; // "use the spec's width" stays legal
+        job.validate().expect("zero override means calibration width");
+        job.slice_width_us = 1_000_000; // the floor itself is legal
+        job.validate().expect("one-second override is the floor");
     }
 
     #[test]

@@ -201,9 +201,12 @@ impl ExperimentOutput {
 /// Wire version of the distributed result format. Bump when any
 /// accumulator's serde layout changes incompatibly; a coordinator and
 /// worker disagreeing on this value must fail loudly, never merge.
-pub const OUTPUT_WIRE_VERSION: u32 = 1;
+/// (v2: `CollectorStats` gained `peak_pending` — a v1 binary's strict
+/// field check would reject the new map only *after* a successful
+/// handshake, so the version must say no first.)
+pub const OUTPUT_WIRE_VERSION: u32 = 2;
 
-// Versioned wire format (v1): the exact in-memory state crosses the
+// Versioned wire format (v2): the exact in-memory state crosses the
 // wire — every accumulator cell and the bit patterns of every f64 sum —
 // so a slice result computed on another host merges byte-identically to
 // one computed locally. `duration` travels as integer microseconds.
@@ -345,6 +348,11 @@ struct Runner {
     rng: Rng,
     measure_legs: u64,
     route_usage: [(u64, u64); 4],
+    /// Sparse probe mesh lifted off the topology before it moved into
+    /// the network: `mesh[h]` lists the destinations host `h` may
+    /// probe. `None` is the historical clique path, untouched down to
+    /// the RNG draw.
+    mesh: Option<std::sync::Arc<Vec<Vec<u16>>>>,
 }
 
 impl Runner {
@@ -361,6 +369,7 @@ impl Runner {
             crate::method::MAX_PROBE_LEGS
         );
         let root = Rng::new(cfg.seed ^ 0x00E0_77E5_7A11_BEEF);
+        let mesh = topo.probe_mesh().cloned();
         let mut net = netsim::Network::new(topo, cfg.seed);
         if cfg.flat_load {
             net.set_load(LoadProfile::flat());
@@ -398,6 +407,7 @@ impl Runner {
             cycles: vec![0; n],
             measure_legs: 0,
             route_usage: [(0, 0); 4],
+            mesh,
         }
     }
 
@@ -484,11 +494,19 @@ impl Runner {
         let midx = self.cycles[h as usize] % self.cfg.methods.methods.len();
         self.cycles[h as usize] += 1;
         let method = self.cfg.methods.methods[midx].clone();
-        let n = self.nodes.len() as u64;
-        let mut dst = self.rng.below(n - 1) as u16;
-        if dst >= h {
-            dst += 1;
-        }
+        let dst = if let Some(mesh) = &self.mesh {
+            // Sparse mesh: probe a uniform neighbor. One RNG draw, like
+            // the clique path, so the knob only redirects destinations.
+            let nbrs = &mesh[h as usize];
+            nbrs[self.rng.below(nbrs.len() as u64) as usize]
+        } else {
+            let n = self.nodes.len() as u64;
+            let mut dst = self.rng.below(n - 1) as u16;
+            if dst >= h {
+                dst += 1;
+            }
+            dst
+        };
         let id = self.rng.next_u64();
         let first_route =
             self.send_measure(now, h, dst, id, midx as u8, 0, method.legs[0], Avoid::None);
@@ -644,16 +662,16 @@ impl Runner {
         let base = self.cfg.methods.methods.len() as u8;
         for (vi, view) in self.cfg.methods.views.iter().enumerate() {
             if view.source == o.method {
-                if let Some(leg) = o.legs[view.leg as usize] {
-                    let synth = PairOutcome {
-                        id: o.id,
-                        method: base + vi as u8,
-                        src: o.src,
-                        dst: o.dst,
-                        sent: o.sent,
-                        legs: [Some(leg), None, None, None],
-                        discarded: o.discarded,
-                    };
+                if let Some(leg) = o.leg(view.leg as usize) {
+                    let synth = PairOutcome::from_legs(
+                        o.id,
+                        base + vi as u8,
+                        o.src,
+                        o.dst,
+                        o.sent,
+                        [Some(leg), None, None, None],
+                        o.discarded,
+                    );
                     self.loss.on_outcome(&synth);
                     self.win20.on_outcome(&synth);
                     self.win60.on_outcome(&synth);

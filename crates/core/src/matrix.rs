@@ -42,6 +42,9 @@ pub struct MatrixScenario {
     pub scenario: String,
     /// Spec digest (stamped into every cell).
     pub spec_digest: u64,
+    /// Sparse probe-mesh degree, when the scenario's topology declares
+    /// one (`TopologySpec::SparseSynthetic`); `None` is the clique.
+    pub mesh_k: Option<usize>,
     /// Per-seed cells, in the caller's seed order.
     pub cells: Vec<MatrixCell>,
     /// Every seed's output merged (exact counter sums, fixed fold
@@ -91,6 +94,7 @@ pub fn run_matrix(
             MatrixScenario {
                 scenario: spec.name.clone(),
                 spec_digest: spec.digest(),
+                mesh_k: spec.topology.mesh_k(),
                 cells,
                 pooled,
             }
@@ -109,10 +113,22 @@ fn fmt_delta(v: Option<f64>) -> String {
 /// The L(j) column value for a method's best-of-first-j curve. Single-
 /// and two-leg methods have shorter curves than a k-redundant sibling
 /// in the same set: past their own depth the curve is flat, so the last
-/// point repeats. Shared by the matrix report and `repro`'s
-/// single-scenario depth table so the semantics cannot drift apart.
-pub fn best_of_first_point(curve: &[f64], j: usize) -> f64 {
-    curve.get(j - 1).or(curve.last()).copied().unwrap_or(0.0)
+/// point repeats. An *empty* curve — a method that never measured — is
+/// `None`, not `0.00`: zero loss is the best possible reading, and a
+/// renderer printing it for missing data would fabricate a perfect
+/// method. Shared by the matrix report and `repro`'s single-scenario
+/// depth table so the semantics cannot drift apart.
+pub fn best_of_first_point(curve: &[f64], j: usize) -> Option<f64> {
+    curve.get(j - 1).or(curve.last()).copied()
+}
+
+/// Renders an L(j) column entry; missing data prints `-` (exactly like
+/// the delta columns' treatment of an absent baseline), never `0.00`.
+pub fn fmt_point(v: Option<f64>) -> String {
+    match v {
+        Some(p) => format!("{p:.2}"),
+        None => "-".to_string(),
+    }
 }
 
 /// Renders the comparative report: per scenario, the per-seed cell
@@ -130,7 +146,11 @@ pub fn render_matrix(m: &MatrixOutput) -> String {
         seeds
     );
     for sc in &m.scenarios {
-        let _ = writeln!(s, "\n{}", scenario_stamp(&sc.scenario, sc.spec_digest));
+        let mesh = match sc.mesh_k {
+            Some(k) => format!("  [sparse mesh k={k}]"),
+            None => String::new(),
+        };
+        let _ = writeln!(s, "\n{}{mesh}", scenario_stamp(&sc.scenario, sc.spec_digest));
         for c in &sc.cells {
             let _ = writeln!(
                 s,
@@ -162,8 +182,8 @@ pub fn render_matrix(m: &MatrixOutput) -> String {
                 sum.pairs,
             );
             for j in 1..=depth {
-                let v = best_of_first_point(&curve, j);
-                let _ = write!(row, " {v:>7.2}");
+                let v = fmt_point(best_of_first_point(&curve, j));
+                let _ = write!(row, " {v:>7}");
             }
             let _ = writeln!(s, "{row}");
         }
@@ -257,6 +277,33 @@ mod tests {
         assert!(text.contains("triple"));
         assert!(text.contains("Δtotlp"));
         assert!(text.contains("fingerprint 0x"));
+    }
+
+    #[test]
+    fn empty_curve_renders_missing_not_perfect() {
+        // A method that never measured has no loss curve. 0.00 would
+        // read as "perfect method"; the renderer must say "no data".
+        assert_eq!(best_of_first_point(&[], 1), None);
+        assert_eq!(best_of_first_point(&[], 4), None);
+        assert_eq!(fmt_point(None), "-");
+        assert_eq!(fmt_point(Some(0.0)), "0.00", "a real zero still renders as a number");
+        // Flat-extension semantics are unchanged for real curves.
+        assert_eq!(best_of_first_point(&[3.0, 1.5], 1), Some(3.0));
+        assert_eq!(best_of_first_point(&[3.0, 1.5], 4), Some(1.5));
+    }
+
+    #[test]
+    fn sparse_mesh_scenarios_are_labeled_in_the_matrix() {
+        let mut spec = tiny_spec(MethodsSpec::RonNarrow);
+        spec.name = "tiny-sparse".to_string();
+        spec.topology = TopologySpec::SparseSynthetic { hosts: 6, edge_loss: 0.02, mesh_k: 2 };
+        let m = run_matrix(&[spec], &[3], None, 1);
+        assert_eq!(m.scenarios[0].mesh_k, Some(2));
+        let text = render_matrix(&m);
+        assert!(text.contains("[sparse mesh k=2]"), "missing mesh label in:\n{text}");
+        // Clique scenarios stay unlabeled.
+        let clique = run_matrix(&[tiny_spec(MethodsSpec::RonNarrow)], &[3], None, 1);
+        assert!(!render_matrix(&clique).contains("sparse mesh"));
     }
 
     #[test]

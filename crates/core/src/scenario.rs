@@ -54,6 +54,21 @@ pub enum TopologySpec {
         /// Stationary loss of every access segment.
         edge_loss: f64,
     },
+    /// A synthetic circle whose hosts probe only a sparse, seed-derived
+    /// `mesh_k`-regular neighbor set instead of the full clique (see
+    /// [`netsim::sparse_mesh`]) — the scaling knob for testbeds far
+    /// beyond the paper's 30 hosts. A *new* variant (not a new field)
+    /// so every pre-existing spec's canonical JSON, digest and golden
+    /// fingerprint stay byte-identical.
+    SparseSynthetic {
+        /// Host count (≥ 2).
+        hosts: usize,
+        /// Stationary loss of every access segment.
+        edge_loss: f64,
+        /// Probe-mesh degree: every host probes exactly this many
+        /// peers. `hosts * mesh_k` must be even (graph parity).
+        mesh_k: usize,
+    },
 }
 
 impl TopologySpec {
@@ -63,6 +78,15 @@ impl TopologySpec {
             TopologySpec::Ron2003 => 30,
             TopologySpec::Ron2002 => 17,
             TopologySpec::Synthetic { hosts, .. } => *hosts,
+            TopologySpec::SparseSynthetic { hosts, .. } => *hosts,
+        }
+    }
+
+    /// The sparse probe-mesh degree, when this topology declares one.
+    pub fn mesh_k(&self) -> Option<usize> {
+        match self {
+            TopologySpec::SparseSynthetic { mesh_k, .. } => Some(*mesh_k),
+            _ => None,
         }
     }
 }
@@ -191,6 +215,19 @@ impl ScenarioSpec {
         SimDuration::from_secs_f64(self.days * 86_400.0)
     }
 
+    /// The scripted-impairment horizon as an exact integer-µs duration.
+    ///
+    /// This is the *single* days → µs conversion for the horizon. Every
+    /// consumer — the topology builder compiling weather schedules,
+    /// [`Self::config`]'s outrun assert, and the distributed runner's
+    /// `CampaignJob::validate` on the far side of the wire — must share
+    /// this one rounding: two independently written float conversions
+    /// can disagree by an ulp, making a duration that lands exactly on
+    /// the horizon validate on one host and fail on another.
+    pub fn horizon(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.horizon_days * 86_400.0)
+    }
+
     /// Semantic validation beyond JSON shape: value ranges that would
     /// otherwise panic deep inside the simulator. Returns a readable
     /// error naming the offending field.
@@ -233,7 +270,12 @@ impl ScenarioSpec {
                 self.days, self.horizon_days
             ));
         }
-        if let TopologySpec::Synthetic { hosts, edge_loss } = self.topology {
+        let synth = match self.topology {
+            TopologySpec::Synthetic { hosts, edge_loss } => Some((hosts, edge_loss)),
+            TopologySpec::SparseSynthetic { hosts, edge_loss, .. } => Some((hosts, edge_loss)),
+            _ => None,
+        };
+        if let Some((hosts, edge_loss)) = synth {
             if hosts < 2 {
                 return err(format!("`topology.hosts` must be at least 2, got {hosts}"));
             }
@@ -246,6 +288,19 @@ impl ScenarioSpec {
                 return err(format!("`topology.edge_loss` must be in [0, 1), got {edge_loss}"));
             }
         }
+        if let TopologySpec::SparseSynthetic { hosts, mesh_k, .. } = self.topology {
+            if mesh_k == 0 || mesh_k >= hosts {
+                return err(format!(
+                    "`topology.mesh_k` must be in 1..hosts ({hosts}), got {mesh_k}"
+                ));
+            }
+            if hosts * mesh_k % 2 != 0 {
+                return err(format!(
+                    "`topology.mesh_k` ({mesh_k}) x `hosts` ({hosts}) must be even: \
+                     no {mesh_k}-regular mesh exists on {hosts} hosts"
+                ));
+            }
+        }
         let c = &self.calibration;
         if !(0.0..1.0).contains(&c.forward_drop) {
             return err(format!("`calibration.forward_drop` must be in [0, 1), got {}", c.forward_drop));
@@ -256,8 +311,15 @@ impl ScenarioSpec {
                 c.wait_range_s
             ));
         }
-        if !positive(c.slice_hours) {
-            return err(format!("`calibration.slice_hours` must be positive, got {}", c.slice_hours));
+        // Floor, not just positivity: a microscopic (or zero, or NaN)
+        // width used to be silently clamped deep in `SlicePlan::new`,
+        // exploding a campaign into millions of slices — or one slice of
+        // the wrong width — with no diagnostic.
+        if !at_least(c.slice_hours, 1.0 / 3600.0) {
+            return err(format!(
+                "`calibration.slice_hours` must be at least 1/3600 (a one-second slice), got {}",
+                c.slice_hours
+            ));
         }
         if let Some(sr) = &self.impairments.shared_risk {
             if sr.groups == 0 || sr.hosts_per_group == 0 {
@@ -354,9 +416,12 @@ impl ScenarioSpec {
         let mut params = match self.topology {
             TopologySpec::Ron2003 => Topology::ron2003_params(),
             TopologySpec::Ron2002 => Topology::ron2002_params(),
-            TopologySpec::Synthetic { edge_loss, .. } => Topology::synthetic_params(edge_loss),
+            TopologySpec::Synthetic { edge_loss, .. }
+            | TopologySpec::SparseSynthetic { edge_loss, .. } => {
+                Topology::synthetic_params(edge_loss)
+            }
         };
-        params.horizon = SimDuration::from_secs_f64(self.horizon_days * 86_400.0);
+        params.horizon = self.horizon();
         if let Some(asym) = &self.impairments.asymmetry {
             asym.apply(&mut params);
         }
@@ -365,6 +430,15 @@ impl ScenarioSpec {
             TopologySpec::Ron2002 => Topology::ron2002_with(params, seed),
             TopologySpec::Synthetic { hosts, edge_loss } => {
                 Topology::synthetic_with(hosts, edge_loss, params, seed)
+            }
+            TopologySpec::SparseSynthetic { hosts, edge_loss, mesh_k } => {
+                let mut t = Topology::synthetic_with(hosts, edge_loss, params, seed);
+                // Seed-derived: campaign entry points (run, run_sharded,
+                // the distributed job) all build the topology with the
+                // *master* seed, so every slice, shard and worker
+                // derives the identical mesh.
+                t.set_probe_mesh(netsim::sparse_mesh(hosts, mesh_k, seed));
+                t
             }
         };
         if let Some(sr) = &self.impairments.shared_risk {
@@ -401,7 +475,7 @@ impl ScenarioSpec {
             panic!("{e}");
         }
         let effective = duration.unwrap_or_else(|| self.paper_duration());
-        let horizon = SimDuration::from_secs_f64(self.horizon_days * 86_400.0);
+        let horizon = self.horizon();
         assert!(
             effective <= horizon,
             "scenario `{}`: duration {effective} outruns the {}-day impairment horizon",
@@ -598,7 +672,16 @@ pub fn builtin_specs() -> Vec<ScenarioSpec> {
         factor: (150.0, 400.0),
     });
 
-    vec![ron2003, narrow, wide, correlated, waves, asym, flash]
+    let mut sparse = paper(
+        "sparse-mesh",
+        "120 hosts on a sparse 6-regular probe mesh: the clique replaced by the scaling knob",
+        TopologySpec::SparseSynthetic { hosts: 120, edge_loss: 0.02, mesh_k: 6 },
+        MethodsSpec::Ron2003,
+    );
+    sparse.days = 7.0;
+    sparse.horizon_days = 7.0;
+
+    vec![ron2003, narrow, wide, correlated, waves, asym, flash, sparse]
 }
 
 #[cfg(test)]
@@ -617,6 +700,7 @@ mod tests {
             "load-waves",
             "asymmetric-paths",
             "flash-crowd",
+            "sparse-mesh",
         ] {
             assert!(r.get(name).is_some(), "missing builtin `{name}`");
         }
@@ -716,6 +800,133 @@ mod tests {
         tweaked.calibration.forward_drop += 1e-4;
         assert_ne!(a, tweaked.digest(), "any spec change must move the digest");
         assert_ne!(a, r.get("ron-narrow").unwrap().digest());
+    }
+
+    #[test]
+    fn sparse_synthetic_validates_and_round_trips() {
+        let base = ScenarioRegistry::builtin().get("sparse-mesh").unwrap().clone();
+        assert!(base.validate().is_ok(), "builtin sparse-mesh must validate");
+        assert_eq!(base.topology.mesh_k(), Some(6));
+        assert_eq!(base.topology.hosts(), 120);
+
+        let with_mesh = |hosts, mesh_k| {
+            let mut s = base.clone();
+            s.topology = TopologySpec::SparseSynthetic { hosts, edge_loss: 0.02, mesh_k };
+            s
+        };
+        let err = with_mesh(10, 0).validate().unwrap_err();
+        assert!(err.contains("mesh_k") && err.contains("1..hosts"), "got: {err}");
+        let err = with_mesh(10, 10).validate().unwrap_err();
+        assert!(err.contains("1..hosts"), "got: {err}");
+        // Graph parity: no 3-regular mesh exists on 9 hosts.
+        let err = with_mesh(9, 3).validate().unwrap_err();
+        assert!(err.contains("must be even"), "got: {err}");
+        assert!(with_mesh(9, 4).validate().is_ok(), "9 x 4 is even and fine");
+
+        // JSON round trip with a stable digest, and the mesh degree is
+        // part of the identity: a clique twin must not collide.
+        let json = serde_json::to_string(&base).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, base);
+        assert_eq!(back.digest(), base.digest());
+        let mut clique = base.clone();
+        clique.topology = TopologySpec::Synthetic { hosts: 120, edge_loss: 0.02 };
+        assert_ne!(clique.digest(), base.digest());
+        assert_ne!(with_mesh(120, 8).digest(), base.digest());
+    }
+
+    #[test]
+    fn sparse_mesh_scenario_probes_only_mesh_pairs() {
+        use crate::method::{MethodSpec, MethodSetSpec};
+        use netsim::HostId;
+        use overlay::RouteTag;
+        let (hosts, mesh_k, seed) = (10usize, 3usize, 7u64);
+        let mut spec = paper(
+            "tiny-sparse",
+            "unit-test sparse-mesh scenario",
+            TopologySpec::SparseSynthetic { hosts, edge_loss: 0.02, mesh_k },
+            MethodsSpec::Custom(MethodSetSpec {
+                methods: vec![MethodSpec {
+                    name: "direct".into(),
+                    legs: vec![RouteTag::Direct],
+                    gap_ms: 0.0,
+                    distinct: false,
+                    all_prior: false,
+                }],
+                views: vec![],
+            }),
+        );
+        spec.days = 0.02;
+        spec.horizon_days = 0.02;
+        spec.calibration.flat_load = true;
+        spec.validate().expect("sparse spec validates");
+        let out = spec.run(seed, None);
+        assert!(out.measure_legs > 0, "the sparse run must move traffic");
+        // The campaign entry point derives the mesh from the master
+        // seed, so this reconstruction is exact — and core pair
+        // scheduling must never have probed outside it.
+        let mesh = netsim::sparse_mesh(hosts, mesh_k, seed);
+        let (mut on, mut off) = (0u64, 0u64);
+        for (src, nbrs) in mesh.iter().enumerate() {
+            for dst in 0..hosts {
+                if src == dst {
+                    continue;
+                }
+                let pairs = out.loss.cell(0, HostId(src as u16), HostId(dst as u16)).pairs;
+                if nbrs.contains(&(dst as u16)) {
+                    on += pairs;
+                } else {
+                    assert_eq!(
+                        pairs, 0,
+                        "probe traffic outside the mesh: {src} -> {dst} saw {pairs} pairs"
+                    );
+                    off += 1;
+                }
+            }
+        }
+        assert!(on > 100, "mesh pairs must carry the whole campaign, got {on}");
+        // 3-regular on 10 hosts: 6 of each host's 9 peers are off-mesh.
+        assert_eq!(off as usize, hosts * (hosts - 1 - mesh_k));
+    }
+
+    #[test]
+    fn slice_hours_below_one_second_is_rejected() {
+        let base = ScenarioRegistry::builtin().get("ron2003").unwrap().clone();
+        for bad in [0.0, -1.0, 1e-9, f64::NAN] {
+            let mut spec = base.clone();
+            spec.calibration.slice_hours = bad;
+            let err = spec.validate().unwrap_err();
+            assert!(err.contains("slice_hours"), "slice_hours = {bad}: got {err}");
+        }
+        // The floor itself (a one-second slice) is legal.
+        let mut floor = base;
+        floor.calibration.slice_hours = 1.0 / 3600.0;
+        assert!(floor.validate().is_ok());
+    }
+
+    #[test]
+    fn duration_exactly_on_the_horizon_validates_everywhere() {
+        // Regression: the scenario and job layers used to convert
+        // `horizon_days` to a duration independently; with a fractional
+        // horizon the two float paths could disagree by one ulp, so a
+        // campaign pinned to exactly the horizon validated on one layer
+        // and failed on the other. Both now share `ScenarioSpec::horizon`.
+        let mut spec = ScenarioRegistry::builtin().get("ron2003").unwrap().clone();
+        spec.days = 0.1; // 0.1 * 86 400 is not exactly representable
+        spec.horizon_days = 0.1;
+        spec.validate().expect("spec validates");
+        let exact = spec.horizon();
+        let _ = spec.config(1, Some(exact)); // must not panic
+        let job = crate::distrib::CampaignJob {
+            spec: spec.clone(),
+            seed: 1,
+            duration_us: exact.as_micros(),
+            slice_width_us: 0,
+        };
+        job.validate().expect("exact-horizon job must validate on the wire side too");
+        // One microsecond past the horizon still fails on both layers.
+        let over = crate::distrib::CampaignJob { duration_us: exact.as_micros() + 1, ..job };
+        assert!(over.validate().unwrap_err().contains("outruns"));
     }
 
     #[test]

@@ -77,8 +77,22 @@ pub struct SlicePlan {
 
 impl SlicePlan {
     /// Computes the slice plan for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// On a zero `slice_width`. The width used to be silently clamped
+    /// to 1 µs, turning a default-free config into one slice *per
+    /// microsecond of campaign* — validation at the scenario
+    /// ([`crate::scenario::ScenarioSpec::validate`]) and job
+    /// ([`crate::distrib::CampaignJob::validate`]) layers reports this
+    /// readably before any plan is built; the assert is the backstop
+    /// for hand-assembled configs.
     pub fn new(cfg: &ExperimentConfig) -> SlicePlan {
-        let width = cfg.slice_width.as_micros().max(1);
+        assert!(
+            cfg.slice_width.as_micros() > 0,
+            "slice_width must be positive (a zero width would make one slice per microsecond)"
+        );
+        let width = cfg.slice_width.as_micros();
         let total = cfg.duration.as_micros();
         let m = total.div_ceil(width).max(1);
         if m == 1 {
@@ -154,7 +168,21 @@ pub fn run_sharded(topo: Topology, cfg: ExperimentConfig) -> ExperimentOutput {
         c
     };
     let outputs: Vec<ExperimentOutput> = if workers == 1 {
-        plan.slices().iter().map(|s| run_slice(topo.clone(), slice_cfg(s), s.start)).collect()
+        // Move the topology into the last slice instead of cloning it:
+        // a large mesh's segment table is by far the biggest allocation
+        // in the process, and the single-slice case (every short run)
+        // used to copy it once for nothing.
+        let mut topo = Some(topo);
+        let last = plan.len() - 1;
+        plan.slices()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let t =
+                    if i == last { topo.take().expect("last slice runs once") } else { topo.as_ref().expect("topology lives until the last slice").clone() };
+                run_slice(t, slice_cfg(s), s.start)
+            })
+            .collect()
     } else {
         // Work-stealing over slice indices. Scheduling decides only
         // *when* a slice runs; its result always lands in slot `index`
@@ -220,6 +248,16 @@ mod tests {
         assert!(s.iter().all(|x| x.seed != 5));
         assert_ne!(s[0].seed, s[1].seed);
         assert_ne!(s[1].seed, s[2].seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice_width must be positive")]
+    fn zero_slice_width_panics_instead_of_a_slice_per_microsecond() {
+        // Regression: a zero width used to be silently clamped to 1 µs,
+        // exploding the plan into one slice per microsecond of campaign.
+        let mut c = cfg(10, 1);
+        c.slice_width = SimDuration::from_micros(0);
+        let _ = SlicePlan::new(&c);
     }
 
     #[test]

@@ -211,6 +211,57 @@ pub struct Topology {
     clocks: Vec<ClockModel>,
     specs: Vec<SegmentSpec>,
     params: TopologyParams,
+    /// Optional sparse probe mesh: `probe_mesh[h]` lists the hosts `h`
+    /// may probe. `None` means the historical full clique. Behind an
+    /// `Arc` because the sharded runner clones the topology per slice.
+    probe_mesh: Option<std::sync::Arc<Vec<Vec<u16>>>>,
+}
+
+/// A deterministic, seed-derived `k`-regular probe mesh on `n` hosts.
+///
+/// Construction: a seed-derived permutation arranges the hosts on a
+/// circle, then each host connects to its `k/2` nearest successors and
+/// predecessors (a circulant), plus its antipode when `k` is odd. The
+/// result is exactly `k`-regular with no duplicate edges, symmetric
+/// (`b ∈ mesh[a] ⇔ a ∈ mesh[b]`), and a pure function of `(n, k, seed)`
+/// — every slice, shard and distributed worker derives the identical
+/// mesh. Neighbor lists come back sorted ascending.
+///
+/// # Panics
+///
+/// When no `k`-regular graph on `n` vertices exists: `k` must be in
+/// `1..n` and `n * k` must be even.
+pub fn sparse_mesh(n: usize, k: usize, seed: u64) -> Vec<Vec<u16>> {
+    assert!(n >= 2 && k >= 1 && k < n, "mesh degree {k} must be in 1..{n}");
+    assert!(
+        (n * k).is_multiple_of(2),
+        "no {k}-regular graph on {n} hosts exists (hosts x degree must be even)"
+    );
+    let mut order: Vec<u16> = (0..n as u16).collect();
+    Rng::new(seed ^ 0x5AB5_E5ED_0E5B_0A7D).shuffle(&mut order);
+    let mut mesh: Vec<Vec<u16>> = vec![Vec::with_capacity(k); n];
+    let connect = |mesh: &mut Vec<Vec<u16>>, a: u16, b: u16| {
+        mesh[a as usize].push(b);
+        mesh[b as usize].push(a);
+    };
+    // Circulant rings at distance 1..=k/2: each adds degree 2. Every
+    // distance is below n/2 (k < n), so no ring duplicates another.
+    for d in 1..=k / 2 {
+        for i in 0..n {
+            connect(&mut mesh, order[i], order[(i + d) % n]);
+        }
+    }
+    if k % 2 == 1 {
+        // The evenness guard above makes n even here: a perfect
+        // antipodal matching contributes the remaining odd degree.
+        for i in 0..n / 2 {
+            connect(&mut mesh, order[i], order[i + n / 2]);
+        }
+    }
+    for nbrs in &mut mesh {
+        nbrs.sort_unstable();
+    }
+    mesh
 }
 
 /// Great-circle distance between two (lat, lon) points, km.
@@ -312,6 +363,31 @@ impl Topology {
     /// [`crate::stress`].
     pub(crate) fn specs_mut(&mut self) -> &mut [SegmentSpec] {
         &mut self.specs
+    }
+
+    /// The sparse probe mesh, if one is installed: `mesh[h]` lists the
+    /// hosts `h` may probe. `None` means the full clique.
+    pub fn probe_mesh(&self) -> Option<&std::sync::Arc<Vec<Vec<u16>>>> {
+        self.probe_mesh.as_ref()
+    }
+
+    /// Installs a sparse probe mesh (see [`sparse_mesh`]).
+    ///
+    /// # Panics
+    ///
+    /// When the mesh's shape does not fit this topology: one neighbor
+    /// list per host, no empty list, no self-loops, every neighbor in
+    /// range.
+    pub fn set_probe_mesh(&mut self, mesh: Vec<Vec<u16>>) {
+        assert_eq!(mesh.len(), self.n(), "probe mesh must cover every host");
+        for (h, nbrs) in mesh.iter().enumerate() {
+            assert!(!nbrs.is_empty(), "host {h} has no probe neighbors");
+            assert!(
+                nbrs.iter().all(|&b| (b as usize) < self.n() && b as usize != h),
+                "host {h} has an out-of-range or self neighbor"
+            );
+        }
+        self.probe_mesh = Some(std::sync::Arc::new(mesh));
     }
 
     /// The outbound access segment of a host.
@@ -624,7 +700,7 @@ impl Topology {
             })
             .collect();
 
-        Topology { hosts, clocks, specs, params }
+        Topology { hosts, clocks, specs, params, probe_mesh: None }
     }
 }
 
@@ -694,6 +770,48 @@ mod tests {
         }
         let max = seen.iter().map(|s| s.0).max().unwrap() as usize;
         assert!(max < t.specs().len());
+    }
+
+    #[test]
+    fn sparse_mesh_is_exactly_k_regular_symmetric_and_deterministic() {
+        for (n, k) in [(30, 6), (30, 7) /* odd k, even n */, (31, 6), (4, 1), (8, 7)] {
+            let mesh = sparse_mesh(n, k, 42);
+            assert_eq!(mesh.len(), n);
+            for (h, nbrs) in mesh.iter().enumerate() {
+                assert_eq!(nbrs.len(), k, "host {h} degree (n={n}, k={k})");
+                assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted, duplicate-free");
+                for &b in nbrs {
+                    assert_ne!(b as usize, h, "self-loop at {h}");
+                    assert!(
+                        mesh[b as usize].contains(&(h as u16)),
+                        "mesh must be symmetric: {h} -> {b}"
+                    );
+                }
+            }
+            assert_eq!(mesh, sparse_mesh(n, k, 42), "pure function of (n, k, seed)");
+        }
+        assert_ne!(sparse_mesh(30, 6, 1), sparse_mesh(30, 6, 2), "seed-derived");
+    }
+
+    #[test]
+    #[should_panic(expected = "no 3-regular graph on 5 hosts")]
+    fn sparse_mesh_rejects_impossible_degree_parity() {
+        sparse_mesh(5, 3, 1);
+    }
+
+    #[test]
+    fn topology_carries_an_installed_probe_mesh_through_clone() {
+        let mut t = Topology::synthetic(6, 0.01, 1);
+        assert!(t.probe_mesh().is_none(), "clique by default");
+        t.set_probe_mesh(sparse_mesh(6, 2, 9));
+        let c = t.clone();
+        assert_eq!(c.probe_mesh().unwrap().as_slice(), t.probe_mesh().unwrap().as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every host")]
+    fn probe_mesh_shape_is_checked() {
+        Topology::synthetic(6, 0.01, 1).set_probe_mesh(vec![vec![1]; 5]);
     }
 
     #[test]

@@ -91,6 +91,14 @@ pub struct CollectorStats {
     /// their leg counts) and rejected at the wire for live traffic, so
     /// any count here means a corrupt host log.
     pub malformed_sends: u64,
+    /// High-water mark of simultaneously open probe pairs — the
+    /// collector's memory footprint is proportional to this, so it is
+    /// the number to watch when scaling the mesh (`repro
+    /// --scale-sweep`). Merges by `max`: a sharded campaign runs one
+    /// collector per slice, and the campaign's occupancy is the worst
+    /// slice's. Deliberately **excluded** from the run fingerprint,
+    /// which folds resolved/discarded/late counts only.
+    pub peak_pending: u64,
 }
 
 impl CollectorStats {
@@ -101,6 +109,7 @@ impl CollectorStats {
         self.late_receives += other.late_receives;
         self.malformed_receives += other.malformed_receives;
         self.malformed_sends += other.malformed_sends;
+        self.peak_pending = self.peak_pending.max(other.peak_pending);
     }
 }
 
@@ -220,6 +229,7 @@ pub struct Collector {
     late_receives: u64,
     malformed_receives: u64,
     malformed_sends: u64,
+    peak_pending: u64,
 }
 
 impl Collector {
@@ -239,6 +249,7 @@ impl Collector {
             late_receives: 0,
             malformed_receives: 0,
             malformed_sends: 0,
+            peak_pending: 0,
         }
     }
 
@@ -290,6 +301,9 @@ impl Collector {
         let probe = self.slots[idx as usize].as_mut().expect("indexed slot is occupied");
         probe.legs[e.leg as usize] =
             PendingLeg { route: e.route, state: LEG_SENT, sent_local_us: e.sent_local_us, recv_local_us: 0 };
+        // The pending set only grows in `on_send`, so sampling here
+        // captures the exact high-water mark.
+        self.peak_pending = self.peak_pending.max(self.index.len() as u64);
     }
 
     /// Ingests a receive event.
@@ -365,15 +379,7 @@ impl Collector {
         if discarded {
             self.discarded += 1;
         }
-        PairOutcome {
-            id: p.id,
-            method: p.method,
-            src: p.src,
-            dst: p.dst,
-            sent: p.first_sent,
-            legs: p.legs.map(mk),
-            discarded,
-        }
+        PairOutcome::from_legs(p.id, p.method, p.src, p.dst, p.first_sent, p.legs.map(mk), discarded)
     }
 
     /// Takes all outcomes finalized so far.
@@ -418,6 +424,7 @@ impl Collector {
             late_receives: self.late_receives,
             malformed_receives: self.malformed_receives,
             malformed_sends: self.malformed_sends,
+            peak_pending: self.peak_pending,
         }
     }
 
@@ -479,7 +486,7 @@ mod tests {
         let outs = c.drain();
         let o = outs.iter().find(|o| o.id == 42).unwrap();
         assert!(!o.discarded);
-        let leg = o.legs[0].unwrap();
+        let leg = o.leg(0).unwrap();
         assert!(!leg.lost);
         assert_eq!(leg.one_way_us, Some(30_000));
         assert!(!o.all_lost());
@@ -495,7 +502,7 @@ mod tests {
         c.advance(SimTime::from_secs(120));
         let outs = c.drain();
         let o = outs.iter().find(|o| o.id == 43).unwrap();
-        assert!(o.legs[0].unwrap().lost);
+        assert!(o.leg(0).unwrap().lost);
         assert!(o.all_lost());
         assert!(!o.discarded, "dst was alive; this is real network loss");
     }
@@ -513,8 +520,8 @@ mod tests {
         let outs = c.drain();
         let o = outs.iter().find(|o| o.id == 44).unwrap();
         assert_eq!(o.leg_count(), 2);
-        assert!(o.legs[0].unwrap().lost);
-        assert!(!o.legs[1].unwrap().lost);
+        assert!(o.leg(0).unwrap().lost);
+        assert!(!o.leg(1).unwrap().lost);
         assert!(!o.all_lost(), "one copy arrived — mesh routing saved the pair");
         assert_eq!(o.best_one_way_us(), Some(45_000));
     }
@@ -530,7 +537,7 @@ mod tests {
         c.on_recv(recv(45, 0, 16_000_000));
         let outs = c.drain();
         let o = outs.iter().find(|o| o.id == 45).unwrap();
-        assert!(o.legs[0].unwrap().lost, "late receive must not resurrect the pair");
+        assert!(o.leg(0).unwrap().lost, "late receive must not resurrect the pair");
         assert_eq!(c.counters().2, 1, "late receive counted");
     }
 
@@ -550,7 +557,7 @@ mod tests {
         c.advance(SimTime::from_secs(60));
         let outs = c.drain();
         let o = outs.iter().find(|o| o.id == 50).unwrap();
-        assert!(!o.legs[0].unwrap().lost, "the valid receive survived");
+        assert!(!o.leg(0).unwrap().lost, "the valid receive survived");
         // And the counter merges like the others.
         let mut total = CollectorStats::default();
         total.merge(&c.stats());
@@ -575,9 +582,9 @@ mod tests {
         let outs = c.drain();
         let o = outs.iter().find(|o| o.id == 51).unwrap();
         assert_eq!(o.leg_count(), MAX_PROBE_LEGS);
-        assert!(o.legs[0].unwrap().lost && o.legs[2].unwrap().lost);
-        assert!(!o.legs[1].unwrap().lost && !o.legs[3].unwrap().lost);
-        assert_eq!(o.legs[3].unwrap().route, 3, "per-leg route tags survive");
+        assert!(o.leg(0).unwrap().lost && o.leg(2).unwrap().lost);
+        assert!(!o.leg(1).unwrap().lost && !o.leg(3).unwrap().lost);
+        assert_eq!(o.leg(3).unwrap().route, 3, "per-leg route tags survive");
         assert!(!o.all_lost());
         assert!(o.prefix_all_lost(1) && !o.prefix_all_lost(2));
         assert_eq!(o.best_one_way_us(), Some(30_000));
@@ -760,6 +767,31 @@ mod tests {
     }
 
     #[test]
+    fn peak_pending_is_a_high_water_mark_and_merges_by_max() {
+        let mut c = Collector::new(4, cfg());
+        heartbeat(&mut c, &[0, 1], 0); // 2 pending
+        for i in 0..10u64 {
+            c.on_send(send(100 + i, 0, 0, 1, 1));
+        }
+        assert_eq!(c.stats().peak_pending, 12);
+        c.advance(SimTime::from_secs(60));
+        assert_eq!(c.pending_len(), 0, "everything resolved");
+        assert_eq!(c.stats().peak_pending, 12, "the mark survives the drain");
+        // A second leg on an open pair opens nothing new.
+        heartbeat(&mut c, &[0, 1], 70);
+        c.on_send(send(200, 0, 0, 1, 70));
+        c.on_send(send(200, 1, 0, 1, 70));
+        assert_eq!(c.stats().peak_pending, 12, "3 open pairs < the old mark");
+        // Slices merge occupancy by max (concurrent memory), not sum.
+        let mut total = CollectorStats { peak_pending: 5, ..Default::default() };
+        total.merge(&c.stats());
+        assert_eq!(total.peak_pending, 12);
+        let mut total = CollectorStats { peak_pending: 40, ..Default::default() };
+        total.merge(&c.stats());
+        assert_eq!(total.peak_pending, 40);
+    }
+
+    #[test]
     fn negative_one_way_survives_clock_skew() {
         let mut c = Collector::new(4, cfg());
         for t in 0..40 {
@@ -777,7 +809,7 @@ mod tests {
         });
         c.advance(SimTime::from_secs(120));
         let outs = c.drain();
-        let leg = outs.iter().find(|o| o.id == 47).unwrap().legs[0].unwrap();
+        let leg = outs.iter().find(|o| o.id == 47).unwrap().leg(0).unwrap();
         assert_eq!(leg.one_way_us, Some(-10_000));
     }
 }

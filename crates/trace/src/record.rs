@@ -66,11 +66,31 @@ pub struct LegOutcome {
     pub one_way_us: Option<i64>,
 }
 
+/// Leg-state byte: the slot holds no leg.
+const LEG_ABSENT: u8 = 0;
+/// Leg-state byte: the leg was sent and lost.
+const LEG_LOST: u8 = 1;
+/// Leg-state byte: the leg arrived.
+const LEG_RECEIVED: u8 = 2;
+
+/// Sentinel in the packed `one_way` slots of legs without a measured
+/// one-way time. Real measurements are clock differences within a
+/// receive window of the send — nowhere near `i64::MIN`.
+const ONE_WAY_NONE: i64 = i64::MIN;
+
 /// A fully resolved probe: one to [`MAX_PROBE_LEGS`] redundant legs
 /// sharing a probe id. Two-leg probes are the paper's pairs; the name
 /// survives the k-leg generalization because every downstream consumer
 /// still thinks in "pairs observed".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Legs are stored packed — a state byte, a route byte and a
+/// sentinel-coded `one_way_us` per slot — instead of the former
+/// `[Option<LegOutcome>; MAX_PROBE_LEGS]`, which cost ~120 bytes per
+/// outcome and dominated the windowed-accumulation hot path. The
+/// [`leg`](Self::leg) accessor (and [`legs`](Self::legs)) still speak
+/// `Option<LegOutcome>`, so consumers are layout-agnostic, and the
+/// serde form is unchanged (a `legs` array of nullable leg objects).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PairOutcome {
     /// Probe identifier.
     pub id: u64,
@@ -82,16 +102,67 @@ pub struct PairOutcome {
     pub dst: HostId,
     /// True send instant of the first leg.
     pub sent: SimTime,
-    /// Outcome per leg; single-packet methods use only slot 0, the
-    /// paper's pairs slots 0–1.
-    pub legs: [Option<LegOutcome>; MAX_PROBE_LEGS],
+    /// Per-slot state byte (absent / lost / received).
+    state: [u8; MAX_PROBE_LEGS],
+    /// Per-slot route tag (meaningful only when the slot is present).
+    route: [u8; MAX_PROBE_LEGS],
+    /// Per-slot one-way time, [`ONE_WAY_NONE`] when unmeasured.
+    one_way: [i64; MAX_PROBE_LEGS],
     /// True when the §4.1 host-failure filter discards this sample.
     pub discarded: bool,
 }
 
 impl PairOutcome {
+    /// Builds an outcome from per-slot leg options — the one
+    /// construction path, so the packed encoding is normalized (absent
+    /// slots always carry route 0 and the one-way sentinel, keeping
+    /// derived `PartialEq` honest).
+    pub fn from_legs(
+        id: u64,
+        method: u8,
+        src: HostId,
+        dst: HostId,
+        sent: SimTime,
+        legs: [Option<LegOutcome>; MAX_PROBE_LEGS],
+        discarded: bool,
+    ) -> PairOutcome {
+        let mut state = [LEG_ABSENT; MAX_PROBE_LEGS];
+        let mut route = [0u8; MAX_PROBE_LEGS];
+        let mut one_way = [ONE_WAY_NONE; MAX_PROBE_LEGS];
+        for (i, leg) in legs.iter().enumerate() {
+            if let Some(l) = leg {
+                state[i] = if l.lost { LEG_LOST } else { LEG_RECEIVED };
+                route[i] = l.route;
+                if let Some(us) = l.one_way_us {
+                    debug_assert_ne!(us, ONE_WAY_NONE, "one_way_us collides with the sentinel");
+                    one_way[i] = us;
+                }
+            }
+        }
+        PairOutcome { id, method, src, dst, sent, state, route, one_way, discarded }
+    }
+
+    /// The outcome of leg slot `i`, `None` for an empty slot.
+    #[inline]
+    pub fn leg(&self, i: usize) -> Option<LegOutcome> {
+        match self.state[i] {
+            LEG_ABSENT => None,
+            s => Some(LegOutcome {
+                route: self.route[i],
+                lost: s == LEG_LOST,
+                one_way_us: (self.one_way[i] != ONE_WAY_NONE).then(|| self.one_way[i]),
+            }),
+        }
+    }
+
+    /// All leg slots in order, as the former public array read.
+    pub fn legs(&self) -> [Option<LegOutcome>; MAX_PROBE_LEGS] {
+        std::array::from_fn(|i| self.leg(i))
+    }
+
     /// True when every present leg was lost (the probe failed
     /// end-to-end).
+    #[inline]
     pub fn all_lost(&self) -> bool {
         self.prefix_all_lost(MAX_PROBE_LEGS)
     }
@@ -100,41 +171,82 @@ impl PairOutcome {
     /// present one was lost — "the application sent j copies and none
     /// arrived". `prefix_all_lost(1)` is the paper's first-packet loss;
     /// `prefix_all_lost(MAX_PROBE_LEGS)` is [`all_lost`](Self::all_lost).
+    #[inline]
     pub fn prefix_all_lost(&self, j: usize) -> bool {
         let mut any = false;
-        for l in self.legs.iter().take(j).flatten() {
-            any = true;
-            if !l.lost {
+        for &s in self.state.iter().take(j) {
+            if s == LEG_RECEIVED {
                 return false;
             }
+            any |= s != LEG_ABSENT;
         }
         any
     }
 
     /// The smallest observed one-way time across received legs (the copy
     /// the application would have used first), microseconds.
+    #[inline]
     pub fn best_one_way_us(&self) -> Option<i64> {
-        self.legs
-            .iter()
-            .flatten()
-            .filter_map(|l| l.one_way_us)
-            .min()
+        self.best_of_first_one_way_us(MAX_PROBE_LEGS)
     }
 
     /// The smallest observed one-way time across the first `j` legs —
     /// what an application sending only j copies would have seen.
+    #[inline]
     pub fn best_of_first_one_way_us(&self, j: usize) -> Option<i64> {
-        self.legs
+        self.one_way
             .iter()
             .take(j)
-            .flatten()
-            .filter_map(|l| l.one_way_us)
+            .copied()
+            .filter(|&us| us != ONE_WAY_NONE)
             .min()
     }
 
     /// Number of legs present (1 to [`MAX_PROBE_LEGS`]).
     pub fn leg_count(&self) -> usize {
-        self.legs.iter().flatten().count()
+        self.state.iter().filter(|&&s| s != LEG_ABSENT).count()
+    }
+}
+
+// Hand-written serde preserving the pre-compaction wire shape: a `legs`
+// array of nullable leg objects. The packed encoding is an in-memory
+// layout decision and must not leak into logs or fixtures.
+impl serde::Serialize for PairOutcome {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("id".to_string(), self.id.to_value()),
+            ("method".to_string(), self.method.to_value()),
+            ("src".to_string(), self.src.to_value()),
+            ("dst".to_string(), self.dst.to_value()),
+            ("sent".to_string(), self.sent.to_value()),
+            ("legs".to_string(), self.legs().to_value()),
+            ("discarded".to_string(), self.discarded.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for PairOutcome {
+    fn from_value(v: &serde::Value) -> Result<PairOutcome, serde::Error> {
+        let serde::Value::Map(entries) = v else {
+            return Err(serde::Error::new("PairOutcome: expected a map"));
+        };
+        const FIELDS: [&str; 7] = ["id", "method", "src", "dst", "sent", "legs", "discarded"];
+        for (key, _) in entries {
+            if !FIELDS.contains(&key.as_str()) {
+                return Err(serde::Error::new(format!("PairOutcome: unknown field `{key}`")));
+            }
+        }
+        let legs: [Option<LegOutcome>; MAX_PROBE_LEGS] =
+            Deserialize::from_value(v.field("legs")?)?;
+        Ok(PairOutcome::from_legs(
+            Deserialize::from_value(v.field("id")?)?,
+            Deserialize::from_value(v.field("method")?)?,
+            Deserialize::from_value(v.field("src")?)?,
+            Deserialize::from_value(v.field("dst")?)?,
+            Deserialize::from_value(v.field("sent")?)?,
+            legs,
+            Deserialize::from_value(v.field("discarded")?)?,
+        ))
     }
 }
 
@@ -151,15 +263,7 @@ mod tests {
     }
 
     fn probe(legs: [Option<LegOutcome>; MAX_PROBE_LEGS]) -> PairOutcome {
-        PairOutcome {
-            id: 1,
-            method: 0,
-            src: HostId(0),
-            dst: HostId(1),
-            sent: SimTime::ZERO,
-            legs,
-            discarded: false,
-        }
+        PairOutcome::from_legs(1, 0, HostId(0), HostId(1), SimTime::ZERO, legs, false)
     }
 
     #[test]
@@ -209,10 +313,35 @@ mod tests {
     }
 
     #[test]
+    fn leg_accessor_round_trips_every_slot() {
+        let legs = [leg(false, Some(-250)), leg(true, None), None, leg(false, None)];
+        let p = probe(legs);
+        assert_eq!(p.legs(), legs);
+        for (i, want) in legs.iter().enumerate() {
+            assert_eq!(p.leg(i), *want, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn packed_layout_stays_compact() {
+        // The whole point of the packed encoding: a cache line per
+        // outcome, not the ~120 bytes of the Option-array layout.
+        assert!(
+            std::mem::size_of::<PairOutcome>() <= 64,
+            "PairOutcome grew to {} bytes",
+            std::mem::size_of::<PairOutcome>()
+        );
+    }
+
+    #[test]
     fn serde_round_trip() {
         let p = pair([leg(false, Some(-250)), leg(true, None)]);
         let json = serde_json::to_string(&p).unwrap();
         let back: PairOutcome = serde_json::from_str(&json).unwrap();
         assert_eq!(back, p);
+        // The wire shape is the pre-compaction one: nullable leg objects
+        // under `legs`, nothing about the packed arrays.
+        assert!(json.contains(r#""legs":[{"#), "unexpected wire shape: {json}");
+        assert!(!json.contains("state"), "packed field leaked: {json}");
     }
 }

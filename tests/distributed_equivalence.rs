@@ -151,6 +151,33 @@ fn ron_narrow_distributed_equals_sequential() {
 }
 
 #[test]
+fn sparse_mesh_distributed_equals_sequential() {
+    // Every worker process rebuilds the topology — and its seed-derived
+    // sparse probe mesh — from the job's spec + master seed on its own
+    // side of the wire; a derivation that drifted per-process would
+    // diverge from the sequential bits instantly.
+    let mut j = job("sparse-mesh");
+    j.spec.name = "sparse-mesh-small".to_string();
+    j.spec.topology = mpath::core::TopologySpec::SparseSynthetic {
+        hosts: 24,
+        edge_loss: 0.02,
+        mesh_k: 4,
+    };
+    j.spec.validate().expect("small sparse variant must be a valid spec");
+    let seq = sequential(&j);
+    assert!(seq.measure_legs > 0, "the reference run must move traffic");
+    for workers in [1usize, 2] {
+        let (rep, _) = distributed(&j, workers);
+        assert_eq!(
+            rep.output.fingerprint(),
+            seq.fingerprint(),
+            "sparse mesh: {workers} worker(s) diverged from the sequential run"
+        );
+        assert_eq!(rendered(&j.spec, &rep.output), rendered(&j.spec, &seq));
+    }
+}
+
+#[test]
 fn correlated_outages_distributed_equals_sequential() {
     // The scripted shared-risk schedule must compile identically in
     // every worker process, not just every worker thread.

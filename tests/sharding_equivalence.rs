@@ -138,6 +138,44 @@ fn k_leg_spec() -> ScenarioSpec {
     spec
 }
 
+/// A scaled-down variant of the built-in `sparse-mesh` scenario: 24
+/// hosts on a 4-regular probe mesh — small enough for the 40-minute
+/// equivalence harness while still leaving most host pairs off-mesh, so
+/// a slice that ever probed outside the mesh would be visible.
+fn sparse_small() -> ScenarioSpec {
+    let mut spec = scenario("sparse-mesh");
+    spec.name = "sparse-mesh-small".to_string();
+    spec.topology = mpath::core::TopologySpec::SparseSynthetic {
+        hosts: 24,
+        edge_loss: 0.02,
+        mesh_k: 4,
+    };
+    spec.validate().expect("small sparse variant must be a valid spec");
+    spec
+}
+
+#[test]
+fn sparse_mesh_sharded_equals_sequential() {
+    let seq = assert_equivalent_spec(&sparse_small());
+    // Every slice rebuilds the topology — and thus the seed-derived
+    // probe mesh — from the master seed, so the merged report must show
+    // zero traffic outside the mesh, under every shard count.
+    let mesh = mpath::netsim::sparse_mesh(24, 4, 42);
+    let loss = seq.index_of("loss").expect("loss is measured");
+    for src in 0..24u16 {
+        for dst in 0..24u16 {
+            if src == dst || mesh[src as usize].contains(&dst) {
+                continue;
+            }
+            let pairs = seq
+                .loss
+                .cell(loss, mpath::netsim::HostId(src), mpath::netsim::HostId(dst))
+                .pairs;
+            assert_eq!(pairs, 0, "probe traffic off the mesh: {src} -> {dst}");
+        }
+    }
+}
+
 #[test]
 fn k_leg_custom_methods_shard_equals_sequential() {
     let seq = assert_equivalent_spec(&k_leg_spec());
@@ -301,11 +339,13 @@ fn golden_stress_scenario_fingerprints() {
         ("asymmetric-paths", 0x37a3046e85afc239),
         ("flash-crowd", 0xcb6d99d34a8fdc8f),
         ("correlated-outages-dense", 0x4a673816bee8c380),
+        ("sparse-mesh-small", 0xd7eeed81a99baf41),
     ];
     let specs: Vec<ScenarioSpec> = golden
         .iter()
         .map(|(name, _)| match *name {
             "correlated-outages-dense" => dense_correlated(),
+            "sparse-mesh-small" => sparse_small(),
             builtin => scenario(builtin),
         })
         .collect();
