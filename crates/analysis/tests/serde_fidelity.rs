@@ -168,18 +168,18 @@ proptest! {
 
     #[test]
     fn net_counters_round_trip_and_merge(
-        a in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
-        b in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        a in proptest::collection::vec(any::<u32>(), 6..7),
+        b in proptest::collection::vec(any::<u32>(), 6..7),
     ) {
-        let mk = |(sent, delivered, dropped_outage, dropped_congestion): (u32, u32, u32, u32)| {
-            NetCounters {
-                sent: sent as u64,
-                delivered: delivered as u64,
-                dropped_outage: dropped_outage as u64,
-                dropped_congestion: dropped_congestion as u64,
-            }
+        let mk = |v: &[u32]| NetCounters {
+            sent: v[0] as u64,
+            delivered: v[1] as u64,
+            dropped_outage: v[2] as u64,
+            dropped_congestion: v[3] as u64,
+            lsa_bytes: v[4] as u64,
+            lsa_entries: v[5] as u64,
         };
-        let (ca, cb) = (mk(a), mk(b));
+        let (ca, cb) = (mk(&a), mk(&b));
         prop_assert_eq!(round_trip(&ca), ca);
         let mut local = ca;
         local.merge(&cb);

@@ -124,6 +124,66 @@ fn bench_routing(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_dissem(c: &mut Criterion) {
+    use overlay::{DisseminationMode, Disseminator};
+    // A fully populated 30-node table, as in the routing bench: every
+    // probe send reads the node's own snapshot, so the cache (rebuilt
+    // only after a direct-path mutation) is on the hot path of all
+    // dissemination modes.
+    let n = 30;
+    let mut table = LinkStateTable::new(
+        netsim::HostId(0),
+        n,
+        100,
+        0.1,
+        5,
+        SimDuration::from_secs(90),
+        0.01,
+        0.05,
+    );
+    let now = SimTime::from_secs(100);
+    for peer in 1..n as u16 {
+        for i in 0..50 {
+            table.direct_mut(netsim::HostId(peer)).record_success(
+                now,
+                SimDuration::from_millis(20 + (peer as u64 * 7 + i) % 60),
+            );
+        }
+    }
+    let mut g = c.benchmark_group("components/dissem");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("snapshot_cached_30_nodes", |b| {
+        // Steady state: no mutation between calls, the cache hits.
+        b.iter(|| black_box(table.snapshot().len()))
+    });
+    g.bench_function("snapshot_rebuild_30_nodes", |b| {
+        // Worst case: every call is preceded by a direct-path update,
+        // so the cache rebuilds from all 29 peer stats each time.
+        b.iter(|| {
+            table.direct_mut(netsim::HostId(5)).record_success(now, SimDuration::from_millis(21));
+            black_box(table.snapshot().len())
+        })
+    });
+    let mut delta = Disseminator::new(
+        DisseminationMode::Delta { max_age_probes: 16 },
+        netsim::HostId(0),
+        n,
+        Rng::new(9),
+        SimTime::ZERO,
+    );
+    let mut probe_id = 0u64;
+    g.bench_function("delta_probe_send_quiescent_30_nodes", |b| {
+        // The per-probe cost of delta mode once the mesh has converged:
+        // change detection over the snapshot, then (usually) nothing.
+        b.iter(|| {
+            probe_id += 1;
+            let (metrics, lsa) = delta.on_probe_send(netsim::HostId(1), probe_id, &mut table);
+            black_box((metrics.len(), lsa.is_some()))
+        })
+    });
+    g.finish();
+}
+
 fn bench_collector(c: &mut Criterion) {
     let mut g = c.benchmark_group("components/collector");
     g.throughput(Throughput::Elements(100_000));
@@ -235,6 +295,7 @@ criterion_group!(
     bench_loss_chain,
     bench_wire,
     bench_routing,
+    bench_dissem,
     bench_collector,
     bench_record
 );

@@ -11,7 +11,7 @@
 //! repro --serve ADDR --scenario NAME [--days F] [--seed N] [--slice-mins F]
 //! repro --serve ADDR --scenario-file PATH [--days F] [--seed N] [--slice-mins F]
 //! repro --worker ADDR
-//! repro --scale-sweep [--max-hosts N] [--mesh-k K] [--sweep-secs F] [--seed N]
+//! repro --scale-sweep [--max-hosts N] [--mesh-k K] [--sweep-secs F] [--dissem MODE] [--seed N]
 //!
 //! ARTIFACT: all | headline | table5 | table6 | table7
 //!         | fig2 | fig3 | fig4 | fig5 | fig6 | fec
@@ -56,6 +56,12 @@
 //!                    odd, since a k-regular graph needs an even
 //!                    product)
 //! --sweep-secs F     simulated seconds per sweep step (default 10)
+//! --dissem MODE      link-state dissemination for the sweep: full
+//!                    (snapshot on every probe, the default), delta
+//!                    (sequence-numbered delta LSAs, full refresh
+//!                    every 16 probes) or gossip (fanout 3 every 15 s)
+//!                    — the last column shows what each mode pays in
+//!                    dissemination bytes per simulated second
 //! --slice-mins F     override the scenario's slice width (minutes).
 //!                    Applies to --serve and plain --scenario runs
 //!                    alike; both sides of a fingerprint comparison
@@ -99,6 +105,7 @@ struct Args {
     max_hosts: usize,
     mesh_k: usize,
     sweep_secs: f64,
+    dissem: overlay::DisseminationMode,
 }
 
 /// The value of a flag, or a usage error (never an index panic).
@@ -134,6 +141,7 @@ fn parse_args() -> Args {
         max_hosts: 3000,
         mesh_k: 6,
         sweep_secs: 10.0,
+        dissem: overlay::DisseminationMode::FullSnapshot,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut saw_scenario_flag = false;
@@ -215,6 +223,18 @@ fn parse_args() -> Args {
                 args.sweep_secs =
                     value_of(&argv, &mut i, "--sweep-secs").parse().expect("--sweep-secs takes a number");
             }
+            "--dissem" => {
+                saw_sweep_knob = true;
+                args.dissem = match value_of(&argv, &mut i, "--dissem") {
+                    "full" => overlay::DisseminationMode::FullSnapshot,
+                    "delta" => overlay::DisseminationMode::Delta { max_age_probes: 16 },
+                    "gossip" => overlay::DisseminationMode::Gossip { fanout: 3, interval_ms: 15_000 },
+                    other => {
+                        eprintln!("--dissem takes full, delta or gossip, got `{other}`");
+                        std::process::exit(2);
+                    }
+                };
+            }
             a if !a.starts_with('-') => {
                 args.artifact = a.to_string();
                 args.artifact_explicit = true;
@@ -249,7 +269,7 @@ fn parse_args() -> Args {
     if saw_sweep_knob && !args.scale_sweep {
         // Same policy as --seeds: a knob that silently does nothing
         // would let the user believe it took effect.
-        eprintln!("--max-hosts, --mesh-k and --sweep-secs only apply to --scale-sweep");
+        eprintln!("--max-hosts, --mesh-k, --sweep-secs and --dissem only apply to --scale-sweep");
         std::process::exit(2);
     }
     if args.scale_sweep {
@@ -582,15 +602,17 @@ fn do_scale_sweep(args: &Args) {
     let sizes = sweep_sizes(args.max_hosts);
     let duration = SimDuration::from_secs_f64(args.sweep_secs);
     eprintln!(
-        "[repro] scale sweep: {} mesh size(s), {} simulated each, mesh degree {} (seed {})",
+        "[repro] scale sweep: {} mesh size(s), {} simulated each, mesh degree {}, \
+         dissemination {} (seed {})",
         sizes.len(),
         duration,
         args.mesh_k,
+        args.dissem.label(),
         args.seed
     );
     println!(
-        "{:>7} {:>7} {:>12} {:>14} {:>10} {:>10} {:>8}",
-        "hosts", "mesh_k", "events/sec", "bytes/outcome", "peak_open", "resolved", "wall_s"
+        "{:>7} {:>7} {:>12} {:>14} {:>10} {:>10} {:>8} {:>12}",
+        "hosts", "mesh_k", "events/sec", "bytes/outcome", "peak_open", "resolved", "wall_s", "lsa_B/s"
     );
     for &n in &sizes {
         // A k-regular graph needs hosts x k even; odd x odd sizes take
@@ -626,6 +648,7 @@ fn do_scale_sweep(args: &Args) {
         // leave the pending set promptly and `peak_open` reports the
         // steady-state watermark, not "every pair the run ever opened".
         cfg.sweep_interval = SimDuration::from_secs(1);
+        cfg.dissemination = args.dissem;
         cfg.scenario = format!("scale-sweep-{n}");
         let t0 = std::time::Instant::now();
         let out = mpath_core::shard::run_sharded(topo, cfg);
@@ -634,19 +657,22 @@ fn do_scale_sweep(args: &Args) {
         // timers and sweeps ride along free-ish.
         let events = out.net.sent + out.net.delivered;
         println!(
-            "{:>7} {:>7} {:>12.0} {:>14} {:>10} {:>10} {:>8.2}",
+            "{:>7} {:>7} {:>12.0} {:>14} {:>10} {:>10} {:>8.2} {:>12.0}",
             n,
             k,
             events as f64 / wall.max(1e-9),
             std::mem::size_of::<trace::PairOutcome>(),
             out.collector.peak_pending,
             out.collector.resolved,
-            wall
+            wall,
+            out.net.lsa_bytes as f64 / args.sweep_secs
         );
     }
     println!(
         "\nevents = underlay sends + deliveries; bytes/outcome = in-memory size of one \
-         recorded probe-pair outcome; peak_open = collector high-water mark of open pairs"
+         recorded probe-pair outcome; peak_open = collector high-water mark of open pairs; \
+         lsa_B/s = dissemination payload bytes per simulated second ({} mode)",
+        args.dissem.label()
     );
 }
 

@@ -24,7 +24,8 @@ use netsim::{
     Delivery, EventQueue, HostId, LoadProfile, NetCounters, Rng, SimDuration, SimTime, Topology,
 };
 use overlay::{
-    Delivered, MeasureKind, NodeConfig, OverlayNode, Packet, Policy, Route, RouteTag, Transmit,
+    Delivered, DisseminationMode, MeasureKind, NodeConfig, OverlayNode, Packet, Policy, Route,
+    RouteTag, Transmit,
 };
 use trace::{Collector, CollectorConfig, CollectorStats, PairOutcome, RecvEvent, SendEvent};
 
@@ -44,6 +45,11 @@ pub struct ExperimentConfig {
     pub wait_range_s: (f64, f64),
     /// Overlay node configuration.
     pub node: NodeConfig,
+    /// How overlay nodes disseminate their link-state metrics. The
+    /// default full-snapshot mode reproduces the historical behaviour
+    /// bit-for-bit; the delta and gossip modes trade convergence lag for
+    /// orders of magnitude less dissemination traffic at scale.
+    pub dissemination: DisseminationMode,
     /// Collector policy.
     pub collector: CollectorConfig,
     /// How often the collector resolves expired pairs.
@@ -94,6 +100,7 @@ impl ExperimentConfig {
             round_trip: false,
             wait_range_s: (0.6, 1.2),
             node: NodeConfig::default(),
+            dissemination: DisseminationMode::FullSnapshot,
             collector: CollectorConfig::default(),
             sweep_interval: SimDuration::from_secs(10),
             forward_drop: 0.008,
@@ -173,6 +180,10 @@ impl ExperimentOutput {
         self.loss.digest(&mut f);
         self.win20.digest(&mut f);
         self.win60.digest(&mut f);
+        // Net counters fold field-by-field for the same reason as the
+        // collector counters below; `lsa_bytes`/`lsa_entries` are
+        // deliberately excluded so the dissemination mode is a free
+        // knob that cannot re-roll the FullSnapshot goldens.
         f.write_u64(self.net.sent);
         f.write_u64(self.net.delivered);
         f.write_u64(self.net.dropped_outage);
@@ -203,10 +214,11 @@ impl ExperimentOutput {
 /// worker disagreeing on this value must fail loudly, never merge.
 /// (v2: `CollectorStats` gained `peak_pending` — a v1 binary's strict
 /// field check would reject the new map only *after* a successful
-/// handshake, so the version must say no first.)
-pub const OUTPUT_WIRE_VERSION: u32 = 2;
+/// handshake, so the version must say no first. v3: `NetCounters`
+/// gained `lsa_bytes`/`lsa_entries` for dissemination accounting.)
+pub const OUTPUT_WIRE_VERSION: u32 = 3;
 
-// Versioned wire format (v2): the exact in-memory state crosses the
+// Versioned wire format (v3): the exact in-memory state crosses the
 // wire — every accumulator cell and the bit patterns of every f64 sum —
 // so a slice result computed on another host merges byte-identically to
 // one computed locally. `duration` travels as integer microseconds.
@@ -376,12 +388,13 @@ impl Runner {
         }
         let nodes = (0..n)
             .map(|i| {
-                OverlayNode::new(
+                OverlayNode::new_with_dissemination(
                     HostId(i as u16),
                     n,
                     cfg.node,
                     cfg.seed ^ (0x1000 + i as u64),
                     start,
+                    cfg.dissemination,
                 )
             })
             .collect();
@@ -418,6 +431,21 @@ impl Runner {
     /// Puts one node-emitted packet on the wire.
     fn transmit(&mut self, now: SimTime, from: u16, tx: Transmit) {
         debug_assert_ne!(HostId(from), tx.to);
+        // Account dissemination payload as it would encode on the wire
+        // (`overlay::wire`): metric vectors cost a 2-byte count prefix
+        // plus 9 bytes per entry; a standalone LSA adds its 13-byte
+        // header. Counted on offer, delivered or not, like `net.sent`.
+        match &tx.packet {
+            Packet::ProbeReq { metrics, .. } | Packet::ProbeResp { metrics, .. } => {
+                if !metrics.is_empty() {
+                    self.net.note_lsa(2 + 9 * metrics.len() as u64, metrics.len() as u64);
+                }
+            }
+            Packet::Lsa { entries, .. } => {
+                self.net.note_lsa(15 + 9 * entries.len() as u64, entries.len() as u64);
+            }
+            _ => {}
+        }
         match self.net.transmit(now, HostId(from), tx.to) {
             Delivery::Delivered { delay } => {
                 self.q.push(now + delay, Ev::Arrive { to: tx.to.0, packet: tx.packet });
@@ -935,6 +963,53 @@ mod tests {
         let seq = run(true, 0);
         assert!(seq.summary("k!").unwrap().pairs > 30);
         assert!(seq.measure_legs >= 4 * seq.summary("k!").unwrap().pairs);
+    }
+
+    #[test]
+    fn lsa_counters_never_touch_the_fingerprint() {
+        let topo = Topology::synthetic(4, 0.01, 43);
+        let mut out = run_experiment(topo, quick_cfg(MethodSet::ron_narrow(), 43, 30));
+        assert!(out.net.lsa_bytes > 0, "full snapshots must be accounted");
+        assert!(out.net.lsa_entries > 0);
+        let before = out.fingerprint();
+        out.net.lsa_bytes ^= 0xDEAD;
+        out.net.lsa_entries ^= 0xBEEF;
+        assert_eq!(out.fingerprint(), before, "lsa counters are excluded by design");
+    }
+
+    #[test]
+    fn delta_mode_cuts_dissemination_bytes_and_stays_deterministic() {
+        let run = |mode| {
+            let mut cfg = quick_cfg(MethodSet::ron_narrow(), 47, 120);
+            cfg.dissemination = mode;
+            run_experiment(Topology::synthetic(6, 0.01, 47), cfg)
+        };
+        let full = run(DisseminationMode::FullSnapshot);
+        let delta = run(DisseminationMode::Delta { max_age_probes: 16 });
+        assert!(delta.collector.resolved > 0, "delta-mode routing must still resolve pairs");
+        assert!(delta.net.lsa_bytes > 0, "anti-entropy refreshes still cost bytes");
+        assert!(
+            delta.net.lsa_bytes * 2 < full.net.lsa_bytes,
+            "delta {} vs full {} bytes",
+            delta.net.lsa_bytes,
+            full.net.lsa_bytes
+        );
+        let again = run(DisseminationMode::Delta { max_age_probes: 16 });
+        assert_eq!(delta.fingerprint(), again.fingerprint(), "delta mode is deterministic");
+        assert_eq!(delta.net.lsa_bytes, again.net.lsa_bytes);
+    }
+
+    #[test]
+    fn gossip_mode_disseminates_and_stays_deterministic() {
+        let run = || {
+            let mut cfg = quick_cfg(MethodSet::ron_narrow(), 53, 120);
+            cfg.dissemination = DisseminationMode::Gossip { fanout: 3, interval_ms: 15_000 };
+            run_experiment(Topology::synthetic(6, 0.01, 53), cfg)
+        };
+        let a = run();
+        assert!(a.collector.resolved > 0, "gossip-mode routing must still resolve pairs");
+        assert!(a.net.lsa_bytes > 0, "gossip rounds must be accounted");
+        assert_eq!(a.fingerprint(), run().fingerprint(), "gossip mode is deterministic");
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use matrix::{render_matrix, run_matrix, MatrixCell, MatrixOutput, MatrixScen
 pub use method::{Method, MethodSet, MethodSetSpec, MethodSpec, View, ViewSpec, MAX_PROBE_LEGS};
 pub use model::{DesignModel, Recommendation};
 pub use scenario::{
-    builtin_specs, Calibration, ImpairmentPlan, MethodsSpec, ScenarioRegistry, ScenarioSpec,
-    TopologySpec,
+    builtin_specs, Calibration, DisseminationSpec, ImpairmentPlan, MethodsSpec, ScenarioRegistry,
+    ScenarioSpec, TopologySpec,
 };
 pub use shard::{SlicePlan, Slice};

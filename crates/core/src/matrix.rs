@@ -209,6 +209,7 @@ mod tests {
             round_trip: false,
             impairments: ImpairmentPlan::none(),
             calibration: Calibration { flat_load: true, ..Calibration::default() },
+            dissemination: crate::scenario::DisseminationSpec::FullSnapshot,
         }
     }
 

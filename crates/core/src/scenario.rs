@@ -37,6 +37,7 @@ use netsim::stress::{
     LoadWaveSpec, SharedRiskSpec,
 };
 use netsim::{SimDuration, Topology};
+use overlay::DisseminationMode;
 use serde::{Deserialize, Serialize};
 
 /// The testbed a scenario runs on.
@@ -183,8 +184,57 @@ impl Default for Calibration {
     }
 }
 
+/// Serde form of the link-state dissemination strategy, as scenario
+/// files spell it (see [`overlay::dissem`] for the machinery).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DisseminationSpec {
+    /// The full metric snapshot piggybacks on every probe — the
+    /// historical default, byte-identical to specs written before this
+    /// knob existed.
+    FullSnapshot,
+    /// Sequence-numbered delta LSAs: probes carry no metrics; a
+    /// standalone LSA ships only the entries that changed since the
+    /// neighbor last acknowledged, with an anti-entropy full refresh
+    /// every `max_age_probes` probes per neighbor.
+    Delta {
+        /// Probes to a neighbor between anti-entropy full refreshes
+        /// (at least 1).
+        max_age_probes: u32,
+    },
+    /// Timed gossip: every `interval_ms` each node pushes its own LSA
+    /// (when it changed) plus freshly heard foreign LSAs to `fanout`
+    /// seed-derived peers.
+    Gossip {
+        /// Distinct peers per gossip round (in `1..hosts`).
+        fanout: usize,
+        /// Gossip period, milliseconds (at least 1).
+        interval_ms: u64,
+    },
+}
+
+impl DisseminationSpec {
+    /// The runtime mode this spec selects.
+    pub fn mode(&self) -> DisseminationMode {
+        match *self {
+            DisseminationSpec::FullSnapshot => DisseminationMode::FullSnapshot,
+            DisseminationSpec::Delta { max_age_probes } => {
+                DisseminationMode::Delta { max_age_probes }
+            }
+            DisseminationSpec::Gossip { fanout, interval_ms } => {
+                DisseminationMode::Gossip { fanout, interval_ms }
+            }
+        }
+    }
+
+    /// True for the historical default (the variant omitted from
+    /// canonical JSON).
+    pub fn is_default(&self) -> bool {
+        *self == DisseminationSpec::FullSnapshot
+    }
+}
+
 /// A complete, serializable description of one experiment scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Registry name (kebab-case by convention).
     pub name: String,
@@ -207,6 +257,82 @@ pub struct ScenarioSpec {
     pub impairments: ImpairmentPlan,
     /// Runner calibration.
     pub calibration: Calibration,
+    /// How overlay nodes spread their link-state metrics. Optional in
+    /// files and omitted from JSON when [`DisseminationSpec::FullSnapshot`],
+    /// so every pre-existing spec keeps its canonical serialization —
+    /// and therefore its digest and goldens.
+    pub dissemination: DisseminationSpec,
+}
+
+// Hand-written so the `dissemination` key only exists on the wire when
+// it departs from the full-snapshot default: the derive would emit
+// `"dissemination":"FullSnapshot"` into every spec, shifting
+// `ScenarioSpec::digest` for all existing scenarios and invalidating
+// their golden fingerprints.
+impl serde::Serialize for ScenarioSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("summary".to_string(), self.summary.to_value()),
+            ("topology".to_string(), self.topology.to_value()),
+            ("methods".to_string(), self.methods.to_value()),
+            ("days".to_string(), self.days.to_value()),
+            ("horizon_days".to_string(), self.horizon_days.to_value()),
+            ("round_trip".to_string(), self.round_trip.to_value()),
+            ("impairments".to_string(), self.impairments.to_value()),
+            ("calibration".to_string(), self.calibration.to_value()),
+        ];
+        if !self.dissemination.is_default() {
+            fields.push(("dissemination".to_string(), self.dissemination.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl serde::Deserialize for ScenarioSpec {
+    fn from_value(v: &serde::Value) -> Result<ScenarioSpec, serde::Error> {
+        let serde::Value::Map(entries) = v else {
+            return Err(serde::Error::new("ScenarioSpec: expected a map"));
+        };
+        const FIELDS: [&str; 10] = [
+            "name",
+            "summary",
+            "topology",
+            "methods",
+            "days",
+            "horizon_days",
+            "round_trip",
+            "impairments",
+            "calibration",
+            "dissemination",
+        ];
+        for (key, _) in entries {
+            if !FIELDS.contains(&key.as_str()) {
+                // Same wording as the derive's strict guard, expected
+                // list included: a typo tells the author what is legal.
+                return Err(serde::Error::new(format!(
+                    "unknown field `{key}` in ScenarioSpec (expected `{}`)",
+                    FIELDS.join("`, `")
+                )));
+            }
+        }
+        let dissemination = match entries.iter().find(|(key, _)| key == "dissemination") {
+            Some((_, val)) => DisseminationSpec::from_value(val)?,
+            None => DisseminationSpec::FullSnapshot,
+        };
+        Ok(ScenarioSpec {
+            name: Deserialize::from_value(v.field("name")?)?,
+            summary: Deserialize::from_value(v.field("summary")?)?,
+            topology: Deserialize::from_value(v.field("topology")?)?,
+            methods: Deserialize::from_value(v.field("methods")?)?,
+            days: Deserialize::from_value(v.field("days")?)?,
+            horizon_days: Deserialize::from_value(v.field("horizon_days")?)?,
+            round_trip: Deserialize::from_value(v.field("round_trip")?)?,
+            impairments: Deserialize::from_value(v.field("impairments")?)?,
+            calibration: Deserialize::from_value(v.field("calibration")?)?,
+            dissemination,
+        })
+    }
 }
 
 impl ScenarioSpec {
@@ -299,6 +425,27 @@ impl ScenarioSpec {
                     "`topology.mesh_k` ({mesh_k}) x `hosts` ({hosts}) must be even: \
                      no {mesh_k}-regular mesh exists on {hosts} hosts"
                 ));
+            }
+        }
+        match self.dissemination {
+            DisseminationSpec::FullSnapshot => {}
+            DisseminationSpec::Delta { max_age_probes } => {
+                if max_age_probes == 0 {
+                    return err("`dissemination.max_age_probes` must be at least 1 \
+                         (it paces the anti-entropy full refresh)"
+                        .into());
+                }
+            }
+            DisseminationSpec::Gossip { fanout, interval_ms } => {
+                if fanout == 0 || fanout >= self.topology.hosts() {
+                    return err(format!(
+                        "`dissemination.fanout` must be in 1..hosts ({}), got {fanout}",
+                        self.topology.hosts()
+                    ));
+                }
+                if interval_ms == 0 {
+                    return err("`dissemination.interval_ms` must be at least 1".into());
+                }
             }
         }
         let c = &self.calibration;
@@ -490,6 +637,7 @@ impl ScenarioSpec {
         cfg.wait_range_s = self.calibration.wait_range_s;
         cfg.flat_load = self.calibration.flat_load;
         cfg.slice_width = SimDuration::from_secs_f64(self.calibration.slice_hours * 3600.0);
+        cfg.dissemination = self.dissemination.mode();
         cfg.scenario = self.name.clone();
         cfg.spec_digest = self.digest();
         cfg
@@ -587,6 +735,7 @@ fn paper(name: &str, summary: &str, topology: TopologySpec, methods: MethodsSpec
         round_trip: false,
         impairments: ImpairmentPlan::none(),
         calibration: Calibration::default(),
+        dissemination: DisseminationSpec::FullSnapshot,
     }
 }
 
@@ -833,6 +982,73 @@ mod tests {
         clique.topology = TopologySpec::Synthetic { hosts: 120, edge_loss: 0.02 };
         assert_ne!(clique.digest(), base.digest());
         assert_ne!(with_mesh(120, 8).digest(), base.digest());
+    }
+
+    #[test]
+    fn dissemination_field_is_invisible_until_it_departs_from_default() {
+        let base = ScenarioRegistry::builtin().get("ron2003").unwrap().clone();
+        assert!(base.dissemination.is_default());
+        let json = serde_json::to_string(&base).unwrap();
+        assert!(
+            !json.contains("dissemination"),
+            "default dissemination must stay off the wire (digest stability): {json}"
+        );
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, base, "omitted field deserializes to the default");
+
+        // Non-default modes round-trip with a moved digest.
+        for mode in [
+            DisseminationSpec::Delta { max_age_probes: 16 },
+            DisseminationSpec::Gossip { fanout: 3, interval_ms: 15_000 },
+        ] {
+            let mut tweaked = base.clone();
+            tweaked.dissemination = mode;
+            assert!(tweaked.validate().is_ok(), "{mode:?} must validate");
+            let json = serde_json::to_string(&tweaked).unwrap();
+            assert!(json.contains("dissemination"), "got: {json}");
+            let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, tweaked);
+            assert_ne!(tweaked.digest(), base.digest(), "the knob is part of the identity");
+            assert_eq!(back.digest(), tweaked.digest());
+        }
+    }
+
+    #[test]
+    fn dissemination_validation_rejects_degenerate_knobs() {
+        let base = ScenarioRegistry::builtin().get("ron2003").unwrap().clone();
+        let mut zero_age = base.clone();
+        zero_age.dissemination = DisseminationSpec::Delta { max_age_probes: 0 };
+        assert!(zero_age.validate().unwrap_err().contains("max_age_probes"));
+        let mut zero_fanout = base.clone();
+        zero_fanout.dissemination = DisseminationSpec::Gossip { fanout: 0, interval_ms: 1000 };
+        assert!(zero_fanout.validate().unwrap_err().contains("fanout"));
+        let mut wide_fanout = base.clone();
+        wide_fanout.dissemination = DisseminationSpec::Gossip { fanout: 30, interval_ms: 1000 };
+        assert!(
+            wide_fanout.validate().unwrap_err().contains("1..hosts"),
+            "fanout must leave room for distinct peers"
+        );
+        let mut zero_interval = base;
+        zero_interval.dissemination = DisseminationSpec::Gossip { fanout: 3, interval_ms: 0 };
+        assert!(zero_interval.validate().unwrap_err().contains("interval_ms"));
+    }
+
+    #[test]
+    fn dissemination_spec_reaches_the_experiment_config() {
+        let mut spec = paper(
+            "tiny-delta",
+            "unit-test delta dissemination scenario",
+            TopologySpec::Synthetic { hosts: 4, edge_loss: 0.0 },
+            MethodsSpec::RonNarrow,
+        );
+        spec.days = 0.02;
+        spec.horizon_days = 0.02;
+        spec.calibration.flat_load = true;
+        spec.dissemination = DisseminationSpec::Delta { max_age_probes: 8 };
+        let cfg = spec.config(3, None);
+        assert_eq!(cfg.dissemination, DisseminationMode::Delta { max_age_probes: 8 });
+        let out = spec.run(3, None);
+        assert!(out.measure_legs > 0, "delta-mode scenario must still measure");
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! ```
 
 use mpath_core::{
-    Calibration, ImpairmentPlan, MethodSetSpec, MethodSpec, MethodsSpec, ScenarioSpec,
-    TopologySpec, ViewSpec,
+    Calibration, DisseminationSpec, ImpairmentPlan, MethodSetSpec, MethodSpec, MethodsSpec,
+    ScenarioSpec, TopologySpec, ViewSpec,
 };
 use overlay::RouteTag;
 
@@ -59,6 +59,7 @@ fn triple_redundant() -> ScenarioSpec {
         round_trip: false,
         impairments: ImpairmentPlan::none(),
         calibration: Calibration::default(),
+        dissemination: DisseminationSpec::FullSnapshot,
     }
 }
 

@@ -48,6 +48,14 @@ pub struct NetCounters {
     pub dropped_outage: u64,
     /// Congestion drops.
     pub dropped_congestion: u64,
+    /// Link-state dissemination payload bytes offered to the network
+    /// (piggybacked metric vectors and standalone LSA packets alike, as
+    /// encoded on the wire). Excluded from output fingerprints so the
+    /// dissemination mode stays a free knob.
+    pub lsa_bytes: u64,
+    /// Link-state metric entries offered (the byte figure's unit-free
+    /// companion).
+    pub lsa_entries: u64,
 }
 
 impl NetCounters {
@@ -66,6 +74,8 @@ impl NetCounters {
         self.delivered += other.delivered;
         self.dropped_outage += other.dropped_outage;
         self.dropped_congestion += other.dropped_congestion;
+        self.lsa_bytes += other.lsa_bytes;
+        self.lsa_entries += other.lsa_entries;
     }
 }
 
@@ -178,6 +188,14 @@ impl Network {
     /// Flow counters.
     pub fn counters(&self) -> &NetCounters {
         &self.counters
+    }
+
+    /// Accounts link-state dissemination payload carried by a packet the
+    /// caller just offered to [`Self::transmit`] (the network itself is
+    /// payload-blind, so the overlay driver reports the cost).
+    pub fn note_lsa(&mut self, bytes: u64, entries: u64) {
+        self.counters.lsa_bytes += bytes;
+        self.counters.lsa_entries += entries;
     }
 
     /// Mutable access to a segment (fault injection in tests/examples).

@@ -1,0 +1,644 @@
+//! Metric dissemination strategies.
+//!
+//! How a node's direct-path measurements reach the rest of the mesh is a
+//! pluggable policy, selected per scenario:
+//!
+//! * [`DisseminationMode::FullSnapshot`] — the original RON behaviour and
+//!   the default: every probe request and response piggybacks the
+//!   sender's complete O(n) metric vector. Simple and fast to converge,
+//!   but the mesh-wide cost is O(n³)/sec and dominates beyond ~500 hosts
+//!   (the knee `repro --scale-sweep` located).
+//! * [`DisseminationMode::Delta`] — sequence-numbered link-state
+//!   advertisements. A node bumps its advertisement seqno whenever a
+//!   direct metric changes *significantly* (alive flip, ≥ 1 pp loss,
+//!   ≥ 10 % latency), and each probe is accompanied by an
+//!   [`Packet::Lsa`] carrying only the entries that advanced past the
+//!   last seqno the peer acknowledged (a probe response doubles as the
+//!   ack). Every `max_age_probes`-th probe to a peer carries the full
+//!   vector instead — the anti-entropy backstop that repairs dropped
+//!   LSAs and acks that outran their advertisement.
+//! * [`DisseminationMode::Gossip`] — probes carry nothing; instead, on a
+//!   fixed timer each node pushes its freshest LSAs (its own, plus any
+//!   foreign ones learned since the last tick) to a deterministic
+//!   seed-derived `fanout` set of peers. Epidemic spread costs
+//!   O(fanout) packets per node per tick regardless of mesh size.
+//!
+//! The [`Disseminator`] is a sans-io state machine owned by
+//! [`crate::OverlayNode`]; all randomness comes from its own derived RNG
+//! stream, so `FullSnapshot` consumes no draws and leaves historical
+//! results byte-identical.
+
+use crate::table::LinkStateTable;
+use crate::wire::{MetricEntry, Packet};
+use netsim::{HostId, Rng, SimDuration, SimTime};
+
+/// Which dissemination strategy a node runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DisseminationMode {
+    /// Piggyback the complete metric vector on every probe packet.
+    FullSnapshot,
+    /// Sequence-numbered delta LSAs alongside probes, with a full
+    /// refresh every `max_age_probes` probes per peer as anti-entropy.
+    Delta {
+        /// Probes to a peer between forced full-vector refreshes.
+        max_age_probes: u32,
+    },
+    /// Push full LSAs to a random fanout set on a timer; probes carry
+    /// no link state at all.
+    Gossip {
+        /// Peers addressed per gossip round.
+        fanout: usize,
+        /// Gossip round interval, milliseconds.
+        interval_ms: u64,
+    },
+}
+
+impl DisseminationMode {
+    /// Short lowercase label (`full`, `delta`, `gossip`) for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DisseminationMode::FullSnapshot => "full",
+            DisseminationMode::Delta { .. } => "delta",
+            DisseminationMode::Gossip { .. } => "gossip",
+        }
+    }
+}
+
+/// Advertisement-change quantum for loss, in 1/10000 units (1 pp).
+/// Below this the EWMA wiggles on every probe and deltas never quiesce.
+const LOSS_QUANTUM_E4: u16 = 100;
+/// Relative latency change that counts as significant.
+const LAT_QUANTUM: f64 = 0.10;
+/// Cap on remembered unacknowledged probe→seqno associations.
+const MAX_PENDING: usize = 256;
+
+/// Did the path change enough to justify a new advertisement?
+fn significant_change(old: &MetricEntry, new: &MetricEntry) -> bool {
+    if old.alive != new.alive {
+        return true;
+    }
+    if old.loss_e4.abs_diff(new.loss_e4) >= LOSS_QUANTUM_E4 {
+        return true;
+    }
+    if (old.lat_us == 0) != (new.lat_us == 0) {
+        return true;
+    }
+    if old.lat_us != 0 {
+        let rel = (old.lat_us as f64 - new.lat_us as f64).abs() / old.lat_us as f64;
+        if rel >= LAT_QUANTUM {
+            return true;
+        }
+    }
+    false
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PeerDelta {
+    /// Highest own-advertisement seqno this peer has acknowledged.
+    acked_seq: u64,
+    /// Probes sent to this peer since the last full refresh.
+    sends_since_full: u32,
+}
+
+#[derive(Debug, Clone)]
+struct ForeignLsa {
+    seq: u64,
+    entries: Vec<MetricEntry>,
+    /// Not yet forwarded in a gossip round.
+    fresh: bool,
+}
+
+/// Per-node dissemination state machine.
+#[derive(Debug)]
+pub struct Disseminator {
+    mode: DisseminationMode,
+    me: HostId,
+    n: usize,
+    rng: Rng,
+    /// Seqno of my current advertisement; bumps on significant change.
+    own_seq: u64,
+    /// The vector as last advertised (quantized publisher state), in
+    /// [`LinkStateTable::snapshot`] order.
+    advertised: Vec<MetricEntry>,
+    /// Per-destination seqno at which its advertised entry last changed.
+    entry_seq: Vec<u64>,
+    /// Whether `advertised` has been initialised from the table.
+    init: bool,
+    /// Delta mode: per-peer ack/refresh bookkeeping.
+    peers: Vec<PeerDelta>,
+    /// Delta mode: probe id → (peer, seqno advertised with it).
+    pending: Vec<(u64, u16, u64)>,
+    /// Highest ingested advertisement seqno per origin (receiver dedup).
+    origin_seq: Vec<u64>,
+    /// Gossip mode: stored foreign LSAs for onward forwarding.
+    foreign: Vec<Option<ForeignLsa>>,
+    /// Gossip mode: own seqno as of the last flushed round.
+    own_flushed_seq: u64,
+    /// Gossip mode: next round instant.
+    next_tick: Option<SimTime>,
+}
+
+impl Disseminator {
+    /// Creates the state machine. `rng` must be a stream private to
+    /// dissemination (the node derives one); `start` anchors the first
+    /// gossip round, jittered within one interval so a simultaneously
+    /// started mesh does not fire in lockstep.
+    pub fn new(mode: DisseminationMode, me: HostId, n: usize, mut rng: Rng, start: SimTime) -> Self {
+        let next_tick = match mode {
+            DisseminationMode::Gossip { interval_ms, .. } => {
+                let offset = interval_ms as f64 / 1_000.0 * rng.f64();
+                Some(start + SimDuration::from_secs_f64(offset))
+            }
+            _ => None,
+        };
+        Disseminator {
+            mode,
+            me,
+            n,
+            rng,
+            own_seq: 0,
+            advertised: Vec::new(),
+            entry_seq: vec![0; n],
+            init: false,
+            peers: vec![PeerDelta::default(); n],
+            pending: Vec::new(),
+            origin_seq: vec![0; n],
+            foreign: vec![None; n],
+            own_flushed_seq: 0,
+            next_tick,
+        }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> DisseminationMode {
+        self.mode
+    }
+
+    /// Earliest instant the disseminator needs a timer callback (gossip
+    /// rounds; `None` for the probe-driven modes).
+    pub fn poll_at(&self) -> Option<SimTime> {
+        self.next_tick
+    }
+
+    /// Re-quantizes the advertisement against the table's current
+    /// snapshot, bumping `own_seq` once if anything moved significantly.
+    fn refresh(&mut self, table: &mut LinkStateTable) {
+        let snap = table.snapshot();
+        if !self.init {
+            // First look: adopt the (all-unknown) initial state without
+            // advertising it — there is nothing useful to tell peers yet.
+            self.advertised = snap.to_vec();
+            self.init = true;
+            return;
+        }
+        let changed: Vec<usize> = self
+            .advertised
+            .iter()
+            .zip(snap.iter())
+            .enumerate()
+            .filter(|(_, (old, new))| significant_change(old, new))
+            .map(|(i, _)| i)
+            .collect();
+        if changed.is_empty() {
+            return;
+        }
+        self.own_seq += 1;
+        for i in changed {
+            let e = snap[i];
+            self.advertised[i] = e;
+            self.entry_seq[e.peer.idx()] = self.own_seq;
+        }
+    }
+
+    fn remember_pending(&mut self, id: u64, peer: HostId, seq: u64) {
+        if self.pending.len() >= MAX_PENDING {
+            self.pending.remove(0);
+        }
+        self.pending.push((id, peer.0, seq));
+    }
+
+    /// Called for every probe request the prober emits. Returns the
+    /// metrics to piggyback on the [`Packet::ProbeReq`] and an optional
+    /// accompanying LSA packet for the same peer.
+    pub fn on_probe_send(
+        &mut self,
+        peer: HostId,
+        probe_id: u64,
+        table: &mut LinkStateTable,
+    ) -> (Vec<MetricEntry>, Option<Packet>) {
+        match self.mode {
+            DisseminationMode::FullSnapshot => (table.snapshot().to_vec(), None),
+            DisseminationMode::Gossip { .. } => (Vec::new(), None),
+            DisseminationMode::Delta { max_age_probes } => {
+                self.refresh(table);
+                let idx = peer.idx();
+                self.peers[idx].sends_since_full += 1;
+                let full = self.peers[idx].sends_since_full >= max_age_probes.max(1);
+                let acked = self.peers[idx].acked_seq;
+                let entries: Vec<MetricEntry> = if full {
+                    self.peers[idx].sends_since_full = 0;
+                    self.advertised.clone()
+                } else {
+                    self.advertised
+                        .iter()
+                        .filter(|e| self.entry_seq[e.peer.idx()] > acked)
+                        .copied()
+                        .collect()
+                };
+                if !full && entries.is_empty() {
+                    // Quiescent toward this peer: send nothing at all.
+                    return (Vec::new(), None);
+                }
+                self.remember_pending(probe_id, peer, self.own_seq);
+                let lsa = Packet::Lsa { origin: self.me, seq: self.own_seq, full, entries };
+                (Vec::new(), Some(lsa))
+            }
+        }
+    }
+
+    /// Called when answering a probe request from `peer`. Returns the
+    /// metrics for the [`Packet::ProbeResp`] and an optional LSA to send
+    /// alongside it. The responder side has no ack channel, so delta
+    /// LSAs emitted here never advance `acked_seq` — the probe-send path
+    /// and its full refresh repair any loss.
+    pub fn on_probe_reply(
+        &mut self,
+        peer: HostId,
+        table: &mut LinkStateTable,
+    ) -> (Vec<MetricEntry>, Option<Packet>) {
+        match self.mode {
+            DisseminationMode::FullSnapshot => (table.snapshot().to_vec(), None),
+            DisseminationMode::Gossip { .. } => (Vec::new(), None),
+            DisseminationMode::Delta { .. } => {
+                self.refresh(table);
+                let acked = self.peers[peer.idx()].acked_seq;
+                let entries: Vec<MetricEntry> = self
+                    .advertised
+                    .iter()
+                    .filter(|e| self.entry_seq[e.peer.idx()] > acked)
+                    .copied()
+                    .collect();
+                if entries.is_empty() {
+                    return (Vec::new(), None);
+                }
+                let lsa =
+                    Packet::Lsa { origin: self.me, seq: self.own_seq, full: false, entries };
+                (Vec::new(), Some(lsa))
+            }
+        }
+    }
+
+    /// A probe response from `from` validated probe `id`: the LSA that
+    /// rode along with that probe (if any) is acknowledged.
+    pub fn on_ack(&mut self, id: u64, from: HostId) {
+        if let Some(pos) = self.pending.iter().position(|&(pid, p, _)| pid == id && p == from.0)
+        {
+            let (_, _, seq) = self.pending.remove(pos);
+            let acked = &mut self.peers[from.idx()].acked_seq;
+            *acked = (*acked).max(seq);
+        }
+    }
+
+    /// Metrics piggybacked on a probe packet from `from`. Only the
+    /// full-snapshot mode carries link state this way; the other modes
+    /// ignore any stray payload rather than letting an empty vector
+    /// wipe LSA-learned state.
+    pub fn on_probe_metrics(
+        &mut self,
+        from: HostId,
+        entries: &[MetricEntry],
+        now: SimTime,
+        table: &mut LinkStateTable,
+    ) {
+        if self.mode == DisseminationMode::FullSnapshot {
+            table.ingest_full(from, entries, now);
+        }
+    }
+
+    /// A standalone [`Packet::Lsa`] arrived. Seqno-deduplicated per
+    /// origin: deltas must strictly advance, full refreshes may repeat
+    /// the current seqno (they repair entries an earlier lost delta
+    /// carried past us).
+    pub fn on_lsa(
+        &mut self,
+        origin: HostId,
+        seq: u64,
+        full: bool,
+        entries: &[MetricEntry],
+        now: SimTime,
+        table: &mut LinkStateTable,
+    ) {
+        if origin == self.me || origin.idx() >= self.n {
+            return;
+        }
+        let stored = self.origin_seq[origin.idx()];
+        match self.mode {
+            DisseminationMode::FullSnapshot => {}
+            DisseminationMode::Delta { .. } => {
+                if full {
+                    if seq >= stored {
+                        table.ingest_full(origin, entries, now);
+                        self.origin_seq[origin.idx()] = seq;
+                    }
+                } else if seq > stored {
+                    table.ingest_delta(origin, entries, now);
+                    self.origin_seq[origin.idx()] = seq;
+                }
+            }
+            DisseminationMode::Gossip { .. } => {
+                if seq > stored {
+                    table.ingest_full(origin, entries, now);
+                    self.origin_seq[origin.idx()] = seq;
+                    self.foreign[origin.idx()] =
+                        Some(ForeignLsa { seq, entries: entries.to_vec(), fresh: true });
+                }
+            }
+        }
+    }
+
+    /// Runs a gossip round if one is due: flushes my own advertisement
+    /// (when its seqno advanced) plus every foreign LSA learned since
+    /// the last round to a freshly drawn fanout set.
+    pub fn on_tick(
+        &mut self,
+        now: SimTime,
+        table: &mut LinkStateTable,
+        out: &mut Vec<(HostId, Packet)>,
+    ) {
+        let DisseminationMode::Gossip { fanout, interval_ms } = self.mode else { return };
+        let Some(tick) = self.next_tick else { return };
+        if now < tick {
+            return;
+        }
+        self.refresh(table);
+        let mut lsas: Vec<(HostId, u64, Vec<MetricEntry>)> = Vec::new();
+        if self.own_seq > self.own_flushed_seq {
+            lsas.push((self.me, self.own_seq, self.advertised.clone()));
+            self.own_flushed_seq = self.own_seq;
+        }
+        for j in 0..self.n {
+            if let Some(f) = &mut self.foreign[j] {
+                if f.fresh {
+                    f.fresh = false;
+                    lsas.push((HostId(j as u16), f.seq, f.entries.clone()));
+                }
+            }
+        }
+        if !lsas.is_empty() {
+            for target in self.pick_fanout(fanout) {
+                for (origin, seq, entries) in &lsas {
+                    if *origin == target {
+                        continue; // never tell a node about itself
+                    }
+                    out.push((
+                        target,
+                        Packet::Lsa {
+                            origin: *origin,
+                            seq: *seq,
+                            full: true,
+                            entries: entries.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        self.next_tick = Some(tick + SimDuration::from_millis(interval_ms.max(1)));
+    }
+
+    /// Draws up to `fanout` distinct peers (never self) for one round.
+    fn pick_fanout(&mut self, fanout: usize) -> Vec<HostId> {
+        let avail = self.n.saturating_sub(1);
+        let k = fanout.min(avail);
+        let mut picked: Vec<HostId> = Vec::with_capacity(k);
+        // Rejection sampling with a hard cap: duplicates get rarer as k
+        // approaches avail, and the cap bounds the worst case.
+        let mut attempts = 0usize;
+        while picked.len() < k && attempts < 16 * (k + 1) {
+            attempts += 1;
+            let mut idx = self.rng.below(avail as u64) as usize;
+            if idx >= self.me.idx() {
+                idx += 1;
+            }
+            let h = HostId(idx as u16);
+            if !picked.contains(&h) {
+                picked.push(h);
+            }
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(me: u16, n: usize) -> LinkStateTable {
+        LinkStateTable::new(
+            HostId(me),
+            n,
+            100,
+            0.1,
+            5,
+            SimDuration::from_secs(90),
+            0.01,
+            0.05,
+        )
+    }
+
+    fn feed_success(t: &mut LinkStateTable, peer: u16, count: usize, lat_ms: u64) {
+        for _ in 0..count {
+            t.direct_mut(HostId(peer))
+                .record_success(SimTime::from_secs(1), SimDuration::from_millis(lat_ms));
+        }
+    }
+
+    fn delta(max_age_probes: u32) -> Disseminator {
+        Disseminator::new(
+            DisseminationMode::Delta { max_age_probes },
+            HostId(0),
+            4,
+            Rng::new(7),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn full_snapshot_piggybacks_and_never_emits_lsas() {
+        let mut t = table(0, 4);
+        let mut d = Disseminator::new(
+            DisseminationMode::FullSnapshot,
+            HostId(0),
+            4,
+            Rng::new(7),
+            SimTime::ZERO,
+        );
+        feed_success(&mut t, 1, 10, 20);
+        let (metrics, lsa) = d.on_probe_send(HostId(1), 99, &mut t);
+        assert_eq!(metrics.len(), 3);
+        assert!(lsa.is_none());
+        assert!(d.poll_at().is_none());
+    }
+
+    #[test]
+    fn quiescent_delta_sends_nothing() {
+        let mut t = table(0, 4);
+        let mut d = delta(16);
+        // No table activity at all: first sends carry no LSA.
+        for id in 0..5 {
+            let (metrics, lsa) = d.on_probe_send(HostId(1), id, &mut t);
+            assert!(metrics.is_empty());
+            assert!(lsa.is_none(), "quiescent probe {id} must not carry an LSA");
+        }
+    }
+
+    #[test]
+    fn delta_carries_only_changed_entries_until_acked() {
+        let mut t = table(0, 4);
+        let mut d = delta(16);
+        let (_, none) = d.on_probe_send(HostId(1), 0, &mut t); // initialise advertisement
+        assert!(none.is_none());
+        feed_success(&mut t, 2, 10, 20); // path 0→2 comes alive
+        let (_, lsa) = d.on_probe_send(HostId(1), 1, &mut t);
+        let Some(Packet::Lsa { seq, full, entries, .. }) = lsa else {
+            panic!("expected an LSA after a significant change")
+        };
+        assert_eq!(seq, 1);
+        assert!(!full);
+        assert_eq!(entries.len(), 1, "only the changed entry rides along");
+        assert_eq!(entries[0].peer, HostId(2));
+        // Unacked: the next probe repeats the delta.
+        let (_, again) = d.on_probe_send(HostId(1), 2, &mut t);
+        assert!(matches!(again, Some(Packet::Lsa { .. })));
+        // Ack probe 2 → quiescent again.
+        d.on_ack(2, HostId(1));
+        let (_, after) = d.on_probe_send(HostId(1), 3, &mut t);
+        assert!(after.is_none(), "acked delta must stop retransmitting");
+    }
+
+    #[test]
+    fn every_max_age_th_probe_is_a_full_refresh() {
+        let mut t = table(0, 4);
+        let mut d = delta(4);
+        let mut fulls = 0;
+        for id in 0..12 {
+            if let (_, Some(Packet::Lsa { full, entries, .. })) =
+                d.on_probe_send(HostId(1), id, &mut t)
+            {
+                assert!(full, "quiescent mesh only emits anti-entropy fulls");
+                assert_eq!(entries.len(), 3);
+                fulls += 1;
+            }
+        }
+        assert_eq!(fulls, 3, "one full per max_age_probes=4 window");
+    }
+
+    #[test]
+    fn receiver_dedups_by_seqno_but_accepts_repeated_fulls() {
+        let mut t = table(5, 8);
+        let mut d = Disseminator::new(
+            DisseminationMode::Delta { max_age_probes: 16 },
+            HostId(5),
+            8,
+            Rng::new(9),
+            SimTime::ZERO,
+        );
+        let now = SimTime::from_secs(10);
+        let e1 = MetricEntry { peer: HostId(2), loss_e4: 100, lat_us: 9_000, alive: true };
+        let e2 = MetricEntry { peer: HostId(3), loss_e4: 200, lat_us: 8_000, alive: true };
+        d.on_lsa(HostId(1), 5, false, &[e1], now, &mut t);
+        assert!(t.remote_metric(HostId(1), HostId(2), now).is_some());
+        // A stale delta (seq 5 again) is ignored...
+        d.on_lsa(HostId(1), 5, false, &[e2], now, &mut t);
+        assert!(t.remote_metric(HostId(1), HostId(3), now).is_none());
+        // ...but a full refresh at the same seq repairs the hole.
+        d.on_lsa(HostId(1), 5, true, &[e1, e2], now, &mut t);
+        assert!(t.remote_metric(HostId(1), HostId(3), now).is_some());
+    }
+
+    #[test]
+    fn gossip_rounds_flood_fresh_lsas_to_a_fanout_set() {
+        let n = 10;
+        let mut t = table(0, n);
+        let mut d = Disseminator::new(
+            DisseminationMode::Gossip { fanout: 3, interval_ms: 500 },
+            HostId(0),
+            n,
+            Rng::new(11),
+            SimTime::ZERO,
+        );
+        let first = d.poll_at().expect("gossip must arm a timer");
+        assert!(
+            first <= SimTime::ZERO + SimDuration::from_millis(500),
+            "first round jittered within one interval"
+        );
+        // Round 1: nothing changed yet → silence.
+        let mut out = Vec::new();
+        d.on_tick(first, &mut t, &mut out);
+        assert!(out.is_empty());
+        // A path comes alive; the next round floods my own LSA.
+        feed_success(&mut t, 1, 10, 20);
+        let second = d.poll_at().unwrap();
+        d.on_tick(second, &mut t, &mut out);
+        let targets: std::collections::HashSet<u16> = out.iter().map(|(h, _)| h.0).collect();
+        assert_eq!(out.len(), 3, "fanout=3 copies of my LSA");
+        assert_eq!(targets.len(), 3, "targets are distinct");
+        assert!(!targets.contains(&0), "never gossip to self");
+        for (_, p) in &out {
+            let Packet::Lsa { origin, seq, full, entries } = p else { panic!("non-LSA gossip") };
+            assert_eq!(*origin, HostId(0));
+            assert_eq!(*seq, 1);
+            assert!(*full);
+            assert_eq!(entries.len(), n - 1);
+        }
+        // Quiescent again: round 3 is silent.
+        out.clear();
+        let third = d.poll_at().unwrap();
+        d.on_tick(third, &mut t, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn gossip_forwards_fresh_foreign_lsas_once() {
+        let n = 6;
+        let mut t = table(0, n);
+        let mut d = Disseminator::new(
+            DisseminationMode::Gossip { fanout: 2, interval_ms: 500 },
+            HostId(0),
+            n,
+            Rng::new(13),
+            SimTime::ZERO,
+        );
+        let now = SimTime::from_secs(1);
+        let e = MetricEntry { peer: HostId(4), loss_e4: 50, lat_us: 5_000, alive: true };
+        d.on_lsa(HostId(3), 7, true, &[e], now, &mut t);
+        assert!(t.remote_metric(HostId(3), HostId(4), now).is_some(), "gossip LSA ingested");
+        let mut out = Vec::new();
+        let tick = d.poll_at().unwrap();
+        d.on_tick(tick.max(now), &mut t, &mut out);
+        assert!(!out.is_empty(), "fresh foreign LSA must be forwarded");
+        for (to, p) in &out {
+            let Packet::Lsa { origin, seq, .. } = p else { panic!("non-LSA gossip") };
+            assert_eq!((*origin, *seq), (HostId(3), 7));
+            assert_ne!(*to, HostId(3), "never forward an LSA back to its origin");
+            assert_ne!(*to, HostId(0));
+        }
+        // Second round: already flushed, no repeat.
+        out.clear();
+        let tick2 = d.poll_at().unwrap();
+        d.on_tick(tick2, &mut t, &mut out);
+        assert!(out.is_empty(), "a foreign LSA is forwarded exactly once");
+    }
+
+    #[test]
+    fn insignificant_wiggle_does_not_bump_seq() {
+        let old = MetricEntry { peer: HostId(1), loss_e4: 500, lat_us: 10_000, alive: true };
+        let wiggle = MetricEntry { peer: HostId(1), loss_e4: 550, lat_us: 10_500, alive: true };
+        assert!(!significant_change(&old, &wiggle));
+        let loss_jump = MetricEntry { peer: HostId(1), loss_e4: 700, lat_us: 10_000, alive: true };
+        assert!(significant_change(&old, &loss_jump));
+        let lat_jump = MetricEntry { peer: HostId(1), loss_e4: 500, lat_us: 12_000, alive: true };
+        assert!(significant_change(&old, &lat_jump));
+        let died = MetricEntry { peer: HostId(1), loss_e4: 500, lat_us: 10_000, alive: false };
+        assert!(significant_change(&old, &died));
+    }
+}

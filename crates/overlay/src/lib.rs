@@ -22,16 +22,21 @@
 //!   (direct, minimum-loss, minimum-latency, random intermediate);
 //! * [`prober`] — the 15-second prober with loss-triggered fast probe
 //!   chains (up to four, one second apart);
+//! * [`dissem`] — how metrics reach the mesh: full snapshots on every
+//!   probe (the default), sequence-numbered delta LSAs, or timed gossip
+//!   fanout;
 //! * [`node`] — the assembled overlay node.
 
 #![warn(missing_docs)]
 
+pub mod dissem;
 pub mod node;
 pub mod prober;
 pub mod stats;
 pub mod table;
 pub mod wire;
 
+pub use dissem::{DisseminationMode, Disseminator};
 pub use node::{Delivered, NodeConfig, OverlayNode, Transmit};
 pub use prober::{ProbeSend, Prober, ProberConfig};
 pub use stats::{LossWindow, PathStats};

@@ -10,6 +10,7 @@
 //! The same state machine is driven by the discrete-event experiment
 //! runner (`mpath-core`) and by the tokio UDP driver (`mpath-live`).
 
+use crate::dissem::{Disseminator, DisseminationMode};
 use crate::prober::{Prober, ProberConfig};
 use crate::table::{LinkStateTable, Policy, Route};
 use crate::wire::{MeasureKind, Packet, RouteTag};
@@ -96,15 +97,31 @@ pub struct OverlayNode {
     cfg: NodeConfig,
     table: LinkStateTable,
     prober: Prober,
+    dissem: Disseminator,
     rng: Rng,
     forwarded: u64,
 }
 
 impl OverlayNode {
-    /// Creates a node for a mesh of `n` nodes. `seed` controls all node
-    /// randomness (probe ids, jitter, random intermediates); `start` is
-    /// the instant probing begins.
+    /// Creates a node for a mesh of `n` nodes with the default
+    /// full-snapshot dissemination. `seed` controls all node randomness
+    /// (probe ids, jitter, random intermediates); `start` is the instant
+    /// probing begins.
     pub fn new(me: HostId, n: usize, cfg: NodeConfig, seed: u64, start: SimTime) -> Self {
+        Self::new_with_dissemination(me, n, cfg, seed, start, DisseminationMode::FullSnapshot)
+    }
+
+    /// Creates a node running the given dissemination strategy. The
+    /// disseminator gets its own derived RNG stream, so the default mode
+    /// consumes exactly the draws the pre-dissemination node did.
+    pub fn new_with_dissemination(
+        me: HostId,
+        n: usize,
+        cfg: NodeConfig,
+        seed: u64,
+        start: SimTime,
+        mode: DisseminationMode,
+    ) -> Self {
         let root = Rng::new(seed);
         let table = LinkStateTable::new(
             me,
@@ -117,7 +134,8 @@ impl OverlayNode {
             cfg.lat_hysteresis,
         );
         let prober = Prober::new(me, n, cfg.prober, root.derive(1), start);
-        OverlayNode { me, cfg, table, prober, rng: root.derive(2), forwarded: 0 }
+        let dissem = Disseminator::new(mode, me, n, root.derive(3), start);
+        OverlayNode { me, cfg, table, prober, dissem, rng: root.derive(2), forwarded: 0 }
     }
 
     /// This node's id.
@@ -135,9 +153,18 @@ impl OverlayNode {
         &self.table
     }
 
-    /// Earliest instant the node needs a timer callback.
+    /// The node's dissemination strategy.
+    pub fn dissemination(&self) -> DisseminationMode {
+        self.dissem.mode()
+    }
+
+    /// Earliest instant the node needs a timer callback (prober probes
+    /// and gossip rounds share the node timer).
     pub fn poll_at(&self) -> Option<SimTime> {
-        self.prober.poll_at()
+        match (self.prober.poll_at(), self.dissem.poll_at()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Runs timer work at `now`. `local_now_us` is the local wall clock
@@ -146,20 +173,25 @@ impl OverlayNode {
     pub fn on_timer(&mut self, now: SimTime, local_now_us: i64, out: &mut Vec<Transmit>) {
         let mut sends = Vec::new();
         self.prober.on_timer(now, &mut self.table, &mut sends);
-        if sends.is_empty() {
-            return;
-        }
-        let metrics = self.table.snapshot();
         for s in sends {
+            let (metrics, lsa) = self.dissem.on_probe_send(s.peer, s.id, &mut self.table);
             out.push(Transmit {
                 to: s.peer,
                 packet: Packet::ProbeReq {
                     id: s.id,
                     from: self.me,
                     sent_local_us: local_now_us,
-                    metrics: metrics.clone(),
+                    metrics,
                 },
             });
+            if let Some(packet) = lsa {
+                out.push(Transmit { to: s.peer, packet });
+            }
+        }
+        let mut gossip = Vec::new();
+        self.dissem.on_tick(now, &mut self.table, &mut gossip);
+        for (to, packet) in gossip {
+            out.push(Transmit { to, packet });
         }
     }
 
@@ -173,21 +205,33 @@ impl OverlayNode {
     ) -> Option<Delivered> {
         match packet {
             Packet::ProbeReq { id, from, metrics, .. } => {
-                self.table.on_metrics(from, &metrics, now);
+                self.dissem.on_probe_metrics(from, &metrics, now, &mut self.table);
+                let (metrics, lsa) = self.dissem.on_probe_reply(from, &mut self.table);
                 out.push(Transmit {
                     to: from,
                     packet: Packet::ProbeResp {
                         id,
                         from: self.me,
                         resp_local_us: local_now_us,
-                        metrics: self.table.snapshot(),
+                        metrics,
                     },
                 });
+                if let Some(packet) = lsa {
+                    out.push(Transmit { to: from, packet });
+                }
                 None
             }
             Packet::ProbeResp { id, from, metrics, .. } => {
-                self.table.on_metrics(from, &metrics, now);
-                self.prober.on_response(id, from, now, &mut self.table);
+                self.dissem.on_probe_metrics(from, &metrics, now, &mut self.table);
+                if self.prober.on_response(id, from, now, &mut self.table).is_some() {
+                    // A valid response acknowledges the LSA that rode
+                    // along with the probe (delta mode).
+                    self.dissem.on_ack(id, from);
+                }
+                None
+            }
+            Packet::Lsa { origin, seq, full, entries } => {
+                self.dissem.on_lsa(origin, seq, full, &entries, now, &mut self.table);
                 None
             }
             Packet::Forward { target, inner } => {

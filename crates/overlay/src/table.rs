@@ -42,7 +42,7 @@ pub enum Route {
 }
 
 /// A peer's claimed metric toward some destination.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RemoteMetric {
     /// Claimed loss rate (0..1).
     pub loss: f64,
@@ -52,10 +52,30 @@ pub struct RemoteMetric {
     pub alive: bool,
 }
 
+impl RemoteMetric {
+    fn from_entry(e: &MetricEntry) -> RemoteMetric {
+        RemoteMetric {
+            loss: e.loss_e4 as f64 / 10_000.0,
+            lat_us: e.lat_us as f64,
+            alive: e.alive,
+        }
+    }
+}
+
+/// A remote metric stamped with the time it was learned. Staleness is
+/// per *entry*, not per vector: delta dissemination refreshes entries
+/// individually, and an entry a silent peer last advertised long ago
+/// must age out of route selection even if the peer still chatters
+/// about other destinations.
+#[derive(Debug, Clone, Copy)]
+struct Stamped {
+    at: SimTime,
+    metric: RemoteMetric,
+}
+
 #[derive(Debug, Clone)]
 struct PeerVector {
-    at: SimTime,
-    entries: Vec<Option<RemoteMetric>>,
+    entries: Vec<Option<Stamped>>,
 }
 
 /// Everything one node knows about the mesh.
@@ -70,6 +90,12 @@ pub struct LinkStateTable {
     loss_hysteresis: f64,
     /// Relative latency advantage an indirect path must show.
     lat_hysteresis: f64,
+    /// Cached [`Self::snapshot`] vector, rebuilt lazily after any
+    /// direct-path mutation. Probes snapshot far more often than the
+    /// prober records outcomes at scale, so the cache turns the per-probe
+    /// O(n) allocate-and-summarise into a slice borrow.
+    snap_cache: Vec<MetricEntry>,
+    snap_dirty: bool,
 }
 
 impl LinkStateTable {
@@ -93,6 +119,8 @@ impl LinkStateTable {
             staleness,
             loss_hysteresis,
             lat_hysteresis,
+            snap_cache: Vec::new(),
+            snap_dirty: true,
         }
     }
 
@@ -102,8 +130,10 @@ impl LinkStateTable {
     }
 
     /// Mutable access to the direct-path stats toward `peer` (the prober
-    /// records outcomes through this).
+    /// records outcomes through this). Invalidates the snapshot cache:
+    /// the advertised vector summarises exactly these stats.
     pub fn direct_mut(&mut self, peer: HostId) -> &mut PathStats {
+        self.snap_dirty = true;
         &mut self.direct[peer.idx()]
     }
 
@@ -112,30 +142,55 @@ impl LinkStateTable {
         &self.direct[peer.idx()]
     }
 
-    /// Ingests a peer's piggybacked metric vector.
+    /// Ingests a peer's piggybacked metric vector (full-snapshot
+    /// semantics: the peer's previous vector is replaced wholesale).
     pub fn on_metrics(&mut self, from: HostId, entries: &[MetricEntry], now: SimTime) {
+        self.ingest_full(from, entries, now);
+    }
+
+    /// Ingests a *complete* advertisement from `from`: every previously
+    /// known entry is discarded and the new ones are stamped `now`.
+    pub fn ingest_full(&mut self, from: HostId, entries: &[MetricEntry], now: SimTime) {
         if from == self.me || from.idx() >= self.n {
             return;
         }
         let mut v = vec![None; self.n];
         for e in entries {
             if e.peer.idx() < self.n {
-                v[e.peer.idx()] = Some(RemoteMetric {
-                    loss: e.loss_e4 as f64 / 10_000.0,
-                    lat_us: e.lat_us as f64,
-                    alive: e.alive,
-                });
+                v[e.peer.idx()] = Some(Stamped { at: now, metric: RemoteMetric::from_entry(e) });
             }
         }
-        self.vectors[from.idx()] = Some(PeerVector { at: now, entries: v });
+        self.vectors[from.idx()] = Some(PeerVector { entries: v });
+    }
+
+    /// Ingests a *partial* advertisement from `from`: only the listed
+    /// destinations are updated (stamped `now`); everything else keeps
+    /// its previous value and timestamp, so unrefreshed entries age out
+    /// of route selection on their own.
+    pub fn ingest_delta(&mut self, from: HostId, entries: &[MetricEntry], now: SimTime) {
+        if from == self.me || from.idx() >= self.n {
+            return;
+        }
+        let v = self.vectors[from.idx()]
+            .get_or_insert_with(|| PeerVector { entries: vec![None; self.n] });
+        for e in entries {
+            if e.peer.idx() < self.n {
+                v.entries[e.peer.idx()] =
+                    Some(Stamped { at: now, metric: RemoteMetric::from_entry(e) });
+            }
+        }
     }
 
     /// Snapshot of my direct metrics for piggybacking on probe packets.
-    pub fn snapshot(&self) -> Vec<MetricEntry> {
-        (0..self.n)
-            .filter(|&j| j != self.me.idx())
-            .map(|j| {
-                let s = &self.direct[j];
+    /// Served from a cache that is invalidated by [`Self::direct_mut`];
+    /// callers that need an owned copy clone the slice.
+    pub fn snapshot(&mut self) -> &[MetricEntry] {
+        if self.snap_dirty {
+            let me = self.me.idx();
+            let direct = &self.direct;
+            self.snap_cache.clear();
+            self.snap_cache.extend((0..self.n).filter(|&j| j != me).map(|j| {
+                let s = &direct[j];
                 MetricEntry {
                     peer: HostId(j as u16),
                     // Advertise the smoothed routing estimate, not the raw
@@ -144,16 +199,30 @@ impl LinkStateTable {
                     lat_us: s.latency_us().unwrap_or(0.0).min(u32::MAX as f64) as u32,
                     alive: !s.is_dead() && s.samples() > 0,
                 }
-            })
-            .collect()
+            }));
+            self.snap_dirty = false;
+        }
+        &self.snap_cache
+    }
+
+    /// The freshest non-stale metric `from` has advertised toward `dst`,
+    /// if any — exactly the view route selection composes over. Public
+    /// so convergence tests can compare tables fed by different
+    /// dissemination strategies.
+    pub fn remote_metric(&self, from: HostId, dst: HostId, now: SimTime) -> Option<RemoteMetric> {
+        if from.idx() >= self.n || dst.idx() >= self.n {
+            return None;
+        }
+        self.remote(from, dst, now)
     }
 
     fn remote(&self, k: HostId, dst: HostId, now: SimTime) -> Option<RemoteMetric> {
         let v = self.vectors[k.idx()].as_ref()?;
-        if now.since(v.at) > self.staleness {
+        let e = v.entries[dst.idx()]?;
+        if now.since(e.at) > self.staleness {
             return None;
         }
-        v.entries[dst.idx()]
+        Some(e.metric)
     }
 
     /// Selects a route toward `dst` under `policy`. `rng` supplies the
@@ -530,6 +599,88 @@ mod tests {
         }
         let mut rng = Rng::new(10);
         assert_eq!(t.route(HostId(3), Policy::MinLoss, now, &mut rng), Route::Direct);
+    }
+
+    #[test]
+    fn delta_ingest_merges_and_keeps_old_entries() {
+        let mut t = table(5);
+        let t0 = SimTime::from_secs(100);
+        let t1 = SimTime::from_secs(110);
+        vector_from(&mut t, 1, 3, 0.1, 10, t0);
+        // A later delta about a *different* destination must not erase
+        // the entry toward 3 (full-snapshot ingest would).
+        t.ingest_delta(
+            HostId(1),
+            &[MetricEntry { peer: HostId(4), loss_e4: 500, lat_us: 7_000, alive: true }],
+            t1,
+        );
+        let toward3 = t.remote_metric(HostId(1), HostId(3), t1).expect("kept");
+        assert!((toward3.loss - 0.1).abs() < 1e-9);
+        let toward4 = t.remote_metric(HostId(1), HostId(4), t1).expect("merged");
+        assert!((toward4.loss - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrefreshed_delta_entries_age_out_individually() {
+        let mut t = table(5);
+        let t0 = SimTime::from_secs(100);
+        t.ingest_delta(
+            HostId(1),
+            &[MetricEntry { peer: HostId(3), loss_e4: 0, lat_us: 10_000, alive: true }],
+            t0,
+        );
+        // The peer keeps refreshing its entry toward 4 but goes silent
+        // about 3; past the staleness horizon only 4 survives.
+        let late = SimTime::from_secs(100 + 200);
+        t.ingest_delta(
+            HostId(1),
+            &[MetricEntry { peer: HostId(4), loss_e4: 0, lat_us: 10_000, alive: true }],
+            late,
+        );
+        assert!(t.remote_metric(HostId(1), HostId(3), late).is_none(), "stale entry kept");
+        assert!(t.remote_metric(HostId(1), HostId(4), late).is_some());
+    }
+
+    #[test]
+    fn silenced_peer_stops_attracting_via_routes() {
+        let mut t = table(4);
+        let t0 = SimTime::from_secs(100);
+        // Direct 0→3 is 30% lossy; hop 1 is clean and claims a clean
+        // path onward, so MinLoss detours via 1.
+        feed_direct(&mut t, 3, 30, 70, 50);
+        feed_direct(&mut t, 1, 0, 100, 10);
+        t.ingest_delta(
+            HostId(1),
+            &[MetricEntry { peer: HostId(3), loss_e4: 0, lat_us: 10_000, alive: true }],
+            t0,
+        );
+        let mut rng = Rng::new(11);
+        assert_eq!(t.route(HostId(3), Policy::MinLoss, t0, &mut rng), Route::Via(HostId(1)));
+        // Node 1 then falls silent about destination 3 (its deltas only
+        // cover 2). Past the staleness horizon the detour must vanish
+        // even though node 1 itself is still heard from.
+        let late = SimTime::from_secs(100 + 200);
+        t.ingest_delta(
+            HostId(1),
+            &[MetricEntry { peer: HostId(2), loss_e4: 0, lat_us: 10_000, alive: true }],
+            late,
+        );
+        assert_eq!(
+            t.route(HostId(3), Policy::MinLoss, late, &mut rng),
+            Route::Direct,
+            "a silenced peer must stop attracting Via routes"
+        );
+    }
+
+    #[test]
+    fn snapshot_cache_tracks_direct_mutations() {
+        let mut t = table(3);
+        feed_direct(&mut t, 1, 0, 10, 25);
+        let first = t.snapshot().to_vec();
+        assert_eq!(first, t.snapshot().to_vec(), "cached snapshot must be stable");
+        feed_direct(&mut t, 1, 5, 0, 25);
+        let second = t.snapshot().to_vec();
+        assert_ne!(first, second, "direct_mut must invalidate the cache");
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub const MAX_PROBE_LEGS: usize = 4;
 /// reject other versions loudly instead of misreading the fields.
 pub const MEASURE_WIRE_VERSION: u8 = 2;
 
+/// Version byte of the [`Packet::Lsa`] encoding. Decoders reject other
+/// versions loudly instead of misreading the fields.
+pub const LSA_WIRE_VERSION: u8 = 1;
+
 /// Per-peer metric summary piggybacked on probe packets (the overlay's
 /// link-state dissemination).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -144,6 +148,26 @@ pub enum Packet {
         /// Sender's local clock at transmission, microseconds.
         sent_local_us: i64,
     },
+    /// A standalone link-state advertisement: `origin`'s current view of
+    /// its direct paths, stamped with a sequence number so receivers can
+    /// discard stale or duplicate copies. Emitted by the delta and gossip
+    /// dissemination modes ([`crate::dissem`]); the full-snapshot mode
+    /// never sends one.
+    Lsa {
+        /// The node whose link state this advertises (not necessarily
+        /// the node that relayed the packet — gossip forwards foreign
+        /// LSAs).
+        origin: HostId,
+        /// Origin's advertisement sequence number; receivers ingest only
+        /// if it advances past the last seen seqno for `origin`.
+        seq: u64,
+        /// Whether `entries` is origin's complete vector (anti-entropy
+        /// refresh) or only the entries that changed since the last
+        /// acknowledged exchange.
+        full: bool,
+        /// The advertised per-destination metrics.
+        entries: Vec<MetricEntry>,
+    },
     /// Application data (used by the examples and the live demo).
     Data {
         /// Source node.
@@ -206,6 +230,7 @@ const TAG_PROBE_RESP: u8 = 2;
 const TAG_FORWARD: u8 = 3;
 const TAG_MEASURE: u8 = 4;
 const TAG_DATA: u8 = 5;
+const TAG_LSA: u8 = 6;
 
 fn put_metrics(buf: &mut BytesMut, metrics: &[MetricEntry]) {
     buf.put_u16(metrics.len() as u16);
@@ -281,6 +306,14 @@ impl Packet {
                 buf.put_u8(*route as u8);
                 buf.put_u8(*kind as u8);
                 buf.put_i64(*sent_local_us);
+            }
+            Packet::Lsa { origin, seq, full, entries } => {
+                buf.put_u8(TAG_LSA);
+                buf.put_u8(LSA_WIRE_VERSION);
+                buf.put_u16(origin.0);
+                buf.put_u64(*seq);
+                buf.put_u8(*full as u8);
+                put_metrics(buf, entries);
             }
             Packet::Data { origin, target, stream, seq, payload } => {
                 buf.put_u8(TAG_DATA);
@@ -380,6 +413,20 @@ impl Packet {
                 }
                 let payload = buf.copy_to_bytes(len);
                 Ok(Packet::Data { origin, target, stream, seq, payload })
+            }
+            TAG_LSA => {
+                if buf.remaining() < 1 + 2 + 8 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                let version = buf.get_u8();
+                if version != LSA_WIRE_VERSION {
+                    return Err(WireError::BadVersion(version));
+                }
+                let origin = HostId(buf.get_u16());
+                let seq = buf.get_u64();
+                let full = buf.get_u8() != 0;
+                let entries = get_metrics(buf)?;
+                Ok(Packet::Lsa { origin, seq, full, entries })
             }
             t => Err(WireError::BadTag(t)),
         }
@@ -541,6 +588,43 @@ mod tests {
         assert_eq!(Packet::decode(&raw), Err(WireError::BadVersion(MEASURE_WIRE_VERSION + 1)));
         raw[1] = 0;
         assert_eq!(Packet::decode(&raw), Err(WireError::BadVersion(0)));
+    }
+
+    #[test]
+    fn lsa_round_trips() {
+        for (full, entries) in [(true, sample_metrics()), (false, Vec::new())] {
+            let p = Packet::Lsa { origin: HostId(11), seq: u64::MAX - 3, full, entries };
+            assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn lsa_rejects_unknown_version() {
+        let p = Packet::Lsa { origin: HostId(1), seq: 9, full: true, entries: sample_metrics() };
+        let mut raw = p.encode().to_vec();
+        raw[1] = LSA_WIRE_VERSION + 1;
+        assert_eq!(Packet::decode(&raw), Err(WireError::BadVersion(LSA_WIRE_VERSION + 1)));
+        raw[1] = 0;
+        assert_eq!(Packet::decode(&raw), Err(WireError::BadVersion(0)));
+    }
+
+    #[test]
+    fn lsa_truncated_inputs_error() {
+        let p = Packet::Lsa { origin: HostId(4), seq: 1, full: false, entries: sample_metrics() };
+        let full = p.encode();
+        for cut in 0..full.len() {
+            assert!(Packet::decode(&full[..cut]).is_err(), "{cut}-byte prefix should fail");
+        }
+    }
+
+    #[test]
+    fn lsa_hostile_entry_count_rejected() {
+        let mut raw = vec![TAG_LSA, LSA_WIRE_VERSION];
+        raw.extend_from_slice(&[0; 2]); // origin
+        raw.extend_from_slice(&[0; 8]); // seq
+        raw.push(1); // full
+        raw.extend_from_slice(&u16::MAX.to_be_bytes());
+        assert!(matches!(Packet::decode(&raw), Err(WireError::BadLength(_))));
     }
 
     #[test]

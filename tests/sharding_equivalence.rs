@@ -186,6 +186,44 @@ fn k_leg_custom_methods_shard_equals_sequential() {
     assert!(curve.windows(2).all(|w| w[1] <= w[0]), "redundancy can only help: {curve:?}");
 }
 
+/// A ron-narrow variant running a non-default dissemination mode: the
+/// per-node LSA sequence state must re-initialize identically in every
+/// slice, and (for gossip) the dissemination timer shares the node
+/// timer wheel with the prober.
+fn dissem_spec(name: &str, dissemination: mpath::core::DisseminationSpec) -> ScenarioSpec {
+    let mut spec = scenario("ron-narrow");
+    spec.name = name.to_string();
+    spec.dissemination = dissemination;
+    spec.validate().expect("dissemination variant must be a valid spec");
+    spec
+}
+
+#[test]
+fn delta_dissemination_shard_equals_sequential() {
+    let spec =
+        dissem_spec("delta-dissem", mpath::core::DisseminationSpec::Delta { max_age_probes: 8 });
+    let seq = assert_equivalent_spec(&spec);
+    // The LSA counters live outside the fingerprint (deliberately), so
+    // their merge is pinned explicitly.
+    assert!(seq.net.lsa_bytes > 0, "delta refreshes must be accounted");
+    let par = sharded_run(&spec, 42, 4);
+    assert_eq!(seq.net.lsa_bytes, par.net.lsa_bytes, "lsa_bytes diverged under sharding");
+    assert_eq!(seq.net.lsa_entries, par.net.lsa_entries);
+}
+
+#[test]
+fn gossip_dissemination_shard_equals_sequential() {
+    let spec = dissem_spec(
+        "gossip-dissem",
+        mpath::core::DisseminationSpec::Gossip { fanout: 3, interval_ms: 15_000 },
+    );
+    let seq = assert_equivalent_spec(&spec);
+    assert!(seq.net.lsa_bytes > 0, "gossip rounds must be accounted");
+    let par = sharded_run(&spec, 42, 4);
+    assert_eq!(seq.net.lsa_bytes, par.net.lsa_bytes, "lsa_bytes diverged under sharding");
+    assert_eq!(seq.net.lsa_entries, par.net.lsa_entries);
+}
+
 #[test]
 fn ron2003_sharded_equals_sequential() {
     assert_equivalent("ron2003");
