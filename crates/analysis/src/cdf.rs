@@ -10,7 +10,10 @@ impl Cdf {
     /// Builds a CDF from samples; NaNs are dropped.
     pub fn from_values(mut values: Vec<f64>) -> Self {
         values.retain(|v| !v.is_nan());
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp, not partial_cmp().unwrap(): the retain above drops
+        // NaNs, but a sort comparator must not be one upstream bug away
+        // from panicking mid-campaign.
+        values.sort_by(|a, b| a.total_cmp(b));
         Cdf { sorted: values }
     }
 
@@ -257,6 +260,30 @@ mod tests {
     fn nan_dropped() {
         let c = Cdf::from_values(vec![f64::NAN, 1.0, 2.0]);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn nan_heavy_input_sorts_without_panicking() {
+        // Regression: the sort comparator used to be
+        // `partial_cmp(..).unwrap()`, which panics the moment a NaN
+        // reaches it. The retain() guards that today; total_cmp
+        // guarantees it even if the guard is ever reordered away.
+        let mut vals = Vec::new();
+        for i in 0..100 {
+            vals.push(if i % 3 == 0 { f64::NAN } else { (100 - i) as f64 });
+        }
+        vals.push(f64::INFINITY);
+        vals.push(f64::NEG_INFINITY);
+        vals.push(-0.0);
+        let c = Cdf::from_values(vals);
+        assert_eq!(c.len(), 69, "66 finite + inf + -inf + -0.0");
+        assert_eq!(c.quantile(0.0), Some(f64::NEG_INFINITY));
+        assert_eq!(c.quantile(1.0), Some(f64::INFINITY));
+        // Sorted order is total: every adjacent pair is non-decreasing.
+        let pts = c.points(usize::MAX);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
     }
 
     #[test]

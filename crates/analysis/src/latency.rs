@@ -16,6 +16,8 @@ use std::collections::HashMap;
 /// paths with corrected means; a path whose reverse was never observed
 /// keeps its raw mean.
 pub fn corrected_path_means(raw: &[(u16, u16, f64)]) -> Vec<(u16, u16, f64)> {
+    // detlint: allow(nondet-iter) — lookup-only reverse-path index; the
+    // output order below is the caller's `raw` order, never the map's.
     let index: HashMap<(u16, u16), f64> =
         raw.iter().map(|&(s, d, m)| ((s, d), m)).collect();
     raw.iter()

@@ -436,10 +436,10 @@ impl Runner {
         // plus 9 bytes per entry; a standalone LSA adds its 13-byte
         // header. Counted on offer, delivered or not, like `net.sent`.
         match &tx.packet {
-            Packet::ProbeReq { metrics, .. } | Packet::ProbeResp { metrics, .. } => {
-                if !metrics.is_empty() {
-                    self.net.note_lsa(2 + 9 * metrics.len() as u64, metrics.len() as u64);
-                }
+            Packet::ProbeReq { metrics, .. } | Packet::ProbeResp { metrics, .. }
+                if !metrics.is_empty() =>
+            {
+                self.net.note_lsa(2 + 9 * metrics.len() as u64, metrics.len() as u64);
             }
             Packet::Lsa { entries, .. } => {
                 self.net.note_lsa(15 + 9 * entries.len() as u64, entries.len() as u64);

@@ -1,0 +1,417 @@
+//! A minimal Rust token scanner.
+//!
+//! detlint cannot use `syn` (crates.io is unreachable; see
+//! `vendor/README.md`), so — in the same spirit as the vendored
+//! `serde_derive` proc macro — it hand-rolls the one part of parsing the
+//! rules actually need: a lossless-enough token stream with line
+//! numbers, where comments and string/char literals are recognized and
+//! set aside. Rules then match identifier/punct *sequences* instead of
+//! an AST, which is exactly as precise as the invariants they enforce
+//! ("no `HashMap` identifier in a deterministic crate") require.
+//!
+//! The scanner understands: line and (nested) block comments, string
+//! literals with escapes, raw strings `r#"…"#`, byte strings, char
+//! literals vs. lifetimes, numbers, and identifiers. Everything else is
+//! emitted as single-character punctuation tokens.
+
+/// What a token is; rules mostly care about `Ident`, `Str` and `Punct`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal (cooked, raw, or byte); text excludes the quotes.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One scanned token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Token class.
+    pub kind: Kind,
+    /// Token text (for `Str`, the unquoted body; escapes are kept raw).
+    pub text: String,
+}
+
+impl Token {
+    /// True when this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// A `// detlint: allow(<rule>) — <reason>` annotation found in a
+/// comment. A well-formed annotation suppresses violations of `rule` on
+/// its own line and the next source line.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Rule name inside `allow(…)`.
+    pub rule: String,
+    /// Justification text after the closing paren (may be empty — the
+    /// rules reject reason-less annotations instead of honoring them).
+    pub reason: String,
+}
+
+/// Scanner output: the token stream plus any allow-annotations.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Annotations in source order.
+    pub allows: Vec<Allow>,
+}
+
+impl Scan {
+    /// True when a well-formed (reason-carrying) allow for `rule` covers
+    /// `line`: the annotation's own line (trailing comment) or the next
+    /// line holding any token — so a multi-line comment explaining the
+    /// reason keeps the annotation attached to the code below it.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            if a.rule != rule || a.reason.is_empty() {
+                return false;
+            }
+            if a.line == line {
+                return true;
+            }
+            let next_code_line =
+                self.tokens.iter().map(|t| t.line).filter(|&l| l > a.line).min();
+            next_code_line == Some(line)
+        })
+    }
+}
+
+/// Tokenizes `src`, collecting detlint annotations from comments.
+pub fn scan(src: &str) -> Scan {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Scan::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                collect_allow(&text, line, &mut out.allows);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                let start = i;
+                i += 2;
+                let mut depth = 1;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i.min(chars.len())].iter().collect();
+                collect_allow(&text, start_line, &mut out.allows);
+            }
+            '"' => {
+                let (tok, ni, nl) = cooked_string(&chars, i, line);
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if raw_or_byte_prefix(&chars, i).is_some() => {
+                let (tok, ni, nl) = raw_or_byte(&chars, i, line);
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                let (tok, ni) = quote_token(&chars, i, line);
+                out.tokens.push(tok);
+                i = ni;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: Kind::Ident,
+                    text: chars[start..i].iter().collect(),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d.is_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else if d == '.'
+                        && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && chars.get(i - 1).is_some_and(|p| p.is_ascii_digit())
+                    {
+                        // Decimal point, not a `..` range or method call.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: Kind::Num,
+                    text: chars[start..i].iter().collect(),
+                });
+            }
+            other => {
+                out.tokens.push(Token { line, kind: Kind::Punct, text: other.to_string() });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Parses `// detlint: allow(rule) — reason` out of a comment's text.
+///
+/// The marker must open the comment (after the `//`/`/*` sigils): prose
+/// that merely *mentions* the convention — like this doc comment — is
+/// not an annotation.
+fn collect_allow(comment: &str, line: u32, allows: &mut Vec<Allow>) {
+    const MARKER: &str = "detlint: allow(";
+    let content = comment.trim_start_matches(['/', '*', '!']).trim_start();
+    let Some(rest) = content.strip_prefix(MARKER) else { return };
+    let Some(close) = rest.find(')') else { return };
+    let rule = rest[..close].trim().to_string();
+    // The reason is whatever follows the closing paren, minus separator
+    // punctuation (em dash, hyphen, colon) and any block-comment close.
+    let reason = rest[close + 1..]
+        .trim_start_matches(|c: char| c.is_whitespace() || c == '—' || c == '-' || c == ':')
+        .trim_end_matches(|c: char| c.is_whitespace() || c == '*' || c == '/')
+        .trim()
+        .to_string();
+    allows.push(Allow { line, rule, reason });
+}
+
+/// Scans a cooked string starting at the opening quote. Returns the
+/// token, the index after the closing quote, and the updated line.
+fn cooked_string(chars: &[char], mut i: usize, mut line: u32) -> (Token, usize, u32) {
+    let start_line = line;
+    i += 1; // opening quote
+    let body_start = i;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => break,
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let body: String = chars[body_start..i.min(chars.len())].iter().collect();
+    (Token { line: start_line, kind: Kind::Str, text: body }, (i + 1).min(chars.len()), line)
+}
+
+/// If `r…`/`b…` at `i` introduces a raw/byte literal, returns the
+/// number of prefix chars before the `#`s or quote.
+fn raw_or_byte_prefix(chars: &[char], i: usize) -> Option<usize> {
+    let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+    match chars[i] {
+        'r' => match chars.get(i + 1) {
+            Some('"') | Some('#') => Some(1),
+            _ => None,
+        },
+        'b' => match (chars.get(i + 1), chars.get(i + 2)) {
+            (Some('"'), _) | (Some('\''), _) => Some(1),
+            (Some('r'), Some('"')) | (Some('r'), Some('#')) if two == "br" => Some(2),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Scans a raw string, byte string, or byte char starting at its
+/// prefix. Returns the token, next index, and updated line.
+fn raw_or_byte(chars: &[char], i: usize, mut line: u32) -> (Token, usize, u32) {
+    let start_line = line;
+    let prefix = raw_or_byte_prefix(chars, i).expect("caller checked prefix");
+    let mut j = i + prefix;
+    if chars.get(j) == Some(&'\'') {
+        // b'x' byte char: scan like a char literal.
+        let (tok, nj) = quote_token(chars, j, line);
+        return (tok, nj, line);
+    }
+    let raw = chars[i] == 'r' || (prefix == 2);
+    if !raw {
+        // b"…": cooked semantics.
+        let (tok, ni, nl) = cooked_string(chars, j, line);
+        return (tok, ni, nl);
+    }
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let body_start = j;
+    'outer: while j < chars.len() {
+        if chars[j] == '\n' {
+            line += 1;
+        }
+        if chars[j] == '"' {
+            let mut k = 0;
+            while k < hashes {
+                if chars.get(j + 1 + k) != Some(&'#') {
+                    j += 1;
+                    continue 'outer;
+                }
+                k += 1;
+            }
+            let body: String = chars[body_start..j].iter().collect();
+            return (
+                Token { line: start_line, kind: Kind::Str, text: body },
+                j + 1 + hashes,
+                line,
+            );
+        }
+        j += 1;
+    }
+    let body: String = chars[body_start..].iter().collect();
+    (Token { line: start_line, kind: Kind::Str, text: body }, chars.len(), line)
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) at a `'`.
+fn quote_token(chars: &[char], i: usize, line: u32) -> (Token, usize) {
+    let next = chars.get(i + 1).copied();
+    match next {
+        Some('\\') => {
+            // Escaped char literal: the backslash and the escaped char
+            // are consumed unconditionally (handles '\'' and '\\'), then
+            // scan to the closing quote (handles '\u{…}').
+            let mut j = i + 3;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            let text: String = chars[i + 1..j.min(chars.len())].iter().collect();
+            (Token { line, kind: Kind::Char, text }, (j + 1).min(chars.len()))
+        }
+        Some(c) if c.is_alphabetic() || c == '_' => {
+            if chars.get(i + 2) == Some(&'\'') {
+                // 'a' — single-char literal.
+                (Token { line, kind: Kind::Char, text: c.to_string() }, i + 3)
+            } else {
+                // Lifetime: consume the identifier.
+                let mut j = i + 2;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[i + 1..j].iter().collect();
+                (Token { line, kind: Kind::Lifetime, text }, j)
+            }
+        }
+        Some(c) => {
+            // Non-alphabetic char literal like '(' or '0'.
+            let end = if chars.get(i + 2) == Some(&'\'') { i + 3 } else { i + 2 };
+            (Token { line, kind: Kind::Char, text: c.to_string() }, end)
+        }
+        None => (Token { line, kind: Kind::Punct, text: "'".into() }, i + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_identifiers() {
+        let src = "// HashMap here\n/* HashSet\n nested /* HashMap */ */\nlet x = 1;";
+        assert_eq!(idents(src), ["let", "x"]);
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let src = r####"let s = "HashMap"; let r = r#"HashSet "quoted" body"#; let b = b"HashMap";"####;
+        assert_eq!(idents(src), ["let", "s", "let", "r", "let", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let s = scan(src);
+        let lifetimes: Vec<_> =
+            s.tokens.iter().filter(|t| t.kind == Kind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let chars: Vec<_> =
+            s.tokens.iter().filter(|t| t.kind == Kind::Char).map(|t| &t.text).collect();
+        assert_eq!(chars, ["x"]);
+    }
+
+    #[test]
+    fn lines_survive_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nlet b = 9;";
+        let s = scan(src);
+        let b = s.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn allow_annotations_are_collected() {
+        let src = "// detlint: allow(nondet-iter) — membership only\nlet m = 1;\n// detlint: allow(wall-clock)\nlet n = 2;";
+        let s = scan(src);
+        assert_eq!(s.allows.len(), 2);
+        assert_eq!(s.allows[0].rule, "nondet-iter");
+        assert_eq!(s.allows[0].reason, "membership only");
+        assert!(s.allows[1].reason.is_empty(), "reason-less annotation keeps empty reason");
+        assert!(s.allowed("nondet-iter", 2), "annotation covers the next line");
+        assert!(!s.allowed("nondet-iter", 4));
+        assert!(!s.allowed("wall-clock", 4), "reason-less annotation never suppresses");
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let src = "let x = 1.5; for i in 0..10 { a.0 }";
+        let s = scan(src);
+        let nums: Vec<_> = s.tokens.iter().filter(|t| t.kind == Kind::Num).map(|t| &t.text).collect();
+        assert_eq!(nums, ["1.5", "0", "10", "0"]);
+    }
+}

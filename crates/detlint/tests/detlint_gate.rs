@@ -1,0 +1,232 @@
+//! The detlint gate, as tests: every rule family is proven to catch its
+//! seeded fixture violations (right rule, right file, right line), the
+//! real workspace is proven clean, and the wire manifest is proven
+//! deterministic and drift-sensitive. `cargo test` therefore fails for
+//! the same reasons `cargo run -p detlint` exits nonzero.
+
+use detlint::manifest::{
+    self, TypeShape, VersionConstSpec, VersionTag, WireTypeSpec, MANIFEST_FILE,
+};
+use detlint::rules::{lint_source, FileClass, Violation};
+use std::path::{Path, PathBuf};
+
+const DET: FileClass = FileClass { deterministic: true };
+
+fn fixture(name: &str) -> (String, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    (name.to_string(), std::fs::read_to_string(&path).unwrap())
+}
+
+fn lines_of(violations: &[Violation], rule: &str) -> Vec<u32> {
+    violations.iter().filter(|v| v.rule == rule).map(|v| v.line).collect()
+}
+
+#[test]
+fn nondet_iter_fixture_is_caught() {
+    let (name, src) = fixture("nondet_iter.rs");
+    let v = lint_source(&name, &src, DET);
+    // Line 6 constructs (two mentions, one finding), 11 collects, 17 is
+    // *not* covered by the annotation two lines above (allows bind to
+    // the next code line — the fn signature), 29 follows a reason-less
+    // annotation.
+    assert_eq!(lines_of(&v, "nondet-iter"), [6, 11, 17, 29]);
+    assert_eq!(lines_of(&v, "bad-annotation"), [27], "reason-less allow is flagged");
+    assert!(v.iter().all(|x| x.file == name));
+    // The same file in a non-deterministic crate: only the bad
+    // annotation remains.
+    let free = lint_source(&name, &src, FileClass { deterministic: false });
+    assert_eq!(lines_of(&free, "nondet-iter"), [] as [u32; 0]);
+}
+
+#[test]
+fn wall_clock_fixture_is_caught() {
+    let (name, src) = fixture("wall_clock.rs");
+    let v = lint_source(&name, &src, DET);
+    assert_eq!(lines_of(&v, "wall-clock"), [5, 9, 10]);
+    assert_eq!(lines_of(&v, "bad-annotation"), [] as [u32; 0]);
+}
+
+#[test]
+fn float_order_fixture_is_caught_in_any_crate() {
+    let (name, src) = fixture("float_order.rs");
+    for det in [true, false] {
+        let v = lint_source(&name, &src, FileClass { deterministic: det });
+        assert_eq!(lines_of(&v, "float-total-order"), [5, 9, 13], "deterministic={det}");
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+#[test]
+fn the_workspace_is_clean() {
+    let v = detlint::lint_workspace(&workspace_root());
+    assert!(
+        v.is_empty(),
+        "detlint must pass on the workspace; violations:\n{}",
+        v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn workspace_walk_excludes_vendor_and_fixtures() {
+    let files = detlint::workspace_files(&workspace_root());
+    assert!(files.len() > 50, "walk found only {} files", files.len());
+    for f in &files {
+        let s = f.to_string_lossy();
+        assert!(!s.contains("vendor/"), "vendored stand-ins are not our invariants: {s}");
+        assert!(!s.contains("fixtures"), "seeded violations must not gate the build: {s}");
+    }
+}
+
+// ---- wire manifest ----
+
+/// Specs describing the toy wire surface in `fixtures/wire/`.
+const TOY_TYPES: &[WireTypeSpec] = &[
+    WireTypeSpec {
+        name: "ToyCounters",
+        file: "wire_types.rs",
+        shape: TypeShape::DeriveStruct,
+        version: VersionTag::Const("TOY_WIRE_VERSION"),
+    },
+    WireTypeSpec {
+        name: "ToyMsg",
+        file: "wire_types.rs",
+        shape: TypeShape::DeriveEnum,
+        version: VersionTag::Const("TOY_WIRE_VERSION"),
+    },
+    WireTypeSpec {
+        name: "ToyAccum",
+        file: "wire_types.rs",
+        shape: TypeShape::Handwritten,
+        version: VersionTag::Inline,
+    },
+];
+const TOY_CONSTS: &[VersionConstSpec] =
+    &[VersionConstSpec { name: "TOY_WIRE_VERSION", file: "wire_types.rs" }];
+
+fn wire_fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/wire")
+}
+
+#[test]
+fn extraction_reads_all_three_shapes() {
+    let m = manifest::extract(&wire_fixture_root(), TOY_TYPES, TOY_CONSTS).unwrap();
+    assert_eq!(m.versions, [("TOY_WIRE_VERSION".to_string(), 2)]);
+    let by_name = |n: &str| m.types.iter().find(|t| t.name == n).unwrap();
+    assert_eq!(by_name("ToyCounters").fields, ["received", "sent"]);
+    assert_eq!(by_name("ToyCounters").version, "TOY_WIRE_VERSION");
+    assert_eq!(
+        by_name("ToyMsg").fields,
+        ["Data.0", "Data.1", "Hello.build", "Hello.proto", "Ping"]
+    );
+    assert_eq!(by_name("ToyAccum").fields, ["count", "sum", "v"]);
+    assert_eq!(by_name("ToyAccum").version, "inline:1");
+}
+
+#[test]
+fn manifest_rendering_is_deterministic() {
+    // Satellite: double-run equality — two independent extractions of
+    // the same source render byte-identically.
+    let a = manifest::extract(&wire_fixture_root(), TOY_TYPES, TOY_CONSTS).unwrap().render();
+    let b = manifest::extract(&wire_fixture_root(), TOY_TYPES, TOY_CONSTS).unwrap().render();
+    assert_eq!(a, b);
+    // And for the real workspace surface.
+    let root = workspace_root();
+    let c = manifest::extract(&root, manifest::WIRE_TYPES, manifest::VERSION_CONSTS)
+        .unwrap()
+        .render();
+    let d = manifest::extract(&root, manifest::WIRE_TYPES, manifest::VERSION_CONSTS)
+        .unwrap()
+        .render();
+    assert_eq!(c, d);
+    // The checked-in golden is exactly that rendering.
+    assert_eq!(
+        c,
+        std::fs::read_to_string(root.join(MANIFEST_FILE)).unwrap(),
+        "WIRE_MANIFEST.json is stale — run `cargo run -p detlint -- --update-manifest`"
+    );
+}
+
+#[test]
+fn manifest_round_trips_through_its_parser() {
+    let m = manifest::extract(&wire_fixture_root(), TOY_TYPES, TOY_CONSTS).unwrap();
+    let back = manifest::parse_manifest(&m.render()).unwrap();
+    assert_eq!(m, back);
+}
+
+/// Builds a scratch copy of the wire fixture whose golden manifest was
+/// doctored by `mutate`, and returns the scratch root.
+fn scratch_with_golden(tag: &str, mutate: impl Fn(&mut manifest::Manifest)) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("detlint_wire_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::copy(wire_fixture_root().join("wire_types.rs"), dir.join("wire_types.rs")).unwrap();
+    let mut m = manifest::extract(&dir, TOY_TYPES, TOY_CONSTS).unwrap();
+    mutate(&mut m);
+    std::fs::write(dir.join(MANIFEST_FILE), m.render()).unwrap();
+    dir
+}
+
+#[test]
+fn field_removal_without_version_bump_is_fatal() {
+    // The golden remembers a `dropped` field the source no longer has —
+    // exactly what deleting a field from a wire type looks like — and
+    // the recorded version is unchanged.
+    let dir = scratch_with_golden("drift", |m| {
+        let t = m.types.iter_mut().find(|t| t.name == "ToyCounters").unwrap();
+        t.fields = vec!["dropped".into(), "received".into(), "sent".into()];
+    });
+    let v = manifest::check_with(&dir, TOY_TYPES, TOY_CONSTS);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "wire-manifest");
+    assert!(v[0].msg.contains("without a `TOY_WIRE_VERSION` bump"), "{}", v[0].msg);
+    // And --update-manifest refuses to paper over it.
+    let err = manifest::update_with(&dir, TOY_TYPES, TOY_CONSTS).unwrap_err();
+    assert!(err.contains("refusing to regenerate"), "{err}");
+    assert!(err.contains("ToyCounters"), "{err}");
+}
+
+#[test]
+fn field_change_with_version_bump_asks_for_regeneration() {
+    // Same drift, but the golden records the *old* version value — i.e.
+    // the source bumped TOY_WIRE_VERSION along with the field change.
+    let dir = scratch_with_golden("bumped", |m| {
+        let t = m.types.iter_mut().find(|t| t.name == "ToyCounters").unwrap();
+        t.fields = vec!["dropped".into(), "received".into(), "sent".into()];
+        m.versions = vec![("TOY_WIRE_VERSION".into(), 1)];
+    });
+    let v = manifest::check_with(&dir, TOY_TYPES, TOY_CONSTS);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].msg.contains("version bump seen"), "{}", v[0].msg);
+    // Regeneration is allowed and heals the gate.
+    manifest::update_with(&dir, TOY_TYPES, TOY_CONSTS).unwrap();
+    assert!(manifest::check_with(&dir, TOY_TYPES, TOY_CONSTS).is_empty());
+}
+
+#[test]
+fn inline_versioned_type_bump_is_recognized() {
+    // ToyAccum is pinned by its own `"v"` literal: pretend the golden
+    // was extracted when it wrote v=0 with one fewer field. The tag
+    // moved 0 -> 1, so this reads as a legitimate, bumped change.
+    let dir = scratch_with_golden("inline", |m| {
+        let t = m.types.iter_mut().find(|t| t.name == "ToyAccum").unwrap();
+        t.fields = vec!["count".into(), "v".into()];
+        t.version = "inline:0".into();
+    });
+    let v = manifest::check_with(&dir, TOY_TYPES, TOY_CONSTS);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].msg.contains("version bump seen"), "{}", v[0].msg);
+}
+
+#[test]
+fn missing_manifest_is_fatal() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("detlint_wire_missing");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::copy(wire_fixture_root().join("wire_types.rs"), dir.join("wire_types.rs")).unwrap();
+    let v = manifest::check_with(&dir, TOY_TYPES, TOY_CONSTS);
+    assert_eq!(v.len(), 1);
+    assert!(v[0].msg.contains("missing"), "{}", v[0].msg);
+}

@@ -1,0 +1,37 @@
+//! Fixture: seeded `float-total-order` violations.
+use std::cmp::Ordering;
+
+pub fn panicky_sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 5: hit
+}
+
+pub fn panicky_unstable_sort(v: &mut [f64]) {
+    v.sort_unstable_by(|a, b| b.partial_cmp(a).expect("NaN")); // line 9: hit (expect counts)
+}
+
+pub fn panicky_max(v: &[f64]) -> Option<&f64> {
+    v.iter().max_by(|a, b| a.partial_cmp(b).unwrap()) // line 13: hit
+}
+
+pub fn safe_sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b)); // fine
+}
+
+pub fn graceful_sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)); // fine: no unwrap/expect
+}
+
+pub struct Wrapped(pub f64);
+
+impl PartialEq for Wrapped {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl PartialOrd for Wrapped {
+    // Defining partial_cmp is fine; only unwrapping it in a comparator is not.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: seeded `nondet-iter` violations. Excluded from the real
+//! workspace walk; the integration tests lint it as deterministic code.
+use std::collections::{HashMap, HashSet}; // import: never a violation
+
+pub fn construct() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new(); // lines 6: two hits
+    m.len()
+}
+
+pub fn collect_and_iterate(xs: &[u32]) -> Vec<u32> {
+    let s: HashSet<u32> = xs.iter().copied().collect(); // line 11: one hit
+    s.into_iter().collect()
+}
+
+// detlint: allow(nondet-iter) — justified: summed, order-insensitive
+pub fn annotated_ok(xs: &[u32]) -> u32 {
+    let s: std::collections::HashSet<u32> = xs.iter().copied().collect(); // line 17: suppressed? no — allow covers line 16
+    s.into_iter().sum()
+}
+
+pub fn annotated_inline(xs: &[u32]) -> u32 {
+    // detlint: allow(nondet-iter) — membership only, never iterated
+    let s: std::collections::HashSet<u32> = xs.iter().copied().collect(); // suppressed
+    s.contains(&1) as u32
+}
+
+// detlint: allow(nondet-iter)
+pub fn reasonless(xs: &[u32]) -> usize {
+    let s: std::collections::HashSet<u32> = xs.iter().copied().collect(); // line 29: hit (bad annotation)
+    s.len()
+}

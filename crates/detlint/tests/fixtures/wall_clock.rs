@@ -1,0 +1,21 @@
+//! Fixture: seeded `wall-clock` violations.
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn reads_monotonic_clock() -> Instant {
+    Instant::now() // line 5: hit
+}
+
+pub fn reads_wall_clock() -> Duration {
+    SystemTime::now() // line 9: hit
+        .duration_since(SystemTime::UNIX_EPOCH) // line 10: hit
+        .unwrap_or_default()
+}
+
+pub fn takes_time_as_argument(now: Instant, deadline: Instant) -> bool {
+    now >= deadline // Instant in type position: never a violation
+}
+
+pub fn annotated(start: Instant) -> Duration {
+    // detlint: allow(wall-clock) — diagnostic timing only, not fed to sim
+    start.elapsed().max(Instant::now().elapsed()) // suppressed
+}

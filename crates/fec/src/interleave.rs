@@ -134,8 +134,9 @@ mod tests {
                 .map(|j| il.inverse(j))
                 .collect();
             // Count kills per group (logical index / rows... group = i / 6
-            // within a block of 30).
-            let mut per_group = std::collections::HashMap::new();
+            // within a block of 30). BTreeMap: deterministic iteration,
+            // so a failure names the same group on every run.
+            let mut per_group = std::collections::BTreeMap::new();
             for i in killed {
                 *per_group.entry(i / 6).or_insert(0) += 1;
             }

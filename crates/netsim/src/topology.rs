@@ -760,6 +760,8 @@ mod tests {
     fn segment_indexing_is_unique_and_in_bounds() {
         let t = Topology::ron2003(2);
         let n = t.n();
+        // detlint: allow(nondet-iter) — test-side uniqueness probe; the
+        // only iteration is an order-insensitive max().
         let mut seen = std::collections::HashSet::new();
         for i in 0..n as u16 {
             assert!(seen.insert(t.seg_out(HostId(i))));

@@ -450,6 +450,8 @@ mod tests {
                 break;
             }
         }
+        // detlint: allow(nondet-iter) — test assertion set compared by
+        // set equality, order never observed.
         let probed: std::collections::HashSet<u16> = out
             .iter()
             .filter_map(|tx| match &tx.packet {

@@ -47,7 +47,7 @@ proptest! {
         let step = SimDuration::from_millis(500);
         let mut cumulative: Vec<Option<MetricEntry>> = vec![None; N];
         for e in &updates {
-            now = now + step;
+            now += step;
             via_delta.ingest_delta(origin, std::slice::from_ref(e), now);
             cumulative[e.peer.idx()] = Some(*e);
         }
@@ -117,7 +117,7 @@ proptest! {
             if acks[i] {
                 sender.on_ack(i as u64, peer);
             }
-            now = now + SimDuration::from_secs(1);
+            now += SimDuration::from_secs(1);
         }
         // Phase 2: quiescence. Within max_age more probes a full refresh
         // fires; deliver everything from here on.

@@ -64,6 +64,9 @@ impl Hasher for FxU64 {
     }
 }
 
+// detlint: allow(nondet-iter) — lookup-only id→slot index: outcome order
+// comes from the slab + deadline ring (see `finish`), never from map
+// iteration; the hasher is fixed-seed Fx, not RandomState, besides.
 type FxMap<V> = HashMap<u64, V, BuildHasherDefault<FxU64>>;
 
 /// A collector's aggregate counters in mergeable form.
