@@ -58,12 +58,86 @@ pub struct MethodSummary {
     pub pairs: u64,
 }
 
+/// The per-cell counters of [`Cell`], structure-of-arrays: summaries,
+/// curves and merges scan one counter across every cell, so each scan
+/// walks a dense array instead of striding 80-byte structs.
+#[derive(Debug, Default)]
+struct CellArrays {
+    pairs: Vec<u64>,
+    pairs_lost: Vec<u64>,
+    l1_sent: Vec<u64>,
+    l1_lost: Vec<u64>,
+    l2_sent: Vec<u64>,
+    l2_lost: Vec<u64>,
+    both_lost: Vec<u64>,
+    first_lost_with_second: Vec<u64>,
+    lat_sum_us: Vec<f64>,
+    lat_cnt: Vec<u64>,
+}
+
+impl CellArrays {
+    fn with_len(len: usize) -> Self {
+        CellArrays {
+            pairs: vec![0; len],
+            pairs_lost: vec![0; len],
+            l1_sent: vec![0; len],
+            l1_lost: vec![0; len],
+            l2_sent: vec![0; len],
+            l2_lost: vec![0; len],
+            both_lost: vec![0; len],
+            first_lost_with_second: vec![0; len],
+            lat_sum_us: vec![0.0; len],
+            lat_cnt: vec![0; len],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn get(&self, i: usize) -> Cell {
+        Cell {
+            pairs: self.pairs[i],
+            pairs_lost: self.pairs_lost[i],
+            l1_sent: self.l1_sent[i],
+            l1_lost: self.l1_lost[i],
+            l2_sent: self.l2_sent[i],
+            l2_lost: self.l2_lost[i],
+            both_lost: self.both_lost[i],
+            first_lost_with_second: self.first_lost_with_second[i],
+            lat_sum_us: self.lat_sum_us[i],
+            lat_cnt: self.lat_cnt[i],
+        }
+    }
+
+    fn from_cells(cells: &[Cell]) -> Self {
+        let mut a = CellArrays::with_len(cells.len());
+        for (i, c) in cells.iter().enumerate() {
+            a.pairs[i] = c.pairs;
+            a.pairs_lost[i] = c.pairs_lost;
+            a.l1_sent[i] = c.l1_sent;
+            a.l1_lost[i] = c.l1_lost;
+            a.l2_sent[i] = c.l2_sent;
+            a.l2_lost[i] = c.l2_lost;
+            a.both_lost[i] = c.both_lost;
+            a.first_lost_with_second[i] = c.first_lost_with_second;
+            a.lat_sum_us[i] = c.lat_sum_us;
+            a.lat_cnt[i] = c.lat_cnt;
+        }
+        a
+    }
+
+    fn to_cells(&self) -> Vec<Cell> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
 /// Streaming per-path loss/latency accumulator.
 #[derive(Debug)]
 pub struct LossAccum {
     n: usize,
     methods: usize,
-    cells: Vec<Cell>,
+    cells: CellArrays,
     /// Redundancy degree: the maximum legs any method sends. The base
     /// [`Cell`] counters cover the paper's pair shape (legs 1–2); when
     /// `max_legs > 2` the `deep` extension tracks the full
@@ -91,7 +165,7 @@ impl LossAccum {
         let max_legs = max_legs.max(1);
         let deep =
             if max_legs > 2 { vec![0; n * n * methods * max_legs] } else { Vec::new() };
-        LossAccum { n, methods, cells: vec![Cell::default(); n * n * methods], max_legs, deep }
+        LossAccum { n, methods, cells: CellArrays::with_len(n * n * methods), max_legs, deep }
     }
 
     #[inline]
@@ -106,34 +180,34 @@ impl LossAccum {
             return;
         }
         let i = self.idx(o.method, o.src, o.dst);
-        let c = &mut self.cells[i];
-        c.pairs += 1;
+        let c = &mut self.cells;
+        c.pairs[i] += 1;
         if o.all_lost() {
-            c.pairs_lost += 1;
+            c.pairs_lost[i] += 1;
         }
         if let Some(l1) = o.leg(0) {
-            c.l1_sent += 1;
+            c.l1_sent[i] += 1;
             if l1.lost {
-                c.l1_lost += 1;
+                c.l1_lost[i] += 1;
             }
             if let Some(l2) = o.leg(1) {
                 if l1.lost {
-                    c.first_lost_with_second += 1;
+                    c.first_lost_with_second[i] += 1;
                     if l2.lost {
-                        c.both_lost += 1;
+                        c.both_lost[i] += 1;
                     }
                 }
             }
         }
         if let Some(l2) = o.leg(1) {
-            c.l2_sent += 1;
+            c.l2_sent[i] += 1;
             if l2.lost {
-                c.l2_lost += 1;
+                c.l2_lost[i] += 1;
             }
         }
         if let Some(us) = o.best_one_way_us() {
-            c.lat_sum_us += us as f64;
-            c.lat_cnt += 1;
+            c.lat_sum_us[i] += us as f64;
+            c.lat_cnt[i] += 1;
         }
         if !self.deep.is_empty() {
             let base = i * self.max_legs;
@@ -162,18 +236,29 @@ impl LossAccum {
         for (a, b) in self.deep.iter_mut().zip(&other.deep) {
             *a += b;
         }
-        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
-            a.pairs += b.pairs;
-            a.pairs_lost += b.pairs_lost;
-            a.l1_sent += b.l1_sent;
-            a.l1_lost += b.l1_lost;
-            a.l2_sent += b.l2_sent;
-            a.l2_lost += b.l2_lost;
-            a.both_lost += b.both_lost;
-            a.first_lost_with_second += b.first_lost_with_second;
-            a.lat_sum_us += b.lat_sum_us;
-            a.lat_cnt += b.lat_cnt;
+        // Array-at-a-time instead of cell-at-a-time: every addition is
+        // elementwise per cell, so the result (including the f64 latency
+        // sums) is bit-identical to the struct-wise fold — what matters
+        // for byte identity is the order *accumulators* merge in, which
+        // is the caller's contract above.
+        let (a, b) = (&mut self.cells, &other.cells);
+        let sum = |x: &mut Vec<u64>, y: &Vec<u64>| {
+            for (xa, yb) in x.iter_mut().zip(y) {
+                *xa += yb;
+            }
+        };
+        sum(&mut a.pairs, &b.pairs);
+        sum(&mut a.pairs_lost, &b.pairs_lost);
+        sum(&mut a.l1_sent, &b.l1_sent);
+        sum(&mut a.l1_lost, &b.l1_lost);
+        sum(&mut a.l2_sent, &b.l2_sent);
+        sum(&mut a.l2_lost, &b.l2_lost);
+        sum(&mut a.both_lost, &b.both_lost);
+        sum(&mut a.first_lost_with_second, &b.first_lost_with_second);
+        for (xa, yb) in a.lat_sum_us.iter_mut().zip(&b.lat_sum_us) {
+            *xa += yb;
         }
+        sum(&mut a.lat_cnt, &b.lat_cnt);
     }
 
     /// Feeds the accumulator's exact state (every counter and the bit
@@ -192,23 +277,26 @@ impl LossAccum {
                 fnv.write_u64(v);
             }
         }
-        for c in &self.cells {
-            fnv.write_u64(c.pairs);
-            fnv.write_u64(c.pairs_lost);
-            fnv.write_u64(c.l1_sent);
-            fnv.write_u64(c.l1_lost);
-            fnv.write_u64(c.l2_sent);
-            fnv.write_u64(c.l2_lost);
-            fnv.write_u64(c.both_lost);
-            fnv.write_u64(c.first_lost_with_second);
-            fnv.write_f64(c.lat_sum_us);
-            fnv.write_u64(c.lat_cnt);
+        // The fold order is the pair-era per-cell interleaving — every
+        // recorded fingerprint golden depends on it — so this gathers
+        // across the arrays rather than streaming each in turn.
+        for i in 0..self.cells.len() {
+            fnv.write_u64(self.cells.pairs[i]);
+            fnv.write_u64(self.cells.pairs_lost[i]);
+            fnv.write_u64(self.cells.l1_sent[i]);
+            fnv.write_u64(self.cells.l1_lost[i]);
+            fnv.write_u64(self.cells.l2_sent[i]);
+            fnv.write_u64(self.cells.l2_lost[i]);
+            fnv.write_u64(self.cells.both_lost[i]);
+            fnv.write_u64(self.cells.first_lost_with_second[i]);
+            fnv.write_f64(self.cells.lat_sum_us[i]);
+            fnv.write_u64(self.cells.lat_cnt[i]);
         }
     }
 
-    /// Read access to one cell.
-    pub fn cell(&self, method: u8, src: HostId, dst: HostId) -> &Cell {
-        &self.cells[self.idx(method, src, dst)]
+    /// Read access to one cell (assembled from the per-counter arrays).
+    pub fn cell(&self, method: u8, src: HostId, dst: HostId) -> Cell {
+        self.cells.get(self.idx(method, src, dst))
     }
 
     /// Host count.
@@ -233,13 +321,13 @@ impl LossAccum {
     /// `pairs`).
     pub fn best_of_first_pct(&self, method: u8) -> Vec<f64> {
         let base = method as usize * self.n * self.n;
-        let cells = &self.cells[base..base + self.n * self.n];
-        let pairs: u64 = cells.iter().map(|c| c.pairs).sum();
+        let range = base..base + self.n * self.n;
+        let pairs: u64 = self.cells.pairs[range.clone()].iter().sum();
         let pct = |num: u64| if pairs == 0 { 0.0 } else { 100.0 * num as f64 / pairs as f64 };
         if self.deep.is_empty() {
             // Pair-shaped sets: the curve lives in the base counters.
-            let l1: u64 = cells.iter().map(|c| c.l1_lost).sum();
-            let all: u64 = cells.iter().map(|c| c.pairs_lost).sum();
+            let l1: u64 = self.cells.l1_lost[range.clone()].iter().sum();
+            let all: u64 = self.cells.pairs_lost[range].iter().sum();
             return match self.max_legs {
                 1 => vec![pct(all)],
                 _ => vec![pct(l1), pct(all)],
@@ -258,18 +346,19 @@ impl LossAccum {
     /// Summary row for a method (the Table 5 / Table 7 columns).
     pub fn summary(&self, method: u8) -> MethodSummary {
         let base = method as usize * self.n * self.n;
-        let cells = &self.cells[base..base + self.n * self.n];
-        let mut t = Cell::default();
-        for c in cells {
-            t.pairs += c.pairs;
-            t.pairs_lost += c.pairs_lost;
-            t.l1_sent += c.l1_sent;
-            t.l1_lost += c.l1_lost;
-            t.l2_sent += c.l2_sent;
-            t.l2_lost += c.l2_lost;
-            t.both_lost += c.both_lost;
-            t.first_lost_with_second += c.first_lost_with_second;
-        }
+        let range = base..base + self.n * self.n;
+        let c = &self.cells;
+        let t = Cell {
+            pairs: c.pairs[range.clone()].iter().sum(),
+            pairs_lost: c.pairs_lost[range.clone()].iter().sum(),
+            l1_sent: c.l1_sent[range.clone()].iter().sum(),
+            l1_lost: c.l1_lost[range.clone()].iter().sum(),
+            l2_sent: c.l2_sent[range.clone()].iter().sum(),
+            l2_lost: c.l2_lost[range.clone()].iter().sum(),
+            both_lost: c.both_lost[range.clone()].iter().sum(),
+            first_lost_with_second: c.first_lost_with_second[range].iter().sum(),
+            ..Cell::default()
+        };
         let pct = |num: u64, den: u64| if den == 0 { 0.0 } else { 100.0 * num as f64 / den as f64 };
         let lat_ms = {
             let means = self.per_path_latency_ms(method);
@@ -367,7 +456,9 @@ impl serde::Serialize for LossAccum {
             ("n".into(), self.n.to_value()),
             ("methods".into(), self.methods.to_value()),
             ("max_legs".into(), self.max_legs.to_value()),
-            ("cells".into(), self.cells.to_value()),
+            // In-memory the cells are SoA; the wire keeps the v1
+            // `Vec<Cell>` shape.
+            ("cells".into(), self.cells.to_cells().to_value()),
             ("deep".into(), self.deep.to_value()),
         ])
     }
@@ -389,10 +480,11 @@ impl serde::Deserialize for LossAccum {
                 "LossAccum: unsupported wire version {version} (this build speaks 1)"
             )));
         }
+        let wire_cells = Vec::<Cell>::from_value(v.field("cells")?)?;
         let a = LossAccum {
             n: usize::from_value(v.field("n")?)?,
             methods: usize::from_value(v.field("methods")?)?,
-            cells: Vec::<Cell>::from_value(v.field("cells")?)?,
+            cells: CellArrays::from_cells(&wire_cells),
             max_legs: usize::from_value(v.field("max_legs")?)?,
             deep: Vec::<u64>::from_value(v.field("deep")?)?,
         };
@@ -418,8 +510,8 @@ impl serde::Deserialize for LossAccum {
                 a.max_legs
             )));
         }
-        for c in &a.cells {
-            if !c.lat_sum_us.is_finite() {
+        for &s in &a.cells.lat_sum_us {
+            if !s.is_finite() {
                 return Err(serde::Error::new("LossAccum: non-finite latency sum"));
             }
         }

@@ -24,6 +24,13 @@ struct OpenWin {
 }
 
 /// Streaming fixed-width window accumulator.
+///
+/// The open-window cells are stored structure-of-arrays: the hot
+/// same-window path reads one `u64` per outcome and the close scan at a
+/// window boundary (or [`finish`](Self::finish)) walks a dense 8-byte
+/// array instead of 24-byte `OpenWin` structs. The wire format still
+/// speaks `Vec<OpenWin>` — serialization reconstructs it, so the v1
+/// shape is unchanged.
 #[derive(Debug)]
 pub struct WindowAccum {
     width_us: u64,
@@ -36,7 +43,12 @@ pub struct WindowAccum {
     cached_start_us: u64,
     cached_idx: u64,
     n: usize,
-    open: Vec<OpenWin>,
+    /// `0` = cell unused, else the open window's index plus one. The
+    /// bias keeps "unused" and "open at window 0" distinct without a
+    /// separate `used` array.
+    win: Vec<u64>,
+    sent: Vec<u32>,
+    lost: Vec<u32>,
     hist: Vec<Histogram>,
     /// Per method: windows with loss > 0%, >10%, …, >90%.
     thresholds: Vec<[u64; 10]>,
@@ -47,12 +59,15 @@ impl WindowAccum {
     /// Creates an accumulator with the given window width.
     pub fn new(n: usize, methods: usize, width: SimDuration) -> Self {
         assert!(width.as_micros() > 0);
+        let cells = n * n * methods;
         WindowAccum {
             width_us: width.as_micros(),
             cached_start_us: 0,
             cached_idx: 0,
             n,
-            open: vec![OpenWin::default(); n * n * methods],
+            win: vec![0; cells],
+            sent: vec![0; cells],
+            lost: vec![0; cells],
             hist: (0..methods).map(|_| Histogram::new(200)).collect(),
             thresholds: vec![[0; 10]; methods],
             windows: vec![0; methods],
@@ -60,16 +75,16 @@ impl WindowAccum {
     }
 
     fn close(&mut self, cell: usize) {
-        let w = self.open[cell];
-        if !w.used || w.sent == 0 {
+        let (sent, lost) = (self.sent[cell], self.lost[cell]);
+        if self.win[cell] == 0 || sent == 0 {
             return;
         }
         let method = cell / (self.n * self.n);
-        let rate = w.lost as f64 / w.sent as f64;
+        let rate = lost as f64 / sent as f64;
         self.hist[method].push(rate);
         self.windows[method] += 1;
         let th = &mut self.thresholds[method];
-        if w.lost > 0 {
+        if lost > 0 {
             th[0] += 1;
         }
         for (i, t) in th.iter_mut().enumerate().skip(1) {
@@ -100,31 +115,38 @@ impl WindowAccum {
             self.cached_idx = idx;
             idx
         };
-        if self.open[cell].used && self.open[cell].window_idx != idx {
+        // `idx + 1` cannot wrap: idx == sent_us / width_us with
+        // width_us >= 1, and a simulated send time of u64::MAX µs is
+        // half a million millennia in.
+        let tag = idx + 1;
+        if self.win[cell] != tag {
+            // Covers both "unused" (close is a no-op on win == 0) and
+            // "open at an older window" (close, then start fresh).
             self.close(cell);
-            self.open[cell] = OpenWin::default();
+            self.win[cell] = tag;
+            self.sent[cell] = 0;
+            self.lost[cell] = 0;
         }
-        let w = &mut self.open[cell];
-        w.used = true;
-        w.window_idx = idx;
-        w.sent += 1;
+        self.sent[cell] += 1;
         if o.all_lost() {
-            w.lost += 1;
+            self.lost[cell] += 1;
         }
     }
 
     /// Closes every open window (end of run).
     pub fn finish(&mut self) {
-        for cell in 0..self.open.len() {
+        for cell in 0..self.win.len() {
             self.close(cell);
-            self.open[cell] = OpenWin::default();
         }
+        self.win.fill(0);
+        self.sent.fill(0);
+        self.lost.fill(0);
     }
 
     /// True when no window is open (i.e. [`finish`](Self::finish) ran
     /// after the last outcome).
     pub fn is_finished(&self) -> bool {
-        self.open.iter().all(|w| !w.used)
+        self.win.iter().all(|&w| w == 0)
     }
 
     /// Folds another *finished* accumulator into this one.
@@ -198,11 +220,24 @@ impl WindowAccum {
 // pin the wire format to the in-memory merge semantics.
 impl serde::Serialize for WindowAccum {
     fn to_value(&self) -> serde::Value {
+        // The in-memory layout is SoA; the wire still speaks the v1
+        // `Vec<OpenWin>` shape, reconstructed cell by cell.
+        let open: Vec<OpenWin> = (0..self.win.len())
+            .map(|i| match self.win[i] {
+                0 => OpenWin::default(),
+                tag => OpenWin {
+                    window_idx: tag - 1,
+                    sent: self.sent[i],
+                    lost: self.lost[i],
+                    used: true,
+                },
+            })
+            .collect();
         serde::Value::Map(vec![
             ("v".into(), serde::Value::Int(1)),
             ("width_us".into(), self.width_us.to_value()),
             ("n".into(), self.n.to_value()),
-            ("open".into(), self.open.to_value()),
+            ("open".into(), open.to_value()),
             ("hist".into(), self.hist.to_value()),
             ("thresholds".into(), self.thresholds.to_value()),
             ("windows".into(), self.windows.to_value()),
@@ -232,12 +267,29 @@ impl serde::Deserialize for WindowAccum {
                 "WindowAccum: unsupported wire version {version} (this build speaks 1)"
             )));
         }
+        let open = Vec::<OpenWin>::from_value(v.field("open")?)?;
+        // Decompose the wire's AoS cells into the SoA arrays. A cell
+        // with `used == false` is normalized to all-zero: the encoder
+        // only ever writes default values there, so nothing real is
+        // dropped.
+        let mut win = vec![0u64; open.len()];
+        let mut sent = vec![0u32; open.len()];
+        let mut lost = vec![0u32; open.len()];
+        for (i, o) in open.iter().enumerate() {
+            if o.used {
+                win[i] = o.window_idx + 1;
+                sent[i] = o.sent;
+                lost[i] = o.lost;
+            }
+        }
         let w = WindowAccum {
             width_us: u64::from_value(v.field("width_us")?)?,
             cached_start_us: 0,
             cached_idx: 0,
             n: usize::from_value(v.field("n")?)?,
-            open: Vec::<OpenWin>::from_value(v.field("open")?)?,
+            win,
+            sent,
+            lost,
             hist: Vec::<Histogram>::from_value(v.field("hist")?)?,
             thresholds: Vec::<[u64; 10]>::from_value(v.field("thresholds")?)?,
             windows: Vec::<u64>::from_value(v.field("windows")?)?,
@@ -253,10 +305,10 @@ impl serde::Deserialize for WindowAccum {
                 w.windows.len()
             )));
         }
-        if w.open.len() != w.n * w.n * methods {
+        if w.win.len() != w.n * w.n * methods {
             return Err(serde::Error::new(format!(
                 "WindowAccum: {} open cells for shape n={} methods={methods}",
-                w.open.len(),
+                w.win.len(),
                 w.n
             )));
         }

@@ -289,6 +289,94 @@ fn bench_record(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_window_accum_soa(c: &mut Criterion) {
+    // The SoA window accumulator's streaming hot path in isolation
+    // (table6's variant runs it inside a full campaign): one million
+    // near-time-ordered outcomes over a 30-host, 6-method cell grid,
+    // mostly hitting the same open window — the branch the parallel
+    // win/sent/lost arrays were laid out for.
+    let mut g = c.benchmark_group("components/window_accum_soa");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.sample_size(20);
+    let mk = |i: u64| {
+        let mut legs = [None; MAX_PROBE_LEGS];
+        let lost = i.is_multiple_of(9);
+        legs[0] = Some(LegOutcome {
+            route: 0,
+            lost,
+            one_way_us: if lost { None } else { Some(40_000) },
+        });
+        PairOutcome::from_legs(
+            i,
+            (i % 6) as u8,
+            netsim::HostId((i % 30) as u16),
+            netsim::HostId(((i + 7) % 30) as u16),
+            SimTime::from_millis(i * 3),
+            legs,
+            false,
+        )
+    };
+    let outcomes: Vec<PairOutcome> = (0..1_000_000u64).map(mk).collect();
+    g.bench_function("stream_1M_outcomes", |b| {
+        b.iter(|| {
+            let mut acc = analysis::WindowAccum::new(30, 6, SimDuration::from_mins(20));
+            for o in &outcomes {
+                acc.on_outcome(o);
+            }
+            acc.finish();
+            black_box(acc.window_count(0))
+        })
+    });
+    g.finish();
+}
+
+fn bench_table_sparse_lookup(c: &mut Criterion) {
+    // Route selection over a 3000-host table populated the way a k=6
+    // sparse mesh populates it: every peer advertises ~6 destinations,
+    // so each stored vector is a short sorted vec and every remote
+    // lookup is a binary search instead of a dense O(n) slot index.
+    let n = 3000usize;
+    let k = 6u16;
+    let mut table = LinkStateTable::new(
+        netsim::HostId(0),
+        n,
+        100,
+        0.1,
+        5,
+        SimDuration::from_secs(90),
+        0.01,
+        0.05,
+    );
+    let now = SimTime::from_secs(100);
+    for peer in 1..n as u16 {
+        table
+            .direct_mut(netsim::HostId(peer))
+            .record_success(now, SimDuration::from_millis(20 + (peer as u64 * 7) % 60));
+        // Ring-offset neighbors, so intermediates advertise distinct
+        // destination sets (including some covering the probe target).
+        let entries: Vec<MetricEntry> = (1..=k)
+            .map(|j| {
+                let dst = (peer as u32 + j as u32 * 499) % n as u32;
+                MetricEntry {
+                    peer: netsim::HostId(dst as u16),
+                    loss_e4: (dst * 11 % 300) as u16,
+                    lat_us: 10_000 + (dst * 997) % 80_000,
+                    alive: true,
+                }
+            })
+            .filter(|e| e.peer != netsim::HostId(peer))
+            .collect();
+        table.on_metrics(netsim::HostId(peer), &entries, now);
+    }
+    let mut g = c.benchmark_group("components/table_sparse_lookup");
+    g.throughput(Throughput::Elements(1));
+    let mut rng = Rng::new(7);
+    g.bench_function("min_loss_route_3000_hosts_k6", |b| {
+        b.iter(|| black_box(table.route(netsim::HostId(1700), Policy::MinLoss, now, &mut rng)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -297,6 +385,8 @@ criterion_group!(
     bench_routing,
     bench_dissem,
     bench_collector,
-    bench_record
+    bench_record,
+    bench_window_accum_soa,
+    bench_table_sparse_lookup
 );
 criterion_main!(benches);

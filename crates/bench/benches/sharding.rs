@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, Criterion};
 use mpath_bench::builtin_scenario;
-use mpath_core::run_experiment;
+use mpath_core::{run_experiment, run_worker, serve_campaign, CampaignJob, WorkerOptions};
 use netsim::SimDuration;
 use std::hint::black_box;
 use std::time::Instant;
@@ -39,6 +39,31 @@ fn bench_sharding(c: &mut Criterion) {
 
 criterion_group!(benches, bench_sharding);
 
+/// The same campaign over loopback TCP: one coordinator, one worker
+/// pipelining `jobs` slices at a time. Returns the merged output and
+/// the wall-clock spent end to end (serve + worker + merge).
+fn ron2003_distributed(jobs: usize) -> (mpath_core::ExperimentOutput, std::time::Duration) {
+    let sc = builtin_scenario("ron2003");
+    let job = CampaignJob {
+        spec: sc,
+        seed: 2003,
+        duration_us: SimDuration::from_mins(40).as_micros(),
+        slice_width_us: SimDuration::from_mins(10).as_micros(),
+    };
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let t = Instant::now();
+    let coord = std::thread::spawn(move || {
+        serve_campaign(listener, job, Default::default()).expect("campaign serves")
+    });
+    let worker = std::thread::spawn(move || {
+        run_worker(addr, WorkerOptions { jobs, ..Default::default() }).expect("worker runs")
+    });
+    let rep = coord.join().expect("coordinator thread");
+    worker.join().expect("worker thread");
+    (rep.output, t.elapsed())
+}
+
 fn main() {
     benches();
     // One timed head-to-head so the speedup is a single greppable line.
@@ -60,5 +85,28 @@ fn main() {
         cores,
         t_seq,
         t_par
+    );
+    // Same head-to-head for the distributed path: a single worker
+    // draining the campaign one slice at a time vs. pipelining four
+    // concurrent leases. Informational on a 1-core box (expect ~1×);
+    // the fingerprint asserts are the part that must always hold.
+    let (out_j1, t_j1) = ron2003_distributed(1);
+    let (out_j4, t_j4) = ron2003_distributed(4);
+    assert_eq!(
+        seq.fingerprint(),
+        out_j1.fingerprint(),
+        "distributed --jobs 1 run must stay byte-identical to sequential"
+    );
+    assert_eq!(
+        seq.fingerprint(),
+        out_j4.fingerprint(),
+        "distributed --jobs 4 run must stay byte-identical to sequential"
+    );
+    println!(
+        "worker --jobs speedup: {:.2}x at --jobs 4 ({} core(s) available; --jobs 1 {:?}, --jobs 4 {:?})",
+        t_j1.as_secs_f64() / t_j4.as_secs_f64(),
+        cores,
+        t_j1,
+        t_j4
     );
 }

@@ -8,9 +8,9 @@
 //! repro --scenario-file PATH      [--days F] [--seed N] [--shards N]
 //! repro --dump-scenario NAME
 //! repro --matrix NAME[,NAME...] --seeds N [--days F] [--seed N] [--shards N]
-//! repro --serve ADDR --scenario NAME [--days F] [--seed N] [--slice-mins F]
-//! repro --serve ADDR --scenario-file PATH [--days F] [--seed N] [--slice-mins F]
-//! repro --worker ADDR
+//! repro --serve ADDR --scenario NAME [--days F] [--seed N] [--slice-mins F] [--lease-secs N]
+//! repro --serve ADDR --scenario-file PATH [--days F] [--seed N] [--slice-mins F] [--lease-secs N]
+//! repro --worker ADDR [--jobs N]
 //! repro --scale-sweep [--max-hosts N] [--mesh-k K] [--sweep-secs F] [--dissem MODE] [--seed N]
 //!
 //! ARTIFACT: all | headline | table5 | table6 | table7
@@ -43,6 +43,14 @@
 //!                    scenario (any --shards value)
 //! --worker ADDR      join the coordinator at ADDR, simulate leased
 //!                    slices until the campaign is done
+//! --jobs N           slices this worker leases and simulates
+//!                    concurrently (default 1; worker mode only).
+//!                    Results are byte-identical for every value
+//! --lease-secs N     coordinator lease timeout in seconds (default
+//!                    30; serve mode only, must be at least 1): a
+//!                    lease not refreshed by heartbeat or result
+//!                    within this span is re-issued to the next
+//!                    asking worker
 //!
 //! --scale-sweep      grow a synthetic sparse-mesh topology from 30
 //!                    hosts (doubling) up to --max-hosts and report,
@@ -100,6 +108,8 @@ struct Args {
     seeds: usize,
     serve: Option<String>,
     worker: Option<String>,
+    jobs: usize,
+    lease_secs: Option<u64>,
     slice_mins: Option<f64>,
     scale_sweep: bool,
     max_hosts: usize,
@@ -136,6 +146,8 @@ fn parse_args() -> Args {
         seeds: 3,
         serve: None,
         worker: None,
+        jobs: 1,
+        lease_secs: None,
         slice_mins: None,
         scale_sweep: false,
         max_hosts: 3000,
@@ -145,6 +157,7 @@ fn parse_args() -> Args {
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut saw_scenario_flag = false;
+    let mut saw_jobs_flag = false;
     let mut saw_matrix_flag = false;
     let mut saw_seeds_flag = false;
     let mut saw_sweep_knob = false;
@@ -199,6 +212,18 @@ fn parse_args() -> Args {
             }
             "--worker" => {
                 args.worker = Some(value_of(&argv, &mut i, "--worker").to_string());
+            }
+            "--jobs" => {
+                saw_jobs_flag = true;
+                args.jobs =
+                    value_of(&argv, &mut i, "--jobs").parse().expect("--jobs takes an integer");
+            }
+            "--lease-secs" => {
+                args.lease_secs = Some(
+                    value_of(&argv, &mut i, "--lease-secs")
+                        .parse()
+                        .expect("--lease-secs takes an integer"),
+                );
             }
             "--slice-mins" => {
                 args.slice_mins = Some(
@@ -310,6 +335,31 @@ fn parse_args() -> Args {
         // coordinator's Job message; local overrides would be ignored.
         eprintln!("--worker takes the campaign from the coordinator; drop the scenario flags");
         std::process::exit(2);
+    }
+    if saw_jobs_flag {
+        if args.worker.is_none() {
+            // The flag is per-worker thread-pool width; everywhere else
+            // it would be silently ignored (local runs shard with
+            // --shards).
+            eprintln!("--jobs only applies to --worker (local runs take --shards)");
+            std::process::exit(2);
+        }
+        if args.jobs == 0 || args.jobs > 512 {
+            eprintln!("--jobs must be in 1..=512, got {}", args.jobs);
+            std::process::exit(2);
+        }
+    }
+    if let Some(secs) = args.lease_secs {
+        if args.serve.is_none() {
+            eprintln!("--lease-secs only applies to --serve");
+            std::process::exit(2);
+        }
+        if secs == 0 {
+            // A zero timeout would re-lease every slice on every Ready,
+            // thrashing the campaign forever.
+            eprintln!("--lease-secs must be at least 1, got 0");
+            std::process::exit(2);
+        }
     }
     if args.serve.is_some() {
         let sources = usize::from(!args.scenarios.is_empty()) + usize::from(args.scenario_file.is_some());
@@ -446,7 +496,7 @@ fn campaign_job(spec: &ScenarioSpec, args: &Args) -> CampaignJob {
 
 /// Runs the campaign as the distributed coordinator and returns the
 /// merged output (byte-identical to the local path below).
-fn serve_campaign_mode(addr: &str, job: CampaignJob) -> ExperimentOutput {
+fn serve_campaign_mode(addr: &str, job: CampaignJob, args: &Args) -> ExperimentOutput {
     let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
         eprintln!("cannot listen on {addr}: {e}");
         std::process::exit(2);
@@ -456,7 +506,11 @@ fn serve_campaign_mode(addr: &str, job: CampaignJob) -> ExperimentOutput {
         "[repro] coordinator on {local}: {} slice(s); join with  repro --worker {local}",
         job.plan().len()
     );
-    match serve_campaign(listener, job, ServeOptions::default()) {
+    let mut opts = ServeOptions::default();
+    if let Some(secs) = args.lease_secs {
+        opts.lease_timeout = std::time::Duration::from_secs(secs);
+    }
+    match serve_campaign(listener, job, opts) {
         Ok(report) => {
             eprintln!(
                 "[repro] campaign served: {} slice(s) over {} connection(s), {} re-lease(s), \
@@ -477,7 +531,7 @@ fn run_scenario(spec: &ScenarioSpec, args: &Args) {
     // (see `check_days_within_horizon`).
     let job = campaign_job(spec, args);
     let out = if let Some(addr) = &args.serve {
-        serve_campaign_mode(addr, job)
+        serve_campaign_mode(addr, job, args)
     } else {
         eprintln!("[repro] running scenario `{}` for {} simulated...", spec.name, job.duration());
         let mut cfg = job.config();
@@ -610,9 +664,19 @@ fn do_scale_sweep(args: &Args) {
         args.dissem.label(),
         args.seed
     );
+    // `table_B/host` stays the LAST column: CI's awk checks address the
+    // earlier columns positionally ($3 events/sec, $8 lsa_B/s).
     println!(
-        "{:>7} {:>7} {:>12} {:>14} {:>10} {:>10} {:>8} {:>12}",
-        "hosts", "mesh_k", "events/sec", "bytes/outcome", "peak_open", "resolved", "wall_s", "lsa_B/s"
+        "{:>7} {:>7} {:>12} {:>14} {:>10} {:>10} {:>8} {:>12} {:>12}",
+        "hosts",
+        "mesh_k",
+        "events/sec",
+        "bytes/outcome",
+        "peak_open",
+        "resolved",
+        "wall_s",
+        "lsa_B/s",
+        "table_B/host"
     );
     for &n in &sizes {
         // A k-regular graph needs hosts x k even; odd x odd sizes take
@@ -651,13 +715,13 @@ fn do_scale_sweep(args: &Args) {
         cfg.dissemination = args.dissem;
         cfg.scenario = format!("scale-sweep-{n}");
         let t0 = std::time::Instant::now();
-        let out = mpath_core::shard::run_sharded(topo, cfg);
+        let (out, diag) = mpath_core::shard::run_sharded_diag(topo, cfg);
         let wall = t0.elapsed().as_secs_f64();
         // One discrete event per underlay send plus one per delivery;
         // timers and sweeps ride along free-ish.
         let events = out.net.sent + out.net.delivered;
         println!(
-            "{:>7} {:>7} {:>12.0} {:>14} {:>10} {:>10} {:>8.2} {:>12.0}",
+            "{:>7} {:>7} {:>12.0} {:>14} {:>10} {:>10} {:>8.2} {:>12.0} {:>12.0}",
             n,
             k,
             events as f64 / wall.max(1e-9),
@@ -665,13 +729,15 @@ fn do_scale_sweep(args: &Args) {
             out.collector.peak_pending,
             out.collector.resolved,
             wall,
-            out.net.lsa_bytes as f64 / args.sweep_secs
+            out.net.lsa_bytes as f64 / args.sweep_secs,
+            diag.peak_table_bytes as f64 / n as f64
         );
     }
     println!(
         "\nevents = underlay sends + deliveries; bytes/outcome = in-memory size of one \
          recorded probe-pair outcome; peak_open = collector high-water mark of open pairs; \
-         lsa_B/s = dissemination payload bytes per simulated second ({} mode)",
+         lsa_B/s = dissemination payload bytes per simulated second ({} mode); \
+         table_B/host = peak link-state table heap bytes averaged over hosts",
         args.dissem.label()
     );
 }
@@ -935,8 +1001,12 @@ fn main() {
     let registry = ScenarioRegistry::builtin();
 
     if let Some(addr) = &args.worker {
-        eprintln!("[repro] worker joining coordinator at {addr}...");
-        match mpath_core::run_worker(addr.clone(), WorkerOptions::default()) {
+        eprintln!(
+            "[repro] worker joining coordinator at {addr} ({} concurrent slice(s))...",
+            args.jobs
+        );
+        let opts = WorkerOptions { jobs: args.jobs, ..WorkerOptions::default() };
+        match mpath_core::run_worker(addr.clone(), opts) {
             Ok(r) => {
                 eprintln!(
                     "[repro] worker done: {} slice(s) simulated{}",

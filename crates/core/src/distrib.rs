@@ -41,6 +41,14 @@
 //!   | -- Ready ---------------------> |       ... until Done
 //! ```
 //!
+//! A worker may pipeline: it holds up to [`WorkerOptions::jobs`] leases
+//! at once (acquired by extra `Ready` round-trips), simulates them on a
+//! local thread pool, and ships each `Result` as that slice finishes.
+//! The grammar is unchanged — the coordinator already tracked leases per
+//! slice, heartbeats already named their slice, and results were always
+//! slice-indexed — so a pipelined worker and a sequential one are
+//! indistinguishable on the wire except for frame interleaving.
+//!
 //! # Failure semantics
 //!
 //! Leases expire. A worker that dies mid-slice (its connection drops)
@@ -64,11 +72,12 @@ use crate::scenario::ScenarioSpec;
 use crate::shard::SlicePlan;
 use netsim::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tokio::net::{TcpListener, TcpStream};
-use tokio::sync::{oneshot, Notify};
+use tokio::sync::{mpsc, Notify};
 
 /// Version of the message grammar; bumped on any incompatible change.
 pub const PROTO_VERSION: u32 = 1;
@@ -349,19 +358,31 @@ pub struct ServeReport {
     pub releases: u64,
     /// Duplicate slice results received and ignored.
     pub duplicates: u64,
+    /// High-water mark of out-of-order results the streaming merge held
+    /// back while waiting for a predecessor slice. Purely in-order
+    /// arrival peaks at 1 (each result is folded the moment it lands).
+    pub peak_buffered: usize,
 }
 
 /// Worker tuning.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkerOptions {
-    /// Heartbeat cadence while a slice simulates. Must beat the
-    /// coordinator's [`ServeOptions::lease_timeout`] comfortably.
+    /// Heartbeat cadence while slices simulate. Must beat the
+    /// coordinator's [`ServeOptions::lease_timeout`] comfortably. Each
+    /// quiet interval the worker re-arms *every* outstanding lease — one
+    /// [`Msg::Heartbeat`] frame per leased slice, the same frame a
+    /// single-slice worker sends — so multi-lease liveness needs no new
+    /// protocol message.
     pub heartbeat: Duration,
+    /// Slices this worker leases and simulates concurrently (its local
+    /// compute-thread count). `1` reproduces the sequential worker
+    /// frame-for-frame; values are clamped to at least 1.
+    pub jobs: usize,
 }
 
 impl Default for WorkerOptions {
     fn default() -> Self {
-        WorkerOptions { heartbeat: Duration::from_secs(2) }
+        WorkerOptions { heartbeat: Duration::from_secs(2), jobs: 1 }
     }
 }
 
@@ -384,7 +405,18 @@ enum SliceState {
 
 struct CoordState {
     slices: Vec<SliceState>,
-    results: Vec<Option<ExperimentOutput>>,
+    /// Fingerprint of the first accepted result per slice, kept after the
+    /// output itself has been folded away so a late duplicate can still
+    /// be checked against the copy that won.
+    fingerprints: Vec<Option<u64>>,
+    /// Streaming merge accumulator: slices `[0, next_merge)` already
+    /// folded in slice order. Results never pile up waiting for the end
+    /// of the campaign — each is merged the moment its predecessors are.
+    merged: Option<ExperimentOutput>,
+    next_merge: usize,
+    /// Out-of-order results parked until their predecessors arrive.
+    buffered: BTreeMap<usize, ExperimentOutput>,
+    peak_buffered: usize,
     pending: usize,
     connections: u64,
     releases: u64,
@@ -408,7 +440,11 @@ impl Coord {
             opts,
             state: Mutex::new(CoordState {
                 slices: (0..slices).map(|_| SliceState::Unleased).collect(),
-                results: (0..slices).map(|_| None).collect(),
+                fingerprints: vec![None; slices],
+                merged: None,
+                next_merge: 0,
+                buffered: BTreeMap::new(),
+                peak_buffered: 0,
                 pending: slices,
                 connections: 0,
                 releases: 0,
@@ -474,8 +510,13 @@ impl Coord {
         }
     }
 
-    /// Records a slice result idempotently: the first copy per index
-    /// wins, later copies only bump [`ServeReport::duplicates`].
+    /// Records a slice result idempotently and folds it into the
+    /// streaming merge as soon as every lower-indexed slice has been
+    /// folded. The first copy per index wins; later copies must carry
+    /// the same fingerprint (slices are pure functions of the job, so a
+    /// disagreeing duplicate means a nondeterministic worker — a
+    /// campaign-poisoning bug, rejected loudly) and only bump
+    /// [`ServeReport::duplicates`].
     fn record(&self, slice: usize, output: ExperimentOutput) -> io::Result<()> {
         if output.spec_digest != self.expected_digest {
             return Err(proto_err(format!(
@@ -484,16 +525,41 @@ impl Coord {
             )));
         }
         let mut st = self.state.lock().unwrap();
-        let Some(slot) = st.results.get_mut(slice) else {
+        let Some(&slot) = st.fingerprints.get(slice) else {
             return Err(proto_err(format!("result for slice {slice} outside the plan")));
         };
-        if slot.is_some() {
+        if let Some(first) = slot {
+            let fp = output.fingerprint();
+            if fp != first {
+                return Err(proto_err(format!(
+                    "duplicate result for slice {slice} fingerprints {fp:#018x}, \
+                     first copy was {first:#018x}: worker is nondeterministic"
+                )));
+            }
             st.duplicates += 1;
             return Ok(());
         }
-        *slot = Some(output);
+        st.fingerprints[slice] = Some(output.fingerprint());
         st.slices[slice] = SliceState::Done;
         st.pending -= 1;
+        // Stream the merge: park the result, then fold every contiguous
+        // run starting at `next_merge`. Because `merge_outputs` is a
+        // strict left fold into its first element, folding pairwise as
+        // results arrive is bit-identical to one big fold at the end —
+        // and the coordinator's resident set is one accumulator plus
+        // whatever arrived out of order, not every slice output.
+        st.buffered.insert(slice, output);
+        st.peak_buffered = st.peak_buffered.max(st.buffered.len());
+        while let Some(next) = {
+            let k = st.next_merge;
+            st.buffered.remove(&k)
+        } {
+            st.merged = Some(match st.merged.take() {
+                None => next,
+                Some(acc) => report::merge_outputs(vec![acc, next]),
+            });
+            st.next_merge += 1;
+        }
         if st.pending == 0 {
             self.done.notify_waiters();
         }
@@ -599,14 +665,14 @@ pub fn serve_campaign(
         io::Result::Ok(())
     })?;
     let mut st = coord.state.lock().unwrap();
-    let outputs: Vec<ExperimentOutput> =
-        st.results.iter_mut().map(|slot| slot.take().expect("every slice resolved")).collect();
+    assert_eq!(st.next_merge, slices, "pending hit zero with unmerged slices");
     Ok(ServeReport {
-        output: report::merge_outputs(outputs),
+        output: st.merged.take().expect("a campaign has at least one slice"),
         slices,
         connections: st.connections,
         releases: st.releases,
         duplicates: st.duplicates,
+        peak_buffered: st.peak_buffered,
     })
 }
 
@@ -623,17 +689,24 @@ fn closed_cleanly(e: &io::Error) -> bool {
     )
 }
 
-/// Runs the worker side: connect, handshake, then lease slices until
-/// the coordinator says [`Msg::Done`] (or vanishes — see
+/// Runs the worker side: connect, handshake, then lease up to
+/// [`WorkerOptions::jobs`] slices at a time until the coordinator says
+/// [`Msg::Done`] (or vanishes — see
 /// [`WorkerReport::coordinator_closed`]).
 ///
-/// Each leased slice simulates on a dedicated OS thread while the
-/// worker's runtime thread keeps heartbeats flowing, so a long slice
-/// never reads as a dead worker.
+/// Each leased slice simulates on its own OS thread while the worker's
+/// runtime thread owns the socket: it tops the lease set up with
+/// `Ready`, ships each [`Msg::Result`] the moment that slice finishes
+/// (slices complete out of order; the coordinator's merge is
+/// slice-indexed, so delivery order is free), and each quiet heartbeat
+/// interval re-arms every outstanding lease. The exchange stays
+/// strictly request/response — the coordinator only ever speaks when
+/// spoken to — so pipelining needs no protocol change at all.
 pub fn run_worker<A: std::net::ToSocketAddrs + Send + 'static>(
     addr: A,
     opts: WorkerOptions,
 ) -> io::Result<WorkerReport> {
+    let jobs = opts.jobs.max(1);
     tokio::runtime::block_on(async move {
         let mut stream = TcpStream::connect(addr).await?;
         send_msg(
@@ -657,64 +730,97 @@ pub fn run_worker<A: std::net::ToSocketAddrs + Send + 'static>(
                 Err(e)
             }
         };
+        // Finished computes flow back over one channel. Capacity `jobs`
+        // means a compute thread's `try_send` can never find the queue
+        // full: at most `jobs` computes are outstanding and each sends
+        // exactly once.
+        let (tx, mut rx) =
+            mpsc::channel::<(u64, std::thread::Result<ExperimentOutput>)>(jobs);
+        let mut outstanding: Vec<u64> = Vec::with_capacity(jobs);
+        let mut done = false;
         loop {
-            if let Err(e) = send_msg(&mut stream, &Msg::Ready).await {
-                return closed(e, slices_run);
-            }
-            let grant = match recv_msg(&mut stream).await {
-                Ok(Some(msg)) => msg,
-                Ok(None) => return Ok(WorkerReport { slices_run, coordinator_closed: true }),
-                Err(e) => return closed(e, slices_run),
-            };
-            match grant {
-                Msg::Done => return Ok(WorkerReport { slices_run, coordinator_closed: false }),
-                Msg::Wait { poll_ms } => {
-                    tokio::time::sleep(Duration::from_millis(poll_ms.clamp(1, 10_000))).await;
+            // Top the lease set up to `jobs` slices.
+            while !done && outstanding.len() < jobs {
+                if let Err(e) = send_msg(&mut stream, &Msg::Ready).await {
+                    return closed(e, slices_run);
                 }
-                Msg::Lease { slice } => {
-                    if slice >= plan_len {
-                        return Err(proto_err(format!(
-                            "lease {slice} outside the {plan_len}-slice plan"
-                        )));
+                let grant = match recv_msg(&mut stream).await {
+                    Ok(Some(msg)) => msg,
+                    Ok(None) => return Ok(WorkerReport { slices_run, coordinator_closed: true }),
+                    Err(e) => return closed(e, slices_run),
+                };
+                match grant {
+                    Msg::Done => done = true,
+                    Msg::Wait { poll_ms } => {
+                        if outstanding.is_empty() {
+                            tokio::time::sleep(Duration::from_millis(poll_ms.clamp(1, 10_000)))
+                                .await;
+                        } else {
+                            // Something is already simulating: service it
+                            // instead of napping, and ask again afterwards.
+                            break;
+                        }
                     }
-                    let k = slice as usize;
-                    let (tx, mut rx) = oneshot::channel();
-                    let job_for_slice = job.clone();
-                    let compute = std::thread::spawn(move || {
-                        let _ = tx.send(job_for_slice.run_slice_index(k));
-                    });
-                    let output = loop {
-                        match tokio::time::timeout(opts.heartbeat, &mut rx).await {
-                            Ok(Ok(output)) => break Ok(output),
-                            Ok(Err(_)) => {
-                                break Err(proto_err(format!("slice {slice} simulation panicked")))
-                            }
-                            Err(_elapsed) => {
-                                if let Err(e) = send_msg(&mut stream, &Msg::Heartbeat { slice }).await
-                                {
-                                    break Err(e);
-                                }
-                            }
+                    Msg::Lease { slice } => {
+                        if slice >= plan_len {
+                            return Err(proto_err(format!(
+                                "lease {slice} outside the {plan_len}-slice plan"
+                            )));
                         }
-                    };
-                    let output = match output {
+                        let k = slice as usize;
+                        let job_for_slice = job.clone();
+                        let txc = tx.clone();
+                        std::thread::spawn(move || {
+                            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                move || job_for_slice.run_slice_index(k),
+                            ));
+                            // Full is impossible (see channel sizing);
+                            // Closed means the worker already bailed.
+                            let _ = txc.try_send((slice, out));
+                        });
+                        outstanding.push(slice);
+                    }
+                    other => {
+                        return Err(proto_err(format!("expected a grant, got {}", other.kind())));
+                    }
+                }
+            }
+            if done {
+                // `Done` means every slice in the plan already has a
+                // result, so anything still computing here is a
+                // duplicate-to-be of a slice someone else delivered
+                // (after this worker's lease timed out). The coordinator
+                // hangs up after `Done`; abandon the threads — their
+                // `try_send` into a dropped channel is a no-op.
+                return Ok(WorkerReport { slices_run, coordinator_closed: false });
+            }
+            // Wait for a compute to finish; every quiet heartbeat
+            // interval, one Heartbeat frame per outstanding lease keeps
+            // them all alive.
+            match tokio::time::timeout(opts.heartbeat, rx.recv()).await {
+                Ok(Some((slice, result))) => {
+                    let output = match result {
                         Ok(out) => out,
-                        Err(e) => {
-                            drop(rx); // unblocks the compute thread's send
-                            let _ = compute.join();
-                            return closed(e, slices_run);
+                        Err(_) => {
+                            return Err(proto_err(format!("slice {slice} simulation panicked")))
                         }
                     };
-                    let _ = compute.join();
                     if let Err(e) =
-                        send_msg(&mut stream, &Msg::Result { slice, output: Box::new(output) }).await
+                        send_msg(&mut stream, &Msg::Result { slice, output: Box::new(output) })
+                            .await
                     {
                         return closed(e, slices_run);
                     }
                     slices_run += 1;
+                    outstanding.retain(|&s| s != slice);
                 }
-                other => {
-                    return Err(proto_err(format!("expected a grant, got {}", other.kind())));
+                Ok(None) => unreachable!("the worker loop holds a live sender"),
+                Err(_elapsed) => {
+                    for &slice in &outstanding {
+                        if let Err(e) = send_msg(&mut stream, &Msg::Heartbeat { slice }).await {
+                            return closed(e, slices_run);
+                        }
+                    }
                 }
             }
         }

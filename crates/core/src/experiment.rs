@@ -708,7 +708,7 @@ impl Runner {
         }
     }
 
-    fn run(mut self) -> ExperimentOutput {
+    fn run(mut self) -> (ExperimentOutput, u64) {
         let n = self.nodes.len();
         let end = self.start + self.cfg.duration;
         // Tail time for in-flight pairs to resolve.
@@ -785,8 +785,13 @@ impl Runner {
         self.win60.finish();
 
         let overlay_probes = self.nodes.iter().map(|nd| nd.counters().0).sum();
+        // Diagnostic only — summed link-state footprint at slice end.
+        // Never part of ExperimentOutput, so it cannot perturb the wire
+        // format or any fingerprint.
+        let table_bytes: u64 =
+            self.nodes.iter().map(|nd| nd.table().approx_bytes() as u64).sum();
         let stats = self.collector.stats();
-        ExperimentOutput {
+        let out = ExperimentOutput {
             scenario: self.cfg.scenario.clone(),
             spec_digest: self.cfg.spec_digest,
             names: self.cfg.methods.names(),
@@ -800,7 +805,8 @@ impl Runner {
             route_usage: self.route_usage,
             n,
             duration: self.cfg.duration,
-        }
+        };
+        (out, table_bytes)
     }
 }
 
@@ -812,6 +818,17 @@ impl Runner {
 /// network processes are functions of absolute time and initialise
 /// lazily at first observation.
 pub(crate) fn run_slice(topo: Topology, cfg: ExperimentConfig, start: SimTime) -> ExperimentOutput {
+    Runner::new(topo, cfg, start).run().0
+}
+
+/// [`run_slice`] plus a diagnostic side channel: the summed link-state
+/// table footprint (bytes) over all nodes at slice end. The diagnostic
+/// never enters [`ExperimentOutput`], so byte identity is untouched.
+pub(crate) fn run_slice_diag(
+    topo: Topology,
+    cfg: ExperimentConfig,
+    start: SimTime,
+) -> (ExperimentOutput, u64) {
     Runner::new(topo, cfg, start).run()
 }
 

@@ -47,7 +47,7 @@
 //! sequential runner with the master seed itself, so pre-sharding
 //! results are preserved bit for bit.
 
-use crate::experiment::{run_slice, ExperimentConfig, ExperimentOutput};
+use crate::experiment::{run_slice, run_slice_diag, ExperimentConfig, ExperimentOutput};
 use crate::report;
 use netsim::{Rng, SimDuration, SimTime, Topology};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -207,6 +207,51 @@ pub fn run_sharded(topo: Topology, cfg: ExperimentConfig) -> ExperimentOutput {
             .collect()
     };
     report::merge_outputs(outputs)
+}
+
+/// Out-of-band diagnostics from a campaign run. Nothing here crosses
+/// the wire or feeds a fingerprint — the struct exists so the scaling
+/// harness can *measure* memory claims instead of asserting them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CampaignDiag {
+    /// Largest per-slice sum (over all nodes) of
+    /// [`overlay::table::LinkStateTable::approx_bytes`], sampled at each
+    /// slice's end.
+    pub peak_table_bytes: u64,
+}
+
+/// [`run_sharded`] with a diagnostic side channel. Runs the slice plan
+/// sequentially (the diagnostics consumer is the scaling harness, which
+/// runs one slice anyway); the report is byte-identical to
+/// [`run_sharded`] at any shard count because the merge order is the
+/// slice order either way.
+pub fn run_sharded_diag(topo: Topology, cfg: ExperimentConfig) -> (ExperimentOutput, CampaignDiag) {
+    let plan = SlicePlan::new(&cfg);
+    let slice_cfg = |s: &Slice| {
+        let mut c = cfg.clone();
+        c.seed = s.seed;
+        c.duration = s.duration;
+        c
+    };
+    let mut topo = Some(topo);
+    let last = plan.len() - 1;
+    let mut diag = CampaignDiag::default();
+    let outputs: Vec<ExperimentOutput> = plan
+        .slices()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let t = if i == last {
+                topo.take().expect("last slice runs once")
+            } else {
+                topo.as_ref().expect("topology lives until the last slice").clone()
+            };
+            let (out, table_bytes) = run_slice_diag(t, slice_cfg(s), s.start);
+            diag.peak_table_bytes = diag.peak_table_bytes.max(table_bytes);
+            out
+        })
+        .collect();
+    (report::merge_outputs(outputs), diag)
 }
 
 #[cfg(test)]

@@ -92,6 +92,26 @@ fn significant_change(old: &MetricEntry, new: &MetricEntry) -> bool {
     false
 }
 
+/// Does this entry say anything a fresh table doesn't already assume?
+///
+/// A never-sampled path advertises exactly `alive: false`, `lat_us: 0`,
+/// `loss_e4: 5000` (the Laplace prior 0.5/1 with an empty window); any
+/// sampled path violates at least one of the three (alive paths set
+/// `alive`, dead paths advertise `loss_e4: 10_000`). Every routing
+/// consumer skips `!alive` entries, so an uninformative entry absent
+/// from a vector is indistinguishable from one present — dropping them
+/// at the sender shrinks emitted vectors from O(n) to O(sampled peers)
+/// without moving a single fingerprint (packet *counts*, and with them
+/// every RNG draw, never depend on entry-list contents).
+fn informative(e: &MetricEntry) -> bool {
+    e.alive || e.lat_us != 0 || e.loss_e4 != 5_000
+}
+
+/// An owned copy of `entries` with the uninformative ones dropped.
+fn informative_entries(entries: &[MetricEntry]) -> Vec<MetricEntry> {
+    entries.iter().filter(|e| informative(e)).copied().collect()
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct PeerDelta {
     /// Highest own-advertisement seqno this peer has acknowledged.
@@ -227,7 +247,7 @@ impl Disseminator {
         table: &mut LinkStateTable,
     ) -> (Vec<MetricEntry>, Option<Packet>) {
         match self.mode {
-            DisseminationMode::FullSnapshot => (table.snapshot().to_vec(), None),
+            DisseminationMode::FullSnapshot => (informative_entries(table.snapshot()), None),
             DisseminationMode::Gossip { .. } => (Vec::new(), None),
             DisseminationMode::Delta { max_age_probes } => {
                 self.refresh(table);
@@ -237,7 +257,12 @@ impl Disseminator {
                 let acked = self.peers[idx].acked_seq;
                 let entries: Vec<MetricEntry> = if full {
                     self.peers[idx].sends_since_full = 0;
-                    self.advertised.clone()
+                    // A full refresh may legitimately carry zero entries
+                    // (nothing sampled yet); it is still sent — the
+                    // emission decision below keys on `full`, never on
+                    // content, so the packet sequence (and every RNG
+                    // draw behind it) is identical to the dense layout.
+                    informative_entries(&self.advertised)
                 } else {
                     self.advertised
                         .iter()
@@ -267,7 +292,7 @@ impl Disseminator {
         table: &mut LinkStateTable,
     ) -> (Vec<MetricEntry>, Option<Packet>) {
         match self.mode {
-            DisseminationMode::FullSnapshot => (table.snapshot().to_vec(), None),
+            DisseminationMode::FullSnapshot => (informative_entries(table.snapshot()), None),
             DisseminationMode::Gossip { .. } => (Vec::new(), None),
             DisseminationMode::Delta { .. } => {
                 self.refresh(table);
@@ -373,7 +398,7 @@ impl Disseminator {
         self.refresh(table);
         let mut lsas: Vec<(HostId, u64, Vec<MetricEntry>)> = Vec::new();
         if self.own_seq > self.own_flushed_seq {
-            lsas.push((self.me, self.own_seq, self.advertised.clone()));
+            lsas.push((self.me, self.own_seq, informative_entries(&self.advertised)));
             self.own_flushed_seq = self.own_seq;
         }
         for j in 0..self.n {
@@ -474,7 +499,10 @@ mod tests {
         );
         feed_success(&mut t, 1, 10, 20);
         let (metrics, lsa) = d.on_probe_send(HostId(1), 99, &mut t);
-        assert_eq!(metrics.len(), 3);
+        // Only the sampled path rides along: never-probed entries carry
+        // no information and are dropped from the piggyback.
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].peer, HostId(1));
         assert!(lsa.is_none());
         assert!(d.poll_at().is_none());
     }
@@ -519,13 +547,46 @@ mod tests {
     fn every_max_age_th_probe_is_a_full_refresh() {
         let mut t = table(0, 4);
         let mut d = delta(4);
+        // One path sampled: the periodic fulls must carry exactly that
+        // entry (never-sampled entries are uninformative and dropped;
+        // the full itself is still sent on schedule).
+        feed_success(&mut t, 2, 10, 20);
+        let mut fulls = 0;
+        let mut first_seen = false;
+        for id in 0..12 {
+            if let (_, Some(Packet::Lsa { full, entries, .. })) =
+                d.on_probe_send(HostId(1), id, &mut t)
+            {
+                if !full {
+                    // The initial delta advertising path 0→2; acked so
+                    // it stops repeating and only fulls remain.
+                    assert!(!first_seen, "only the first change emits a delta");
+                    first_seen = true;
+                    d.on_ack(id, HostId(1));
+                    continue;
+                }
+                assert_eq!(entries.len(), 1, "fulls carry only sampled entries");
+                assert_eq!(entries[0].peer, HostId(2));
+                fulls += 1;
+            }
+        }
+        assert_eq!(fulls, 3, "one full per max_age_probes=4 window");
+    }
+
+    #[test]
+    fn quiescent_fulls_still_fire_with_empty_entry_lists() {
+        // A mesh with nothing sampled still emits its anti-entropy fulls
+        // on schedule — the packet sequence must not depend on entry
+        // content, only the payload shrinks to zero entries.
+        let mut t = table(0, 4);
+        let mut d = delta(4);
         let mut fulls = 0;
         for id in 0..12 {
             if let (_, Some(Packet::Lsa { full, entries, .. })) =
                 d.on_probe_send(HostId(1), id, &mut t)
             {
                 assert!(full, "quiescent mesh only emits anti-entropy fulls");
-                assert_eq!(entries.len(), 3);
+                assert!(entries.is_empty(), "nothing sampled → nothing advertised");
                 fulls += 1;
             }
         }
@@ -590,7 +651,10 @@ mod tests {
             assert_eq!(*origin, HostId(0));
             assert_eq!(*seq, 1);
             assert!(*full);
-            assert_eq!(entries.len(), n - 1);
+            // Only the sampled path is advertised; the other n - 2
+            // never-probed entries are uninformative and dropped.
+            assert_eq!(entries.len(), 1);
+            assert_eq!(entries[0].peer, HostId(1));
         }
         // Quiescent again: round 3 is silent.
         out.clear();

@@ -360,7 +360,9 @@ mod tests {
             Packet::ProbeResp { id, from, metrics, .. } => {
                 assert_eq!(*id, 7);
                 assert_eq!(*from, HostId(0));
-                assert_eq!(metrics.len(), 2, "snapshot covers both peers");
+                // Nothing sampled yet: the piggyback drops the
+                // uninformative never-probed entries entirely.
+                assert!(metrics.is_empty(), "no sampled paths → empty piggyback");
             }
             p => panic!("expected ProbeResp, got {p:?}"),
         }
@@ -460,12 +462,18 @@ mod tests {
             })
             .collect();
         assert_eq!(probed, [1u16, 2, 3].into_iter().collect());
+        // Early probes go out before any outcome is recorded and carry
+        // an empty piggyback (never-sampled entries are dropped); once
+        // timeouts mark paths as sampled, the entries appear.
+        let mut max_piggyback = 0;
         for tx in &out {
             if let Packet::ProbeReq { metrics, from, .. } = &tx.packet {
                 assert_eq!(*from, HostId(0));
-                assert_eq!(metrics.len(), 3);
+                assert!(metrics.len() <= 3);
+                max_piggyback = max_piggyback.max(metrics.len());
             }
         }
+        assert!(max_piggyback >= 1, "sampled paths must eventually ride the piggyback");
     }
 
     #[test]

@@ -19,9 +19,20 @@ pub struct LossWindow {
 
 impl LossWindow {
     /// Creates a window of the given capacity (RON uses 100).
+    ///
+    /// The buffer is allocated lazily: a node holds one window per peer,
+    /// and at thousands of hosts most paths are never probed within a
+    /// run, so eager `with_capacity` would pin O(n²·cap) bytes of
+    /// untouched buffers per process. Eviction keys on `len() == cap`,
+    /// so allocated capacity never affects behavior.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "window capacity must be positive");
-        LossWindow { cap, outcomes: VecDeque::with_capacity(cap), lost: 0 }
+        LossWindow { cap, outcomes: VecDeque::new(), lost: 0 }
+    }
+
+    /// Bytes of heap behind this window's outcome buffer.
+    pub fn heap_bytes(&self) -> usize {
+        self.outcomes.capacity() * std::mem::size_of::<bool>()
     }
 
     /// Records one probe outcome.
@@ -89,6 +100,11 @@ impl PathStats {
             dead: false,
             last_success: None,
         }
+    }
+
+    /// Bytes of heap behind this path's loss-window buffer.
+    pub fn heap_bytes(&self) -> usize {
+        self.window.heap_bytes()
     }
 
     /// Records a successful probe with the measured one-way latency.

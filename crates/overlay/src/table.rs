@@ -73,9 +73,33 @@ struct Stamped {
     metric: RemoteMetric,
 }
 
-#[derive(Debug, Clone)]
+/// One peer's advertised entries, stored sparse: a vec sorted by
+/// destination index with one slot per destination the peer has
+/// actually *advertised*, looked up by binary search. Under a sparse
+/// probe mesh a peer advertises O(k) destinations, so a node's full
+/// table is O(n·k) instead of the dense layout's O(n²) — the dominant
+/// per-node allocation at thousands of hosts.
+#[derive(Debug, Clone, Default)]
 struct PeerVector {
-    entries: Vec<Option<Stamped>>,
+    entries: Vec<(u16, Stamped)>,
+}
+
+impl PeerVector {
+    fn get(&self, dst: usize) -> Option<&Stamped> {
+        self.entries
+            .binary_search_by_key(&(dst as u16), |&(d, _)| d)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Inserts or overwrites the entry toward `dst` (last write wins,
+    /// matching the dense layout's slot-assignment semantics).
+    fn upsert(&mut self, dst: u16, s: Stamped) {
+        match self.entries.binary_search_by_key(&dst, |&(d, _)| d) {
+            Ok(i) => self.entries[i].1 = s,
+            Err(i) => self.entries.insert(i, (dst, s)),
+        }
+    }
 }
 
 /// Everything one node knows about the mesh.
@@ -129,6 +153,26 @@ impl LinkStateTable {
         self.n
     }
 
+    /// Approximate resident bytes of this table's state: the struct
+    /// itself, the direct-path stats (including each loss window's lazy
+    /// buffer), every stored peer vector, and the snapshot cache. The
+    /// scaling harness reports this per host, so the sparse-vs-dense
+    /// storage win is measurable instead of asserted.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut b = size_of::<Self>();
+        b += self.direct.capacity() * size_of::<PathStats>();
+        for s in &self.direct {
+            b += s.heap_bytes();
+        }
+        b += self.vectors.capacity() * size_of::<Option<PeerVector>>();
+        for v in self.vectors.iter().flatten() {
+            b += v.entries.capacity() * size_of::<(u16, Stamped)>();
+        }
+        b += self.snap_cache.capacity() * size_of::<MetricEntry>();
+        b
+    }
+
     /// Mutable access to the direct-path stats toward `peer` (the prober
     /// records outcomes through this). Invalidates the snapshot cache:
     /// the advertised vector summarises exactly these stats.
@@ -154,13 +198,13 @@ impl LinkStateTable {
         if from == self.me || from.idx() >= self.n {
             return;
         }
-        let mut v = vec![None; self.n];
+        let mut v = PeerVector { entries: Vec::with_capacity(entries.len()) };
         for e in entries {
             if e.peer.idx() < self.n {
-                v[e.peer.idx()] = Some(Stamped { at: now, metric: RemoteMetric::from_entry(e) });
+                v.upsert(e.peer.0, Stamped { at: now, metric: RemoteMetric::from_entry(e) });
             }
         }
-        self.vectors[from.idx()] = Some(PeerVector { entries: v });
+        self.vectors[from.idx()] = Some(v);
     }
 
     /// Ingests a *partial* advertisement from `from`: only the listed
@@ -171,12 +215,10 @@ impl LinkStateTable {
         if from == self.me || from.idx() >= self.n {
             return;
         }
-        let v = self.vectors[from.idx()]
-            .get_or_insert_with(|| PeerVector { entries: vec![None; self.n] });
+        let v = self.vectors[from.idx()].get_or_insert_with(PeerVector::default);
         for e in entries {
             if e.peer.idx() < self.n {
-                v.entries[e.peer.idx()] =
-                    Some(Stamped { at: now, metric: RemoteMetric::from_entry(e) });
+                v.upsert(e.peer.0, Stamped { at: now, metric: RemoteMetric::from_entry(e) });
             }
         }
     }
@@ -218,7 +260,7 @@ impl LinkStateTable {
 
     fn remote(&self, k: HostId, dst: HostId, now: SimTime) -> Option<RemoteMetric> {
         let v = self.vectors[k.idx()].as_ref()?;
-        let e = v.entries[dst.idx()]?;
+        let e = *v.get(dst.idx())?;
         if now.since(e.at) > self.staleness {
             return None;
         }

@@ -61,7 +61,7 @@ fn fast_serve() -> ServeOptions {
 }
 
 fn fast_worker() -> WorkerOptions {
-    WorkerOptions { heartbeat: Duration::from_millis(50) }
+    WorkerOptions { heartbeat: Duration::from_millis(50), jobs: 1 }
 }
 
 /// Binds a loopback coordinator and returns its join handle + address.
@@ -211,6 +211,157 @@ fn correlated_outages_distributed_equals_sequential() {
     // The scripted shared-risk schedule must compile identically in
     // every worker process, not just every worker thread.
     assert_distributed_equivalent("correlated-outages");
+}
+
+#[test]
+fn pipelined_workers_match_sequential_bits() {
+    // A worker holding several leases at once finishes slices out of
+    // order and interleaves Result frames with fresh Readys; none of
+    // that may reach the merged bytes. Two scenarios × jobs ∈ {1, 4},
+    // every fleet pinned to the sequential fingerprint.
+    for name in ["ron-narrow", "correlated-outages"] {
+        let j = job(name);
+        let seq = sequential(&j);
+        for jobs in [1usize, 4] {
+            let (coordinator, addr) = spawn_coordinator(&j);
+            let opts = WorkerOptions { jobs, ..fast_worker() };
+            let worker =
+                std::thread::spawn(move || run_worker(addr, opts).expect("worker runs"));
+            let rep = coordinator.join().expect("coordinator thread");
+            let wr = worker.join().expect("worker thread");
+            assert_eq!(
+                rep.output.fingerprint(),
+                seq.fingerprint(),
+                "{name}: a --jobs {jobs} worker diverged from the sequential run"
+            );
+            assert_eq!(rendered(&j.spec, &rep.output), rendered(&j.spec, &seq));
+            assert_eq!(wr.slices_run, rep.slices as u64 + rep.duplicates, "{name}: conservation");
+            // The streaming merge folds every result; in-order arrival
+            // keeps at most one slice parked at a time, out-of-order
+            // arrival a few more — never the whole plan.
+            assert!(
+                rep.peak_buffered >= 1 && rep.peak_buffered <= rep.slices,
+                "{name}: peak_buffered {} outside 1..={}",
+                rep.peak_buffered,
+                rep.slices
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_worker_heartbeats_name_every_outstanding_lease() {
+    // A fake coordinator leases two slices to one --jobs 2 worker and
+    // listens: each quiet heartbeat interval the worker must re-arm
+    // *both* leases — one Heartbeat frame per outstanding slice — or a
+    // multi-slice worker would look dead on all but one of its slices.
+    let j = job("ron-narrow");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let worker = std::thread::spawn(move || {
+        run_worker(addr, WorkerOptions { heartbeat: Duration::from_millis(10), jobs: 2 })
+            .expect("worker runs")
+    });
+    let (mut s, _peer) = listener.accept().expect("worker connects");
+    match read_msg_blocking(&mut s).unwrap() {
+        Some(Msg::Hello { proto, output_wire }) => {
+            assert_eq!((proto, output_wire), (PROTO_VERSION, OUTPUT_WIRE_VERSION));
+        }
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    write_msg_blocking(&mut s, &Msg::Job { job: Box::new(j.clone()) }).unwrap();
+    // Heartbeats arrive in runs between the worker's other frames; any
+    // run naming both slices proves one timeout tick re-armed them all.
+    let mut granted = 0u64;
+    let mut results = 0usize;
+    let mut batch: Vec<u64> = Vec::new();
+    let mut batches: Vec<Vec<u64>> = Vec::new();
+    let flush = |batch: &mut Vec<u64>, batches: &mut Vec<Vec<u64>>| {
+        if !batch.is_empty() {
+            batches.push(std::mem::take(batch));
+        }
+    };
+    loop {
+        match read_msg_blocking(&mut s).unwrap() {
+            Some(Msg::Ready) => {
+                flush(&mut batch, &mut batches);
+                if granted < 2 {
+                    write_msg_blocking(&mut s, &Msg::Lease { slice: granted }).unwrap();
+                    granted += 1;
+                } else if results < 2 {
+                    write_msg_blocking(&mut s, &Msg::Wait { poll_ms: 20 }).unwrap();
+                } else {
+                    write_msg_blocking(&mut s, &Msg::Done).unwrap();
+                    break;
+                }
+            }
+            Some(Msg::Heartbeat { slice }) => batch.push(slice),
+            Some(Msg::Result { .. }) => {
+                flush(&mut batch, &mut batches);
+                results += 1;
+            }
+            other => panic!("unexpected frame from worker: {other:?}"),
+        }
+    }
+    let wr = worker.join().expect("worker thread");
+    assert_eq!(wr.slices_run, 2);
+    assert!(!wr.coordinator_closed);
+    assert!(
+        batches.iter().any(|b| b.contains(&0) && b.contains(&1)),
+        "no heartbeat run named both outstanding slices; runs seen: {batches:?}"
+    );
+}
+
+#[test]
+fn stalled_leases_are_re_issued_only_after_the_configured_timeout() {
+    // The lease timeout is configuration (repro --lease-secs), not a
+    // constant: before it elapses a stalled worker's slices must *not*
+    // move, after it they must. The staller takes every lease in the
+    // plan so the helper's grants are unambiguous.
+    let j = job("ron-narrow");
+    let timeout = Duration::from_millis(400);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let serve_job = j.clone();
+    let opts = ServeOptions { lease_timeout: timeout, poll_ms: 50 };
+    let coordinator = std::thread::spawn(move || {
+        serve_campaign(listener, serve_job, opts).expect("campaign serves")
+    });
+
+    let mut staller = fake_handshake(addr);
+    for expect in 0..4u64 {
+        assert_eq!(lease_slice(&mut staller), expect, "plan leases in index order");
+    }
+    // ... and then silence: no heartbeats, no results, connection open.
+
+    let mut helper = fake_handshake(addr);
+    write_msg_blocking(&mut helper, &Msg::Ready).unwrap();
+    match read_msg_blocking(&mut helper).unwrap() {
+        Some(Msg::Wait { .. }) => {} // live leases stay put before the timeout
+        other => panic!("expected Wait while every lease is live, got {other:?}"),
+    }
+    std::thread::sleep(timeout + Duration::from_millis(200));
+    write_msg_blocking(&mut helper, &Msg::Ready).unwrap();
+    match read_msg_blocking(&mut helper).unwrap() {
+        // All four leases share a deadline; the scan keeps the first.
+        Some(Msg::Lease { slice }) => assert_eq!(slice, 0, "most-overdue lease re-issues first"),
+        other => panic!("expected the timed-out lease back, got {other:?}"),
+    }
+    // Results are slice-indexed and idempotent, so the helper can
+    // finish the whole campaign without leasing the other three.
+    for k in 0..4u64 {
+        let output = Box::new(j.run_slice_index(k as usize));
+        write_msg_blocking(&mut helper, &Msg::Result { slice: k, output }).unwrap();
+    }
+    write_msg_blocking(&mut helper, &Msg::Ready).unwrap();
+    match read_msg_blocking(&mut helper).unwrap() {
+        Some(Msg::Done) => {}
+        other => panic!("expected Done after the last result, got {other:?}"),
+    }
+    drop(staller);
+    let rep = coordinator.join().expect("coordinator thread");
+    assert_eq!(rep.releases, 1, "exactly one lease expired (the probe re-lease of slice 0)");
+    assert_eq!(rep.output.fingerprint(), sequential(&j).fingerprint());
 }
 
 #[test]
